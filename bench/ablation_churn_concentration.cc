@@ -1,0 +1,53 @@
+// Ablation: where does churn live?
+//
+// The paper's §3.2 finding is that noise concentrates on under-represented
+// sub-groups and "features in the long-tail". This bench gives the
+// example-level view: train replicate sets under each noise variant and
+// measure how unevenly prediction flips distribute over test examples. If
+// churn were i.i.d. across examples, the top decile would carry ~10% of
+// flips and the Gini coefficient would sit near zero; the long-tail
+// hypothesis predicts a heavy concentration instead — the same examples
+// flip under every source of noise.
+#include "bench_util.h"
+#include "core/table.h"
+#include "metrics/stability.h"
+
+int main() {
+  using namespace nnr;
+  bench::banner("Ablation: churn concentration",
+                "Per-example flip-rate distribution (ResNet18 CIFAR-10, "
+                "V100)");
+
+  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  const core::Task task = core::resnet18_cifar10();
+
+  core::TextTable table({"Variant", "Churn %", "Never flip %",
+                         "Top-decile share %", "Gini"});
+  std::vector<bench::CellSpec> cells;
+  for (const core::NoiseVariant variant : bench::observed_variants()) {
+    cells.push_back({&task, variant, hw::v100(), task.default_replicates});
+  }
+  const auto all_results = bench::run_cells(cells, threads);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::vector<std::vector<std::int32_t>> predictions;
+    predictions.reserve(all_results[i].size());
+    for (const core::RunResult& r : all_results[i]) {
+      predictions.push_back(r.test_predictions);
+    }
+    const auto rates = metrics::per_example_flip_rate(predictions);
+    const auto conc = metrics::churn_concentration(rates);
+    table.add_row({std::string(core::variant_name(cells[i].variant)),
+                   core::fmt_float(conc.mean_flip_rate * 100.0, 2),
+                   core::fmt_float(conc.frac_never_flip * 100.0, 1),
+                   core::fmt_float(conc.top_decile_share * 100.0, 1),
+                   core::fmt_float(conc.gini, 3)});
+  }
+  nnr::bench::emit(table, "ablation_churn_concentration", "t1",
+              "Churn concentration by noise source");
+  std::printf(
+      "Expected shape: a large fraction of examples never flip while the "
+      "top decile carries far more than 10%% of all flips (Gini well above "
+      "0) — churn concentrates on a hard long-tail, mirroring the paper's "
+      "sub-group finding at example granularity.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation: how much churn can mitigation buy back under each noise regime?
+//
+// The paper quantifies churn as a cost of nondeterminism but stops short of
+// evaluating mitigations; its churn definition comes from Milani Fard et al.
+// 2016, whose subject IS mitigation. This bench closes the loop:
+//
+//   Part A  K-ensembling: churn between two disjoint K-ensembles, K in
+//           {1, 2, 3, 5}, per noise variant. Voting integrates out per-run
+//           noise; the residual at large K is the shared-bias floor.
+//   Part B  Warm start ("launch and iterate"): churn between a parent and a
+//           successor initialized from the parent's weights and trained for
+//           a few more epochs, vs the cold-start baseline.
+//
+// Decision-relevant because the alternative to mitigation is deterministic
+// tooling at up to 746% overhead (paper §4): if ensembling recovers most of
+// the stability at K x training cost, the trade-off changes.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/churn_reduction.h"
+#include "core/table.h"
+#include "metrics/stability.h"
+
+namespace {
+
+using namespace nnr;
+
+double mean_pairwise_churn(const std::vector<core::RunResult>& results) {
+  metrics::RunningStat churn;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = i + 1; j < results.size(); ++j) {
+      churn.add(metrics::churn(results[i].test_predictions,
+                               results[j].test_predictions));
+    }
+  }
+  return churn.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: churn reduction",
+                "K-ensembling and warm-start mitigation per noise variant "
+                "(SmallCNN+BN on the CIFAR-10 stand-in, V100)");
+
+  const core::Scale scale = core::resolve_scale(
+      /*replicates=*/10, /*epochs=*/10, /*train_n=*/1024, /*test_n=*/512);
+
+  core::Task task = core::small_cnn_bn_cifar10();
+  task.recipe.epochs = scale.epochs;
+
+  // --- Part A: ensembling. ---
+  std::vector<bench::CellSpec> cells;
+  for (const core::NoiseVariant v : bench::observed_variants()) {
+    cells.push_back({&task, v, hw::v100(), scale.replicates});
+  }
+  const auto results = bench::run_cells(cells, scale.threads);
+
+  core::TextTable ens({"Variant", "K=1 (baseline) %", "K=2 %", "K=3 %",
+                       "K=5 %"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::vector<std::string> row{
+        std::string(core::variant_name(cells[c].variant)),
+        core::fmt_float(mean_pairwise_churn(results[c]) * 100.0, 2)};
+    for (const std::size_t k : {std::size_t{2}, std::size_t{3},
+                                std::size_t{5}}) {
+      if (results[c].size() >= 2 * k) {
+        row.push_back(core::fmt_float(
+            core::ensemble_pair_churn(results[c], k, 10) * 100.0, 2));
+      } else {
+        row.push_back("-");
+      }
+    }
+    ens.add_row(std::move(row));
+  }
+  nnr::bench::emit(ens, "ablation_churn_reduction", "t1",
+                   "Part A: churn between disjoint K-ensembles");
+
+  // --- Part B: warm start. ---
+  //
+  // The fair apples-to-apples metric is churn between two INDEPENDENT
+  // retrains of the successor release: warm-started successors share the
+  // parent's basin, cold-started ones do not. Parent->successor churn is
+  // reported separately — it mixes noise with genuine fine-tuning drift and
+  // is a property of the update, not of the noise regime.
+  core::TextTable warm({"Variant", "Cold pair churn %", "Warm pair churn %",
+                        "Parent->successor churn %"});
+  const std::int64_t iterate_epochs = std::max<std::int64_t>(
+      1, scale.epochs / 4);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const double cold = mean_pairwise_churn(results[c]);
+    core::TrainJob job = task.job(cells[c].variant, cells[c].device);
+    job.recipe.epochs = iterate_epochs;
+    std::vector<core::RunResult> successors;
+    for (std::uint64_t r = 1; r <= 3; ++r) {
+      successors.push_back(core::train_warm_replicate(
+          job, r, results[c][0].final_weights));
+    }
+    const double warm_pair = mean_pairwise_churn(successors);
+    metrics::RunningStat drift;
+    for (const core::RunResult& s : successors) {
+      drift.add(metrics::churn(results[c][0].test_predictions,
+                               s.test_predictions));
+    }
+    warm.add_row({std::string(core::variant_name(cells[c].variant)),
+                  core::fmt_float(cold * 100.0, 2),
+                  core::fmt_float(warm_pair * 100.0, 2),
+                  core::fmt_float(drift.mean() * 100.0, 2)});
+  }
+  nnr::bench::emit(warm, "ablation_churn_reduction", "t2",
+                   "Part B: warm start (launch-and-iterate, " +
+                       std::to_string(iterate_epochs) + " iterate epochs)");
+
+  std::printf(
+      "Expected shape: churn falls monotonically in K toward a shared-bias "
+      "floor; independent warm-started successors churn less against each "
+      "other than independent cold starts do (they share the parent's "
+      "basin). Parent->successor churn includes fine-tuning drift and stays "
+      "nonzero even under IMPL-only noise.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: which model-design choices curb noise, and through what
+// mechanism?
+//
+// Part A (normalization): the paper's Fig. 2 shows BN damps all three
+// instability measures but cannot say whether the damping comes from
+// better-conditioned optimization or despite BN's own batch-statistics
+// noise. GroupNorm separates the two: it conditions like BN but computes
+// statistics per sample, so batch composition cannot enter through the
+// normalizer.
+//
+// Part B (activation smoothness): Shamir et al. 2020 (cited in the paper's
+// related work) predict smooth activations reduce irreproducibility by
+// bounding how fast bit-level perturbations grow through the kink of ReLU.
+// We train the same SmallCNN+BN with ReLU / SiLU / GELU / Tanh under pure
+// IMPL noise.
+#include "bench_util.h"
+#include "core/table.h"
+#include "nn/zoo.h"
+
+int main() {
+  using namespace nnr;
+  bench::banner("Ablation: model-design choices",
+                "Normalization kind and activation smoothness vs noise "
+                "(V100, CIFAR-10 stand-in)");
+
+  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+
+  // Part A: normalization.
+  {
+    struct NormCell {
+      const char* label;
+      nn::NormKind kind;
+    };
+    const NormCell norm_cells[] = {
+        {"none", nn::NormKind::kNone},
+        {"BatchNorm", nn::NormKind::kBatch},
+        {"GroupNorm", nn::NormKind::kGroup},
+    };
+    core::TextTable table(
+        {"Normalization", "Variant", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
+    std::vector<core::Task> tasks;
+    for (const NormCell& cell : norm_cells) {
+      core::Task task = core::small_cnn_cifar10();
+      task.name = cell.label;
+      const nn::NormKind kind = cell.kind;
+      task.make_model = [kind] { return nn::small_cnn_norm(10, kind); };
+      tasks.push_back(std::move(task));
+    }
+    std::vector<bench::CellSpec> cells;
+    for (const core::Task& task : tasks) {
+      for (const core::NoiseVariant variant : bench::observed_variants()) {
+        cells.push_back({&task, variant, hw::v100(), task.default_replicates});
+      }
+    }
+    const auto all_results = bench::run_cells(cells, threads);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto summary = core::summarize(all_results[i]);
+      table.add_row({cells[i].task->name,
+                     std::string(core::variant_name(cells[i].variant)),
+                     core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                     core::fmt_float(summary.churn_pct(), 2),
+                     core::fmt_float(summary.mean_l2, 4)});
+    }
+    nnr::bench::emit(table, "ablation_model_design", "t1",
+              "Part A: normalization kind");
+    std::printf(
+        "Expectation: both BN and GN damp instability relative to no "
+        "normalization (the Fig. 2 effect is conditioning, not an artifact "
+        "of which statistics are used).\n\n");
+  }
+
+  // Part B: activation smoothness under pure IMPL noise.
+  {
+    struct ActCell {
+      const char* label;
+      nn::ActKind kind;
+    };
+    const ActCell act_cells[] = {
+        {"ReLU", nn::ActKind::kReLU},
+        {"SiLU", nn::ActKind::kSiLU},
+        {"GELU", nn::ActKind::kGELU},
+        {"Tanh", nn::ActKind::kTanh},
+    };
+    core::TextTable table(
+        {"Activation", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
+    std::vector<core::Task> tasks;
+    for (const ActCell& cell : act_cells) {
+      core::Task task = core::small_cnn_cifar10();
+      task.name = cell.label;
+      const nn::ActKind kind = cell.kind;
+      task.make_model = [kind] { return nn::small_cnn_activation(10, kind); };
+      tasks.push_back(std::move(task));
+    }
+    std::vector<bench::CellSpec> cells;
+    for (const core::Task& task : tasks) {
+      cells.push_back(
+          {&task, core::NoiseVariant::kImpl, hw::v100(),
+           task.default_replicates});
+    }
+    const auto all_results = bench::run_cells(cells, threads);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto summary = core::summarize(all_results[i]);
+      table.add_row({cells[i].task->name,
+                     core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                     core::fmt_float(summary.churn_pct(), 2),
+                     core::fmt_float(summary.mean_l2, 4)});
+    }
+    nnr::bench::emit(table, "ablation_model_design", "t2",
+                "Part B: activation smoothness (IMPL only)");
+    std::printf(
+        "Expectation: smooth activations (SiLU/GELU/Tanh) show lower churn "
+        "than ReLU under identical seeds — the kink amplifies bit-level "
+        "kernel noise into prediction flips.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Extension ablation: accumulation precision as a tooling-noise axis.
+//
+// Measures, for each numeric format, (a) the rounding-error magnitude of a
+// gradient-sized reduction, and (b) how much a reordering of the same
+// addends moves the result — the seed perturbation that training chaos
+// amplifies. Coarser grids mean larger ordering noise: fp16/bf16
+// accumulation (Tensor-Core era defaults) widens the very noise channel the
+// paper characterizes for fp32.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/table.h"
+#include "rng/generator.h"
+#include "tensor/precision.h"
+
+int main() {
+  using namespace nnr;
+  using tensor::Precision;
+  std::printf("== Ablation: accumulation precision ==\n"
+              "Reduction error and order sensitivity per numeric format "
+              "(65536 gradient-scale addends, 64 reorderings)\n\n");
+
+  rng::Generator gen(0xFEEDF00D);
+  constexpr std::size_t kN = 1 << 16;
+  std::vector<float> values(kN);
+  for (float& v : values) v = 1e-3F * gen.normal();  // gradient-ish scale
+  double exact = 0.0;
+  for (float v : values) exact += v;
+
+  core::TextTable table({"Format", "ULP@1", "Sum abs error",
+                         "Reorder spread (max-min)", "Distinct results /64"});
+  for (const Precision precision :
+       {Precision::kFloat32, Precision::kFloat16, Precision::kBfloat16}) {
+    const char* name = precision == Precision::kFloat32   ? "float32"
+                       : precision == Precision::kFloat16 ? "float16"
+                                                          : "bfloat16";
+    const float base = tensor::reduce_sum_quantized(values, precision);
+
+    rng::Generator shuffler(7);
+    std::vector<float> shuffled = values;
+    float min_sum = base;
+    float max_sum = base;
+    std::vector<float> seen = {base};
+    for (int trial = 0; trial < 64; ++trial) {
+      shuffler.shuffle(std::span<float>(shuffled));
+      const float sum = tensor::reduce_sum_quantized(shuffled, precision);
+      min_sum = std::min(min_sum, sum);
+      max_sum = std::max(max_sum, sum);
+      bool known = false;
+      for (float s : seen) {
+        if (s == sum) known = true;
+      }
+      if (!known) seen.push_back(sum);
+    }
+    table.add_row({name,
+                   core::fmt_float(tensor::ulp_at_one(precision), 7),
+                   core::fmt_float(std::fabs(base - exact), 7),
+                   core::fmt_float(max_sum - min_sum, 7),
+                   std::to_string(seen.size())});
+  }
+  nnr::bench::emit(table, "ablation_precision", "t1",
+              "Precision ablation");
+  std::printf("Expected shape: both error and reorder spread grow by orders "
+              "of magnitude from float32 to float16 to bfloat16 — reduced "
+              "precision amplifies implementation noise.\n\n");
+
+  // Part B: the numerical mitigation. Deterministic kernels fix the order
+  // (paper §4's costly path); Kahan summation instead shrinks the rounding
+  // error every order produces. Same 64 reorderings, naive vs compensated.
+  {
+    std::vector<std::uint32_t> order(values.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    rng::Generator shuffler(11);
+    float naive_min = 0.0F;
+    float naive_max = 0.0F;
+    float kahan_min = 0.0F;
+    float kahan_max = 0.0F;
+    std::vector<float> naive_seen;
+    std::vector<float> kahan_seen;
+    for (int trial = 0; trial < 64; ++trial) {
+      shuffler.shuffle(std::span<std::uint32_t>(order));
+      const float naive = tensor::reduce_sum_permuted(values, order);
+      const float kahan = tensor::reduce_sum_kahan_permuted(values, order);
+      if (trial == 0) {
+        naive_min = naive_max = naive;
+        kahan_min = kahan_max = kahan;
+      }
+      naive_min = std::min(naive_min, naive);
+      naive_max = std::max(naive_max, naive);
+      kahan_min = std::min(kahan_min, kahan);
+      kahan_max = std::max(kahan_max, kahan);
+      auto record = [](std::vector<float>& seen, float sum) {
+        for (const float s : seen) {
+          if (s == sum) return;
+        }
+        seen.push_back(sum);
+      };
+      record(naive_seen, naive);
+      record(kahan_seen, kahan);
+    }
+    core::TextTable mitigation({"Summation", "Abs error vs exact",
+                                "Reorder spread (max-min)",
+                                "Distinct results /64"});
+    float naive_identity = 0.0F;
+    for (const float v : values) naive_identity += v;
+    mitigation.add_row(
+        {"naive float32",
+         core::fmt_float(std::fabs(naive_identity - exact), 7),
+         core::fmt_float(naive_max - naive_min, 7),
+         std::to_string(naive_seen.size())});
+    mitigation.add_row({"Kahan float32",
+                        core::fmt_float(
+                            std::fabs(tensor::reduce_sum_kahan(values) -
+                                      static_cast<float>(exact)),
+                            7),
+                        core::fmt_float(kahan_max - kahan_min, 7),
+                        std::to_string(kahan_seen.size())});
+    nnr::bench::emit(mitigation, "ablation_precision", "t2",
+              "Part B: compensated-summation mitigation");
+    std::printf(
+        "Expected shape: Kahan collapses the reorder spread by orders of "
+        "magnitude (often to a single distinct result) without restricting "
+        "the schedule — a numerical alternative to deterministic kernels, "
+        "at ~4 flops per addend instead of menu restriction.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Ablation: two-way factorial variance decomposition with significance.
+//
+// The paper isolates ALGO and IMPL noise as two one-dimensional slices
+// through the seed space (§2.2) and reads off which source "contributes
+// higher levels of instability" from point estimates (§3.1). This bench runs
+// the full factorial grid instead — (algo seed i) x (scheduler-entropy seed
+// j) — and decomposes Var(accuracy) into an ALGO main effect, an IMPL main
+// effect, and their interaction (stats/anova.h). The interaction share is a
+// direct quantification of the paper's non-additivity observation: under
+// additive noise it would be ~0.
+//
+// It also backfills the error bars the paper's Table 2 / Fig. 1 numbers lack:
+// bootstrap CIs on stddev(acc) and churn per variant, a Brown-Forsythe test
+// on the equality of accuracy variances across variants, and a Welch test on
+// ALGO-vs-IMPL churn.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/table.h"
+#include "metrics/stability.h"
+#include "rng/generator.h"
+#include "stats/anova.h"
+#include "stats/bootstrap.h"
+#include "stats/hypothesis.h"
+#include "stats/special.h"
+
+namespace {
+
+using namespace nnr;
+
+std::vector<double> accuracies(const std::vector<core::RunResult>& results) {
+  std::vector<double> acc;
+  acc.reserve(results.size());
+  for (const core::RunResult& r : results) acc.push_back(r.test_accuracy);
+  return acc;
+}
+
+/// Pairwise churn matrix (upper triangle) for bootstrap_pairwise_ci.
+std::vector<std::vector<double>> churn_matrix(
+    const std::vector<core::RunResult>& results) {
+  const std::size_t n = results.size();
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m[i][j] = metrics::churn(results[i].test_predictions,
+                               results[j].test_predictions);
+    }
+  }
+  return m;
+}
+
+/// %.3g formatting for F statistics, which can be enormous when the residual
+/// mean square is near zero.
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+std::vector<double> pairwise_churn_values(
+    const std::vector<core::RunResult>& results) {
+  std::vector<double> v;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = i + 1; j < results.size(); ++j) {
+      v.push_back(metrics::churn(results[i].test_predictions,
+                                 results[j].test_predictions));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: factorial variance decomposition",
+      "ALGO x IMPL seed grid, two-way ANOVA + bootstrap CIs + tests "
+      "(ResNet18 on the CIFAR-10 stand-in, V100)");
+
+  // ResNet-18 rather than SmallCNN: the residual net carries strong IMPL
+  // noise at its default recipe (Fig. 1), so both ANOVA factors have signal
+  // to decompose. SmallCNN's IMPL noise is negligible at short epochs and
+  // would degenerate the grid into a pure-ALGO design.
+  core::Task task = core::resnet18_cifar10();
+  const core::Scale scale = core::resolve_scale(
+      task.default_replicates, task.recipe.epochs,
+      /*train_n=*/512, /*test_n=*/256);
+  const std::int64_t grid =
+      std::max<std::int64_t>(2, core::env_int("NNR_GRID", 5));
+  task.recipe.epochs = scale.epochs;
+
+  // --- Part 1: the factorial grid. ---
+  const core::TrainJob grid_job =
+      task.job(core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  std::vector<std::vector<double>> acc_grid(
+      static_cast<std::size_t>(grid),
+      std::vector<double>(static_cast<std::size_t>(grid), 0.0));
+  {
+    // Flatten the grid onto the host pool by hand (cells, not replicates).
+    struct Cell {
+      std::uint64_t a, i;
+    };
+    std::vector<Cell> cells;
+    for (std::int64_t a = 0; a < grid; ++a) {
+      for (std::int64_t i = 0; i < grid; ++i) {
+        cells.push_back({static_cast<std::uint64_t>(a),
+                         static_cast<std::uint64_t>(i)});
+      }
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1);
+        if (k >= cells.size()) return;
+        const core::RunResult r = core::train_replicate(
+            grid_job, core::ReplicateIds{cells[k].a, cells[k].i});
+        acc_grid[cells[k].a][cells[k].i] = r.test_accuracy;
+      }
+    };
+    std::vector<std::thread> pool;
+    const int n_workers = scale.threads > 0
+                              ? scale.threads
+                              : static_cast<int>(
+                                    std::thread::hardware_concurrency());
+    for (int t = 0; t < std::min<int>(n_workers,
+                                      static_cast<int>(cells.size()));
+         ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  const stats::TwoWayAnova anova = stats::two_way_anova(acc_grid);
+  core::TextTable grid_table({"Component", "SS", "df", "Share %", "F", "p"});
+  const auto add_component = [&grid_table](const char* name, double ss,
+                                           double df, double share, double f,
+                                           double p) {
+    grid_table.add_row({name, core::fmt_float(ss * 1e4, 3), core::fmt_float(df, 0),
+                        core::fmt_pct(share * 100.0, 1), fmt_g(f), fmt_g(p)});
+  };
+  add_component("ALGO (rows)", anova.ss_rows, anova.df_rows,
+                anova.rows_share(), anova.f_rows(),
+                stats::f_upper_tail_p(anova.f_rows(), anova.df_rows,
+                                      anova.df_residual));
+  add_component("IMPL (cols)", anova.ss_cols, anova.df_cols,
+                anova.cols_share(), anova.f_cols(),
+                stats::f_upper_tail_p(anova.f_cols(), anova.df_cols,
+                                      anova.df_residual));
+  grid_table.add_row({"Interaction (residual)",
+                      core::fmt_float(anova.ss_residual * 1e4, 3),
+                      core::fmt_float(anova.df_residual, 0),
+                      core::fmt_pct(anova.residual_share() * 100.0, 1), "-",
+                      "-"});
+  nnr::bench::emit(grid_table, "ablation_variance_decomposition", "t1",
+              "Two-way ANOVA of test accuracy over a " +
+                          std::to_string(grid) + "x" + std::to_string(grid) +
+                          " (algo x impl) seed grid  [SS scaled by 1e4]");
+
+  // --- Part 2: per-variant error bars. ---
+  std::vector<bench::CellSpec> cells;
+  for (const core::NoiseVariant v : bench::observed_variants()) {
+    cells.push_back({&task, v, hw::v100(), scale.replicates});
+  }
+  const auto results = bench::run_cells(cells, scale.threads);
+
+  rng::Generator boot_gen(0xB007);
+  core::TextTable ci_table({"Variant", "STDDEV(Acc) % [95% CI]",
+                            "Churn % [95% CI]"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::vector<double> acc = accuracies(results[c]);
+    const stats::BootstrapCI sd_ci =
+        stats::bootstrap_stddev_ci(acc, 2000, 0.95, boot_gen);
+    const stats::BootstrapCI churn_ci =
+        stats::bootstrap_pairwise_ci(churn_matrix(results[c]), 2000, 0.95,
+                                     boot_gen);
+    ci_table.add_row(
+        {std::string(core::variant_name(cells[c].variant)),
+         core::fmt_pct(sd_ci.point * 100.0, 2) + " [" +
+             core::fmt_pct(sd_ci.lo * 100.0, 2) + ", " +
+             core::fmt_pct(sd_ci.hi * 100.0, 2) + "]",
+         core::fmt_pct(churn_ci.point * 100.0, 1) + " [" +
+             core::fmt_pct(churn_ci.lo * 100.0, 1) + ", " +
+             core::fmt_pct(churn_ci.hi * 100.0, 1) + "]"});
+  }
+  nnr::bench::emit(ci_table, "ablation_variance_decomposition", "t2",
+              "Bootstrap error bars per noise variant");
+
+  // --- Part 3: significance of the variant comparisons. ---
+  const std::vector<double> algo_churn = pairwise_churn_values(results[1]);
+  const std::vector<double> impl_churn = pairwise_churn_values(results[2]);
+  const stats::TestResult welch =
+      stats::welch_t_test(algo_churn, impl_churn);
+  const std::vector<std::vector<double>> acc_groups = {
+      accuracies(results[0]), accuracies(results[1]), accuracies(results[2])};
+  const stats::TestResult bf = stats::brown_forsythe_test(acc_groups);
+
+  core::TextTable sig({"Comparison", "Statistic", "p"});
+  sig.add_row({"ALGO vs IMPL churn (Welch t)", fmt_g(welch.statistic),
+               fmt_g(welch.p_value)});
+  sig.add_row({"Var(acc) equal across variants (Brown-Forsythe F)",
+               fmt_g(bf.statistic), fmt_g(bf.p_value)});
+  nnr::bench::emit(sig, "ablation_variance_decomposition", "t3",
+              "Hypothesis tests");
+
+  std::printf(
+      "Expected shape: both main effects carry a significant share of "
+      "variance with a non-trivial interaction share (non-additive noise, "
+      "paper S3.1); churn under ALGO modestly exceeds IMPL (Welch p "
+      "discriminates when the gap is real at this scale).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces paper Figure 2: batch normalization damps system noise.
+// SmallCNN with vs without BN on the CIFAR-10 stand-in (V100), same recipe.
+//
+// Paper reference: stddev(acc) falls from 0.86% (no BN) to 0.30% (BN);
+// churn and L2 shrink correspondingly for every noise variant.
+#include "bench_util.h"
+#include "core/table.h"
+
+int main() {
+  using namespace nnr;
+  bench::banner("Figure 2",
+                "SmallCNN +/- BatchNorm: stddev(acc) / churn / L2 (V100)");
+
+  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  core::TextTable table({"Model", "Variant", "STDDEV(Acc) %", "Churn %",
+                         "L2 Norm"});
+
+  std::vector<core::Task> tasks;
+  tasks.push_back(core::small_cnn_cifar10());      // w/o BN
+  tasks.push_back(core::small_cnn_bn_cifar10());   // w/ BN
+  std::vector<bench::CellSpec> cells;
+  for (const core::Task& task : tasks) {
+    for (const core::NoiseVariant variant : bench::observed_variants()) {
+      cells.push_back({&task, variant, hw::v100(), task.default_replicates});
+    }
+  }
+  const auto all_results = bench::run_cells(cells, threads);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto summary = core::summarize(all_results[i]);
+    table.add_row({cells[i].task->name,
+                   std::string(core::variant_name(cells[i].variant)),
+                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                   core::fmt_float(summary.churn_pct(), 2),
+                   core::fmt_float(summary.mean_l2, 4)});
+  }
+  nnr::bench::emit(table, "fig2_batchnorm", "t1",
+              "Figure 2: the role of BatchNorm");
+  std::printf("Paper: stddev(acc) 0.86%% without BN vs 0.30%% with BN; all "
+              "three instability measures shrink with BN.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Figure 6: input-data ordering introduces nondeterminism
+// even on a TPU, and even at full-batch size.
+//
+// Ten SmallCNNs per batch size are trained on the TPU with *every* noise
+// source pinned except the shuffle channel (epoch ordering). At full batch
+// the gradient is mathematically order-invariant — the residual divergence is
+// pure float32 accumulation-order noise, which the systolic (sequential)
+// reduction inherits from the input layout.
+//
+// Paper reference: churn ~5-20% across batch sizes 500 / 5000 / 50000
+// (50000 = the full dataset). At our reduced step counts the full-batch
+// divergence may not reach prediction flips, so the table also reports the
+// weight-space divergence, which is nonzero whenever the effect exists.
+#include "bench_util.h"
+#include "core/table.h"
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+
+int main() {
+  using namespace nnr;
+  bench::banner("Figure 6",
+                "Divergence vs batch size on TPU with only data-order noise "
+                "(full batch included)");
+
+  const core::Scale scale = core::resolve_scale(10, 60, 512, 256);
+  const data::ClassificationDataset dataset =
+      data::synth_cifar10(scale.train_n, scale.test_n);
+  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+
+  // Only the shuffle channel varies; init/augment/dropout pinned; TPU
+  // hardware (deterministic given layout).
+  core::ChannelToggles order_only;
+  order_only.shuffle_varies = true;
+  order_only.mode = hw::DeterminismMode::kDefault;
+
+  core::TextTable table({"Batch size", "Churn %", "L2 Norm",
+                         "STDDEV(Acc) %", "Mean acc %"});
+  const std::int64_t full = dataset.train.size();
+  for (const std::int64_t batch : {full / 16, full / 4, full}) {
+    core::TrainJob job;
+    job.make_model = [] { return nn::small_cnn(10, true); };
+    job.dataset = &dataset;
+    job.recipe = core::cifar_recipe(scale.epochs);
+    job.recipe.batch_size = batch;
+    // Scale LR linearly with batch (capped) so each batch size makes
+    // comparable progress per epoch.
+    job.recipe.base_lr = std::min(
+        0.05F, 0.002F * static_cast<float>(batch) / 32.0F);
+    job.recipe.augment = false;  // keep augment channel fully out of play
+    job.device = hw::tpu_v2();
+    job.toggles_override = order_only;
+
+    const auto results = core::run_replicates(job, scale.replicates, threads);
+    const auto summary = core::summarize(results);
+    table.add_row({std::to_string(batch),
+                   core::fmt_float(summary.churn_pct(), 2),
+                   core::fmt_float(summary.mean_l2, 6),
+                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                   core::fmt_pct(summary.accuracy_pct(), 2)});
+    std::fprintf(stderr, "  [fig6] batch %lld done\n",
+                 static_cast<long long>(batch));
+  }
+
+  nnr::bench::emit(table, "fig6_batch_order", "t1",
+              "Figure 6: data-order noise on TPU");
+  std::printf(
+      "Paper: nonzero churn at every batch size including the full-dataset "
+      "batch, where all runs are mathematically identical — the divergence "
+      "is float accumulation ordering alone. Nonzero L2 at full batch is "
+      "the same finding at weight granularity.\n");
+  return 0;
+}

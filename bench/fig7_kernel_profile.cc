@@ -1,0 +1,67 @@
+// Reproduces paper Figure 7: cumulative GPU time of the top-20 kernel types
+// over 100 training steps, TF default mode vs deterministic mode, for VGG-19
+// and InceptionV3 (V100, batch 64, 224x224).
+//
+// Paper reference: deterministic mode concentrates time in a narrower set of
+// kernels ("the compiler is forced to use a narrow range of kernels"),
+// visible as a more skewed distribution.
+#include <cctype>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/table.h"
+#include "hw/execution_context.h"
+#include "profiler/cost_model.h"
+#include "profiler/report.h"
+
+int main() {
+  using namespace nnr;
+  using hw::DeterminismMode;
+  std::printf("== Figure 7 ==\n"
+              "Top-20 kernel-type cumulative GPU time over 100 steps "
+              "(V100, batch 64)\n\n");
+
+  const profiler::CostModel model =
+      profiler::CostModel::for_arch(hw::GpuArch::kVolta);
+  constexpr int kSteps = 100;
+  constexpr std::int64_t kBatch = 64;
+
+  for (const profiler::NetworkDesc& net :
+       {profiler::vgg19_desc(), profiler::inception_v3_desc()}) {
+    for (const DeterminismMode mode :
+         {DeterminismMode::kDefault, DeterminismMode::kDeterministic}) {
+      std::vector<profiler::KernelLaunch> launches;
+      for (int step = 0; step < kSteps; ++step) {
+        auto step_launches = model.lower_step(net, mode, kBatch);
+        launches.insert(launches.end(), step_launches.begin(),
+                        step_launches.end());
+      }
+      const auto aggregated = profiler::aggregate_by_type(launches);
+      const auto top = profiler::top_k(aggregated, 20);
+
+      core::TextTable table({"Rank", "Kernel type", "Cumulative time (s)",
+                             "Launches"});
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        table.add_row({std::to_string(i + 1), top[i].kernel_type,
+                       core::fmt_float(top[i].total_ms / 1000.0, 2),
+                       std::to_string(top[i].launches)});
+      }
+      const char* mode_name = mode == DeterminismMode::kDefault
+                                  ? "TF Default Mode"
+                                  : "TF Deterministic Mode";
+      std::string slug = net.name + (mode == DeterminismMode::kDefault
+                                         ? "_default"
+                                         : "_deterministic");
+      for (char& c : slug) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
+      nnr::bench::emit(table, "fig7_kernel_profile", slug,
+                  net.name + " - " + mode_name);
+      std::printf("distinct kernel types: %zu; top-1 share of GPU time: %s\n\n",
+                  aggregated.size(),
+                  core::fmt_pct(profiler::top1_share(aggregated) * 100.0, 1)
+                      .c_str());
+    }
+  }
+  std::printf("Paper: deterministic mode shows a more skewed allocation — "
+              "fewer kernel types carrying more of the time.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Figure 8: the GPU-time overhead of deterministic training.
+//   (a) ten widely used networks x {P100, V100, T4};
+//   (b) the six-layer medium CNN with kernel sizes 1/3/5/7 x {P100, V100, T4}.
+//
+// Paper reference: (a) VGG-19 highest (185% on V100), MobileNet ~101%;
+// (b) 284%-746% (P100), 129%-241% (V100), 117%-196% (T4), monotone in k.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/table.h"
+#include "profiler/cost_model.h"
+
+int main() {
+  using namespace nnr;
+  using hw::GpuArch;
+  std::printf("== Figure 8 ==\n"
+              "Normalized deterministic execution GPU time (100%% = no "
+              "overhead; batch 64, 224x224)\n\n");
+
+  const GpuArch archs[3] = {GpuArch::kPascal, GpuArch::kVolta,
+                            GpuArch::kTuring};
+  const char* arch_names[3] = {"P100", "V100", "T4"};
+
+  {
+    core::TextTable table({"Network", "P100", "V100", "T4"});
+    for (const profiler::NetworkDesc& net : profiler::profiled_networks()) {
+      std::vector<std::string> row = {net.name};
+      for (const GpuArch arch : archs) {
+        row.push_back(core::fmt_pct(
+            profiler::deterministic_overhead(net, arch).normalized_pct(), 1));
+      }
+      table.add_row(std::move(row));
+    }
+    nnr::bench::emit(table, "fig8_overhead", "t1",
+              "Figure 8(a): across networks");
+    std::printf("Paper: VGG-19 highest (185%% on V100); MobileNet ~101%%; "
+                "P100 range 101-211%%, T4 range 101-196%%.\n\n");
+  }
+
+  {
+    core::TextTable table({"Kernel size", "P100", "V100", "T4"});
+    for (const std::int64_t k : {1, 3, 5, 7}) {
+      std::vector<std::string> row = {std::to_string(k) + "x" +
+                                      std::to_string(k)};
+      for (const GpuArch arch : archs) {
+        row.push_back(core::fmt_pct(
+            profiler::deterministic_overhead(profiler::medium_cnn_desc(k), arch)
+                .normalized_pct(),
+            1));
+      }
+      table.add_row(std::move(row));
+    }
+    nnr::bench::emit(table, "fig8_overhead", "t2",
+              "Figure 8(b): medium CNN across kernel sizes");
+    std::printf("Paper: 284-746%% (P100), 129-241%% (V100), 117-196%% (T4); "
+                "larger kernels always cost more.\n");
+  }
+  (void)arch_names;
+  return 0;
+}

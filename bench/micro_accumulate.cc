@@ -1,0 +1,115 @@
+// google-benchmark micro-suite: ablation of the reduction-order policies and
+// the simulated kernels they drive (DESIGN.md "ablation-worthy choices" #1).
+//
+// Measures (on the host CPU substrate):
+//   - raw cost of sequential / pairwise-tree / sharded-shuffled reductions,
+//   - GEMM under the deterministic vs nondeterministic kernel policy,
+//   - the scaling of lane count (i.e. simulated CUDA core count).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rng/generator.h"
+#include "tensor/accumulate.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace nnr;
+
+std::vector<float> make_values(std::size_t n) {
+  rng::Generator gen(42);
+  std::vector<float> values(n);
+  for (float& v : values) v = gen.normal();
+  return values;
+}
+
+void BM_ReduceSequential(benchmark::State& state) {
+  const auto values = make_values(static_cast<std::size_t>(state.range(0)));
+  const tensor::ReductionPlan plan(tensor::AccumOrder::kSequential, 1,
+                                   state.range(0), nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.reduce(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceSequential)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ReducePairwiseTree(benchmark::State& state) {
+  const auto values = make_values(static_cast<std::size_t>(state.range(0)));
+  const tensor::ReductionPlan plan(tensor::AccumOrder::kPairwiseTree, 40,
+                                   state.range(0), nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.reduce(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReducePairwiseTree)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ReduceShardedShuffled(benchmark::State& state) {
+  const auto values = make_values(static_cast<std::size_t>(state.range(0)));
+  rng::Generator entropy(7);
+  for (auto _ : state) {
+    // Plan per launch, as in training: the shuffle is part of the cost.
+    const tensor::ReductionPlan plan(tensor::AccumOrder::kShardedShuffled, 40,
+                                     state.range(0), &entropy);
+    benchmark::DoNotOptimize(plan.reduce(values));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReduceShardedShuffled)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GemmByPolicy(benchmark::State& state) {
+  const std::int64_t dim = state.range(0);
+  rng::Generator gen(1);
+  tensor::Tensor a(tensor::Shape{dim, dim});
+  tensor::Tensor b(tensor::Shape{dim, dim});
+  tensor::Tensor c(tensor::Shape{dim, dim});
+  for (float& v : a.data()) v = gen.normal();
+  for (float& v : b.data()) v = gen.normal();
+  rng::Generator entropy(2);
+
+  tensor::KernelPolicy policy;
+  switch (state.range(1)) {
+    case 0:
+      policy = {.order = tensor::AccumOrder::kSequential,
+                .cuda_cores = 0,
+                .entropy = nullptr};
+      break;
+    case 1:
+      policy = {.order = tensor::AccumOrder::kPairwiseTree,
+                .cuda_cores = 5120,
+                .entropy = nullptr};
+      break;
+    default:
+      policy = {.order = tensor::AccumOrder::kShardedShuffled,
+                .cuda_cores = 5120,
+                .entropy = &entropy};
+      break;
+  }
+  for (auto _ : state) {
+    tensor::gemm_nt(a, b, c, policy);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim * dim);
+}
+BENCHMARK(BM_GemmByPolicy)
+    ->ArgsProduct({{64, 128}, {0, 1, 2}})
+    ->ArgNames({"dim", "policy"});
+
+void BM_LaneScaling(benchmark::State& state) {
+  // Ordering entropy vs lane count: the V100-vs-P100 axis.
+  const auto values = make_values(1 << 16);
+  rng::Generator entropy(9);
+  const int lanes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const tensor::ReductionPlan plan(tensor::AccumOrder::kShardedShuffled,
+                                     lanes, 1 << 16, &entropy);
+    benchmark::DoNotOptimize(plan.reduce(values));
+  }
+}
+BENCHMARK(BM_LaneScaling)->Arg(20)->Arg(24)->Arg(28)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

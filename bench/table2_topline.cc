@@ -1,0 +1,71 @@
+// Reproduces paper Table 2: test-set accuracy (± stddev) under each noise
+// variant, for each (hardware, task) cell.
+//
+// Paper reference (full-scale): e.g. V100/SmallCNN-C10 62.03%±0.91 under
+// ALGO+IMPL; ResNet18-C10 ~93.3%±0.1-0.2; ResNet50-ImageNet 76.6%±0.05-0.10.
+// Our scaled cells land at lower absolute accuracy (synthetic 16x16 data,
+// tens of epochs) — the quantity to compare is the *variant-to-variant
+// structure*: all three variants within ~1 stddev of each other per cell.
+#include "bench_util.h"
+#include "core/table.h"
+
+int main() {
+  using namespace nnr;
+  bench::banner("Table 2",
+                "Test accuracy ± stddev per (hardware, task, noise variant)");
+
+  const std::vector<hw::DeviceSpec> devices = {hw::p100(), hw::rtx5000(),
+                                               hw::v100()};
+  std::vector<core::Task> tasks;
+  tasks.push_back(core::small_cnn_cifar10());
+  tasks.push_back(core::resnet18_cifar10());
+  tasks.push_back(core::resnet18_cifar100());
+  const core::Task imagenet = core::resnet50_imagenet();
+
+  // Flatten the full (device, task, variant) grid into one pooled run.
+  std::vector<bench::CellSpec> cells;
+  for (const hw::DeviceSpec& device : devices) {
+    for (const core::Task& task : tasks) {
+      for (const core::NoiseVariant variant : bench::observed_variants()) {
+        cells.push_back({&task, variant, device, task.default_replicates});
+      }
+    }
+  }
+  for (const core::NoiseVariant variant : bench::observed_variants()) {
+    cells.push_back({&imagenet, variant, hw::v100(),
+                     imagenet.default_replicates});
+  }
+
+  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  const auto all_results = bench::run_cells(cells, threads);
+
+  auto accuracy_cell = [](const core::VariantSummary& s) {
+    return core::fmt_pct(s.accuracy_pct(), 2) + " +/- " +
+           core::fmt_float(s.accuracy_stddev_pct(), 2);
+  };
+
+  core::TextTable table({"Hardware", "Task", "ALGO+IMPL", "ALGO", "IMPL"});
+  std::size_t cell_index = 0;
+  for (const hw::DeviceSpec& device : devices) {
+    for (const core::Task& task : tasks) {
+      std::vector<std::string> row = {device.name, task.name};
+      for (std::size_t v = 0; v < 3; ++v) {
+        row.push_back(accuracy_cell(core::summarize(all_results[cell_index++])));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  {
+    std::vector<std::string> row = {"V100", imagenet.name};
+    for (std::size_t v = 0; v < 3; ++v) {
+      row.push_back(accuracy_cell(core::summarize(all_results[cell_index++])));
+    }
+    table.add_row(std::move(row));
+  }
+
+  nnr::bench::emit(table, "table2_topline", "t1",
+              "Table 2: test accuracy +/- stddev (%)");
+  std::printf("Paper (full scale): max stddev 0.91%% (SmallCNN), min 0.05%% "
+              "(ResNet50-ImageNet); variants differ by < 1%% within a cell.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Batch-order probe: demonstrates the paper's Fig. 6 effect interactively —
+// on an inherently deterministic accelerator (TPU), merely reordering the
+// training data changes the trained model, even in full-batch mode where the
+// gradient is mathematically order-invariant.
+//
+// Run: ./build/examples/batch_order_probe
+#include <cstdio>
+
+#include "core/replicates.h"
+#include "core/tasks.h"
+#include "metrics/stability.h"
+#include "nn/zoo.h"
+
+int main() {
+  using namespace nnr;
+  std::printf("nnrand batch-order probe (TPU, full-batch training)\n\n");
+
+  const core::Scale scale = core::resolve_scale(2, 20, 256, 128);
+  const data::ClassificationDataset dataset =
+      data::synth_cifar10(scale.train_n, scale.test_n);
+
+  // Everything pinned except the order in which examples are laid out.
+  core::ChannelToggles order_only;
+  order_only.shuffle_varies = true;
+
+  core::TrainJob job;
+  job.make_model = [] { return nn::small_cnn(10, true); };
+  job.dataset = &dataset;
+  job.recipe = core::cifar_recipe(scale.epochs);
+  job.recipe.batch_size = dataset.train.size();  // one batch = whole dataset
+  job.recipe.base_lr = 0.02F;
+  job.recipe.augment = false;
+  job.device = hw::tpu_v2();
+  job.toggles_override = order_only;
+
+  std::printf("training 2 full-batch replicates that differ only in row "
+              "order...\n");
+  const auto results = core::run_replicates(job, 2, 0);
+
+  std::size_t weight_diffs = 0;
+  for (std::size_t i = 0; i < results[0].final_weights.size(); ++i) {
+    if (results[0].final_weights[i] != results[1].final_weights[i]) {
+      ++weight_diffs;
+    }
+  }
+  const double churn = metrics::churn(results[0].test_predictions,
+                                      results[1].test_predictions);
+  std::printf("  weights differing bitwise: %zu / %zu\n", weight_diffs,
+              results[0].final_weights.size());
+  std::printf("  predictive churn: %.2f%%\n\n", 100.0 * churn);
+  std::printf(
+      "Both runs saw identical batches (the full dataset) — the only "
+      "difference is the float32 accumulation order induced by row layout. "
+      "Deterministic hardware does not make training order-invariant.\n");
+  return weight_diffs > 0 ? 0 : 1;
+}

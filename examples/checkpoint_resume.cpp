@@ -1,0 +1,130 @@
+// Checkpoint/resume under a determinism contract: save a half-trained model,
+// reload it, continue training, and verify the resumed run is bitwise
+// identical to an uninterrupted one. Then show why this only holds in
+// deterministic mode — under default kernels the two arms drift.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/checkpoint_resume
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/synth_images.h"
+#include "hw/device.h"
+#include "hw/execution_context.h"
+#include "metrics/stability.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+#include "opt/sgd.h"
+#include "rng/generator.h"
+#include "serialize/checkpoint.h"
+
+namespace {
+
+using namespace nnr;
+
+/// Trains `steps` mini-batch steps on a fixed batch under the given mode.
+void train_steps(nn::Model& model, const tensor::Tensor& batch,
+                 const std::vector<std::int32_t>& labels, int steps,
+                 hw::DeterminismMode mode, std::uint64_t entropy_seed) {
+  hw::ExecutionContext hw_ctx(hw::v100(), mode, rng::Generator(entropy_seed));
+  nn::RunContext ctx{.hw = &hw_ctx, .training = true};
+  opt::Sgd sgd(model.params(), 0.9F);
+  for (int s = 0; s < steps; ++s) {
+    model.zero_grads();
+    const tensor::Tensor logits = model.forward(batch, ctx);
+    const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels, ctx);
+    (void)model.backward(loss.grad_logits, ctx);
+    sgd.step(0.02F);
+  }
+}
+
+double max_weight_gap(nn::Model& a, nn::Model& b) {
+  const std::vector<float> wa = a.flat_weights();
+  const std::vector<float> wb = b.flat_weights();
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    max_gap = std::max(max_gap, std::abs(static_cast<double>(wa[i]) - wb[i]));
+  }
+  return max_gap;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("checkpoint_resume: is save/load a source of noise?\n\n");
+
+  // A fixed training batch from the CIFAR-10 stand-in (the first 32 train
+  // images; [N, 3, H, W] is contiguous so the batch is a prefix copy).
+  // The generator rounds split sizes to class multiples, so request extra.
+  const data::ClassificationDataset dataset =
+      data::synth_cifar10(/*train_n=*/40, /*test_n=*/10);
+  tensor::Tensor batch(tensor::Shape{32, 3, 16, 16});
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    batch.at(i) = dataset.train.images.at(i);
+  }
+  const std::vector<std::int32_t> labels(dataset.train.labels.begin(),
+                                         dataset.train.labels.begin() + 32);
+
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "resume_demo.nnr").string();
+
+  // Arm A: 6 steps uninterrupted (optimizer restarted at step 3 to mirror
+  // the resume arm, which necessarily restarts its optimizer).
+  nn::Model arm_a = nn::small_cnn(10, true);
+  rng::Generator init_a(42);
+  arm_a.init_weights(init_a);
+  train_steps(arm_a, batch, labels, 3, hw::DeterminismMode::kDeterministic, 0);
+  train_steps(arm_a, batch, labels, 3, hw::DeterminismMode::kDeterministic, 0);
+
+  // Arm B: 3 steps, checkpoint, reload into a fresh model, 3 more steps.
+  nn::Model arm_b = nn::small_cnn(10, true);
+  rng::Generator init_b(42);
+  arm_b.init_weights(init_b);
+  train_steps(arm_b, batch, labels, 3, hw::DeterminismMode::kDeterministic, 0);
+  serialize::save_model(ckpt, arm_b);
+
+  nn::Model resumed = nn::small_cnn(10, true);
+  serialize::load_model(ckpt, resumed);
+  train_steps(resumed, batch, labels, 3, hw::DeterminismMode::kDeterministic,
+              0);
+
+  const double det_gap = max_weight_gap(arm_a, resumed);
+  std::printf("deterministic mode:\n");
+  std::printf("  max |w_uninterrupted - w_resumed| = %.3g  ->  %s\n\n",
+              det_gap,
+              det_gap == 0.0 ? "bitwise identical (checkpoint is lossless)"
+                             : "MISMATCH (bug!)");
+
+  // Same comparison under default (nondeterministic) kernels: now the two
+  // arms see different scheduler interleavings and drift apart — the drift
+  // is the tooling noise, not the checkpoint.
+  nn::Model noisy_a = nn::small_cnn(10, true);
+  rng::Generator init_c(42);
+  noisy_a.init_weights(init_c);
+  train_steps(noisy_a, batch, labels, 6, hw::DeterminismMode::kDefault, 1);
+
+  nn::Model noisy_b = nn::small_cnn(10, true);
+  rng::Generator init_d(42);
+  noisy_b.init_weights(init_d);
+  train_steps(noisy_b, batch, labels, 3, hw::DeterminismMode::kDefault, 2);
+  serialize::save_model(ckpt, noisy_b);
+  nn::Model noisy_resumed = nn::small_cnn(10, true);
+  serialize::load_model(ckpt, noisy_resumed);
+  train_steps(noisy_resumed, batch, labels, 3, hw::DeterminismMode::kDefault,
+              3);
+
+  const double noisy_gap = max_weight_gap(noisy_a, noisy_resumed);
+  std::printf("default (nondeterministic) kernels:\n");
+  std::printf("  max |w_uninterrupted - w_resumed| = %.3g\n", noisy_gap);
+  std::printf("  -> nonzero drift comes from scheduler noise, which resume "
+              "cannot replay.\n\n");
+
+  std::printf("Takeaway: the checkpoint format itself is bitwise lossless; "
+              "whether a resumed run replays exactly is decided by the "
+              "determinism mode of the kernels, not by the checkpoint.\n");
+  std::remove(ckpt.c_str());
+  return det_gap == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Determinism-cost advisor: should you flip the deterministic-ops flag?
+//
+// For a chosen network and GPU generation, prints the simulated per-step
+// kernel-time breakdown in default vs deterministic mode and the projected
+// slowdown — the paper's §4 analysis packaged as a decision aid.
+//
+// Run: ./build/examples/determinism_cost [network] [gpu]
+//   network: vgg16|vgg19|resnet50|resnet152|densenet121|densenet201|
+//            inception|xception|mobilenet|efficientnet   (default vgg19)
+//   gpu:     p100|v100|t4                                (default v100)
+#include <cstdio>
+#include <string>
+
+#include "core/table.h"
+#include "profiler/cost_model.h"
+#include "profiler/report.h"
+
+namespace {
+
+using namespace nnr;
+
+profiler::NetworkDesc pick_network(const std::string& name) {
+  if (name == "vgg16") return profiler::vgg16_desc();
+  if (name == "vgg19") return profiler::vgg19_desc();
+  if (name == "resnet50") return profiler::resnet50_desc();
+  if (name == "resnet152") return profiler::resnet152_desc();
+  if (name == "densenet121") return profiler::densenet121_desc();
+  if (name == "densenet201") return profiler::densenet201_desc();
+  if (name == "inception") return profiler::inception_v3_desc();
+  if (name == "xception") return profiler::xception_desc();
+  if (name == "mobilenet") return profiler::mobilenet_desc();
+  if (name == "efficientnet") return profiler::efficientnet_b0_desc();
+  std::fprintf(stderr, "unknown network '%s', using vgg19\n", name.c_str());
+  return profiler::vgg19_desc();
+}
+
+hw::GpuArch pick_arch(const std::string& name) {
+  if (name == "p100") return hw::GpuArch::kPascal;
+  if (name == "t4") return hw::GpuArch::kTuring;
+  if (name != "v100") {
+    std::fprintf(stderr, "unknown gpu '%s', using v100\n", name.c_str());
+  }
+  return hw::GpuArch::kVolta;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string net_name = argc > 1 ? argv[1] : "vgg19";
+  const std::string gpu_name = argc > 2 ? argv[2] : "v100";
+  const profiler::NetworkDesc net = pick_network(net_name);
+  const hw::GpuArch arch = pick_arch(gpu_name);
+  const profiler::CostModel model = profiler::CostModel::for_arch(arch);
+
+  std::printf("nnrand determinism-cost advisor\n");
+  std::printf("network: %s (%.1f GMACs/image), gpu: %s, batch 64\n\n",
+              net.name.c_str(), net.total_macs() / 1e9, gpu_name.c_str());
+
+  double default_ms = 0.0;
+  double det_ms = 0.0;
+  for (const auto mode : {hw::DeterminismMode::kDefault,
+                          hw::DeterminismMode::kDeterministic}) {
+    const auto launches = model.lower_step(net, mode, 64);
+    const auto aggregated = profiler::aggregate_by_type(launches);
+    double total = 0.0;
+    for (const auto& entry : aggregated) total += entry.total_ms;
+    (mode == hw::DeterminismMode::kDefault ? default_ms : det_ms) = total;
+
+    core::TextTable table({"Kernel type", "ms/step", "share"});
+    for (const auto& entry : profiler::top_k(aggregated, 8)) {
+      table.add_row({entry.kernel_type, core::fmt_float(entry.total_ms, 2),
+                     core::fmt_pct(100.0 * entry.total_ms / total, 1)});
+    }
+    std::printf("%s\n",
+                table
+                    .render(mode == hw::DeterminismMode::kDefault
+                                ? "default mode (top kernels)"
+                                : "deterministic mode (top kernels)")
+                    .c_str());
+  }
+
+  const double pct = 100.0 * det_ms / default_ms;
+  std::printf("projected step time: %.1f ms -> %.1f ms  (%.0f%% of baseline)\n",
+              default_ms, det_ms, pct);
+  if (pct < 115.0) {
+    std::printf("verdict: determinism is nearly free here — turn it on.\n");
+  } else if (pct < 175.0) {
+    std::printf("verdict: moderate cost; justified for safety-critical or "
+                "audit-sensitive training.\n");
+  } else {
+    std::printf("verdict: heavy cost; consider deterministic runs only for "
+                "release/audit builds, or a newer GPU generation.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fairness audit: the paper's AI-safety motivation in miniature.
+//
+// Trains N replicates of a face-attribute classifier (SynthCelebA stand-in)
+// that differ only in training noise, then reports how much each protected
+// sub-group's error rates move between runs. Groups with few positive
+// examples (Male, Old — paper Table 3) show disproportionately unstable
+// FNR/accuracy: the model a user receives depends on scheduler luck.
+//
+// Run: ./build/examples/fairness_audit   (NNR_REPLICATES / NNR_EPOCHS to scale)
+#include <cstdio>
+#include <vector>
+
+#include "core/replicates.h"
+#include "core/study.h"
+#include "core/tasks.h"
+#include "data/synth_celeba.h"
+#include "nn/zoo.h"
+
+int main() {
+  using namespace nnr;
+  std::printf("nnrand fairness audit: sub-group stability under training "
+              "noise\n\n");
+
+  const core::Scale scale = core::resolve_scale(6, 8, 2048, 1024);
+  data::SynthCelebAConfig cfg;
+  cfg.train_n = scale.train_n;
+  cfg.test_n = scale.test_n;
+  const data::AttributeDataset celeba = data::make_synth_celeba(cfg);
+
+  core::Task task;
+  task.name = "CelebA* audit";
+  task.dataset.name = celeba.name;
+  task.dataset.train.images = celeba.train.images;
+  task.dataset.train.num_classes = 2;
+  for (std::uint8_t t : celeba.train.target) {
+    task.dataset.train.labels.push_back(t);
+  }
+  task.dataset.test.images = celeba.test.images;
+  task.dataset.test.num_classes = 2;
+  for (std::uint8_t t : celeba.test.target) {
+    task.dataset.test.labels.push_back(t);
+  }
+  task.make_model = [] { return nn::resnet18s(2); };
+  task.recipe = core::celeba_recipe(scale.epochs);
+  task.recipe.base_lr = 0.02F;
+
+  std::printf("training %lld replicates under ALGO+IMPL noise...\n",
+              static_cast<long long>(scale.replicates));
+  const core::TrainJob job =
+      task.job(core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  const auto results = core::run_replicates(job, scale.replicates, 0);
+
+  auto audit = [&](const char* group, std::vector<std::uint8_t> mask) {
+    const core::SubgroupStability stats =
+        core::subgroup_stability(results, celeba.test.target, mask);
+    std::printf("  %-7s acc %5.1f%% (+/- %4.2f)   FNR %5.1f%% (+/- %4.2f)\n",
+                group, 100.0 * stats.accuracy.mean(),
+                100.0 * stats.accuracy.stddev(), 100.0 * stats.fnr.mean(),
+                100.0 * stats.fnr.stddev());
+    return stats;
+  };
+
+  std::vector<std::uint8_t> female(celeba.test.male.size());
+  std::vector<std::uint8_t> old(celeba.test.young.size());
+  for (std::size_t i = 0; i < female.size(); ++i) {
+    female[i] = celeba.test.male[i] ? 0 : 1;
+    old[i] = celeba.test.young[i] ? 0 : 1;
+  }
+
+  std::printf("\nper-group metrics (mean +/- stddev over replicates):\n");
+  const auto all = audit("All", {});
+  const auto male = audit("Male", celeba.test.male);
+  audit("Female", female);
+  audit("Young", celeba.test.young);
+  const auto old_stats = audit("Old", old);
+
+  const double acc_amp =
+      all.accuracy.stddev() > 0
+          ? old_stats.accuracy.stddev() / all.accuracy.stddev()
+          : 0.0;
+  const double fnr_amp =
+      all.fnr.stddev() > 0 ? male.fnr.stddev() / all.fnr.stddev() : 0.0;
+  std::printf("\nOld-group accuracy is %.1fx as unstable as the overall "
+              "metric; Male-group FNR is %.1fx as unstable.\n",
+              acc_amp, fnr_amp);
+  std::printf("Paper (full scale): 3.3x and 4.6x respectively — a model "
+              "audit that only checks top-line accuracy misses this.\n");
+  return 0;
+}

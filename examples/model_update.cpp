@@ -1,0 +1,78 @@
+// Model update: ship a retrained model without churning your users.
+//
+// Scenario (Milani Fard et al. 2016, the paper's churn reference): a model
+// is live; new data arrives; you must retrain. A cold retrain gives a
+// successor that disagrees with the live model on many individuals even at
+// equal accuracy — exactly the instability the paper measures. This example
+// compares three update policies on the same data refresh:
+//
+//   cold     retrain from scratch (new init draw)
+//   warm     initialize from the live model's weights, short fine-tune
+//   ensemble keep K=3 independent models live, vote, and warm-update each
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/model_update
+#include <cstdio>
+#include <vector>
+
+#include "core/churn_reduction.h"
+#include "core/replicates.h"
+#include "core/tasks.h"
+#include "metrics/stability.h"
+
+int main() {
+  using namespace nnr;
+  std::printf("nnrand model update: cold vs warm vs ensemble refresh\n\n");
+
+  core::Task task = core::small_cnn_bn_cifar10();
+  task.recipe.epochs = core::env_int("NNR_EPOCHS", 12);
+
+  // The "live" deployment: three independently trained models (replicates
+  // 0..2). Model 0 is the single-model deployment; all three form the
+  // ensemble deployment.
+  const core::TrainJob job =
+      task.job(core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  std::printf("training 3 live models (ALGO+IMPL, V100)...\n");
+  const auto live = core::run_replicates(job, 3, 0);
+
+  // --- Policy 1: cold retrain (a fresh replicate id = fresh init). ---
+  std::printf("policy 1: cold retrain...\n");
+  const core::RunResult cold = core::train_replicate(job, /*replicate=*/10);
+  const double cold_churn =
+      metrics::churn(live[0].test_predictions, cold.test_predictions);
+
+  // --- Policy 2: warm fine-tune of the live model. ---
+  std::printf("policy 2: warm fine-tune...\n");
+  core::TrainJob warm_job = job;
+  warm_job.recipe.epochs = std::max<std::int64_t>(1, task.recipe.epochs / 4);
+  const core::RunResult warm =
+      core::train_warm_replicate(warm_job, /*replicate=*/11,
+                                 live[0].final_weights);
+  const double warm_churn =
+      metrics::churn(live[0].test_predictions, warm.test_predictions);
+
+  // --- Policy 3: ensemble of warm updates. ---
+  std::printf("policy 3: ensemble of warm updates...\n");
+  std::vector<std::vector<std::int32_t>> old_votes;
+  std::vector<std::vector<std::int32_t>> new_votes;
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    old_votes.push_back(live[k].test_predictions);
+    const core::RunResult updated = core::train_warm_replicate(
+        warm_job, /*replicate=*/20 + k, live[k].final_weights);
+    new_votes.push_back(updated.test_predictions);
+  }
+  const double ensemble_churn =
+      metrics::churn(core::ensemble_vote(old_votes, 10),
+                     core::ensemble_vote(new_votes, 10));
+
+  std::printf("\nuser-visible churn of each update policy:\n");
+  std::printf("  cold retrain:           %6.2f%%\n", cold_churn * 100.0);
+  std::printf("  warm fine-tune:         %6.2f%%\n", warm_churn * 100.0);
+  std::printf("  warm ensemble (K=3):    %6.2f%%\n", ensemble_churn * 100.0);
+  std::printf(
+      "\nTakeaway: warm starting keeps the successor in the live model's "
+      "basin and voting integrates out what noise remains — the same "
+      "accuracy, a fraction of the user-visible flips.\n");
+  return 0;
+}

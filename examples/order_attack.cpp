@@ -1,0 +1,176 @@
+// Data-order sensitivity as an attack surface (Shumailov et al. 2021,
+// "Manipulating SGD with data ordering attacks", cited in the paper's
+// Appendix A): everything about training is pinned — init, augmentation,
+// kernels — and ONLY the order in which the same examples are visited
+// changes. An adversary who controls nothing but the batch schedule steers
+// the final model.
+//
+// Three schedules over identical data:
+//   natural    - the identity order,
+//   shuffled   - a benign random permutation,
+//   adversarial- easy-first curriculum (sorted by how confidently a probe
+//                model classifies each example), which biases early SGD
+//                steps toward a subset of the distribution.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/order_attack
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "data/synth_images.h"
+#include "hw/device.h"
+#include "hw/execution_context.h"
+#include "metrics/classification.h"
+#include "metrics/stability.h"
+#include "nn/loss.h"
+#include "nn/zoo.h"
+#include "opt/sgd.h"
+#include "rng/generator.h"
+
+namespace {
+
+using namespace nnr;
+
+struct TrainedModel {
+  std::vector<float> weights;
+  std::vector<std::int32_t> test_predictions;
+  double test_accuracy = 0.0;
+};
+
+/// Trains the SmallCNN+BN with every noise source pinned; only `order`
+/// differs between calls.
+TrainedModel train_with_order(const data::ClassificationDataset& dataset,
+                              const std::vector<std::uint32_t>& order,
+                              int epochs, std::int64_t batch_size) {
+  hw::ExecutionContext hw_ctx(hw::v100(), hw::DeterminismMode::kDeterministic,
+                              rng::Generator(0));
+  nn::RunContext ctx{.hw = &hw_ctx, .training = true};
+
+  nn::Model model = nn::small_cnn(10, /*with_batchnorm=*/true);
+  rng::Generator init(1234);  // identical across schedules
+  model.init_weights(init);
+  opt::Sgd sgd(model.params(), 0.9F);
+
+  const data::LabeledImages& train = dataset.train;
+  const std::int64_t hw_numel = 3 * 16 * 16;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(batch_size));
+      const auto n = static_cast<std::int64_t>(end - start);
+      tensor::Tensor batch(tensor::Shape{n, 3, 16, 16});
+      std::vector<std::int32_t> labels(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::uint32_t src = order[start + static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < hw_numel; ++j) {
+          batch.at(i * hw_numel + j) = train.images.at(src * hw_numel + j);
+        }
+        labels[static_cast<std::size_t>(i)] = train.labels[src];
+      }
+      model.zero_grads();
+      const tensor::Tensor logits = model.forward(batch, ctx);
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels, ctx);
+      (void)model.backward(loss.grad_logits, ctx);
+      sgd.step(0.01F);
+    }
+  }
+
+  TrainedModel result;
+  result.weights = model.flat_weights();
+  nn::RunContext eval{.hw = &hw_ctx, .training = false};
+  const data::LabeledImages& test = dataset.test;
+  const tensor::Tensor logits = model.forward(test.images, eval);
+  const std::int64_t classes = logits.shape()[1];
+  for (std::int64_t r = 0; r < logits.shape()[0]; ++r) {
+    const float* row = logits.raw() + r * classes;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    result.test_predictions.push_back(static_cast<std::int32_t>(best));
+  }
+  result.test_accuracy =
+      metrics::accuracy(result.test_predictions, test.labels);
+  return result;
+}
+
+/// Scores each training example by a probe model's confidence on its true
+/// class — the adversary's easy-first curriculum key.
+std::vector<std::uint32_t> adversarial_order(
+    const data::ClassificationDataset& dataset) {
+  hw::ExecutionContext hw_ctx(hw::v100(), hw::DeterminismMode::kDeterministic,
+                              rng::Generator(0));
+  nn::Model probe = nn::small_cnn(10, true);
+  rng::Generator init(99);
+  probe.init_weights(init);
+  nn::RunContext eval{.hw = &hw_ctx, .training = false};
+  const data::LabeledImages& train = dataset.train;
+  const tensor::Tensor logits = probe.forward(train.images, eval);
+  const std::int64_t classes = logits.shape()[1];
+
+  std::vector<float> confidence(static_cast<std::size_t>(train.size()));
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    confidence[static_cast<std::size_t>(i)] =
+        logits.at(i, train.labels[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::uint32_t> order(static_cast<std::size_t>(train.size()));
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return confidence[a] > confidence[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("order_attack: can batch order alone steer training?\n\n");
+  const data::ClassificationDataset dataset = data::synth_cifar10(400, 200);
+  const auto n = static_cast<std::size_t>(dataset.train.size());
+  const int epochs = 8;
+  const std::int64_t batch = 32;
+
+  std::vector<std::uint32_t> natural(n);
+  std::iota(natural.begin(), natural.end(), 0U);
+
+  std::vector<std::uint32_t> shuffled = natural;
+  rng::Generator perm(777);
+  perm.shuffle(std::span<std::uint32_t>(shuffled));
+
+  const std::vector<std::uint32_t> adversarial = adversarial_order(dataset);
+
+  std::printf("training 3 models; ONLY the visit order differs...\n\n");
+  const TrainedModel m_nat = train_with_order(dataset, natural, epochs, batch);
+  const TrainedModel m_shuf =
+      train_with_order(dataset, shuffled, epochs, batch);
+  const TrainedModel m_adv =
+      train_with_order(dataset, adversarial, epochs, batch);
+
+  std::printf("accuracy: natural %.2f%%  shuffled %.2f%%  adversarial "
+              "%.2f%%\n",
+              100.0 * m_nat.test_accuracy, 100.0 * m_shuf.test_accuracy,
+              100.0 * m_adv.test_accuracy);
+  std::printf("churn(natural, shuffled)     = %5.2f%%\n",
+              100.0 * metrics::churn(m_nat.test_predictions,
+                                     m_shuf.test_predictions));
+  std::printf("churn(natural, adversarial)  = %5.2f%%\n",
+              100.0 * metrics::churn(m_nat.test_predictions,
+                                     m_adv.test_predictions));
+  std::printf("L2(natural, shuffled)        = %.4f\n",
+              metrics::normalized_l2_distance(m_nat.weights, m_shuf.weights));
+  std::printf("L2(natural, adversarial)     = %.4f\n\n",
+              metrics::normalized_l2_distance(m_nat.weights, m_adv.weights));
+
+  std::printf(
+      "Takeaway: with init, augmentation and kernels all pinned, the visit "
+      "order alone moves predictions on a sizable fraction of the test set "
+      "— the paper's Fig. 6 mechanism, weaponized as in Shumailov et al. "
+      "2021. Auditing pipelines must treat the data schedule as part of the "
+      "model's provenance.\n");
+  return 0;
+}

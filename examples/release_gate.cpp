@@ -1,0 +1,95 @@
+// Release gate: decide, with error bars, whether a candidate training setup
+// is stable enough to ship.
+//
+// Scenario (the paper's motivating AI-safety setting, §1): a team retrains a
+// model regularly and must bound how much predictions may drift between
+// "identical" releases. This example trains N replicates under the team's
+// real setup (ALGO+IMPL on a V100), then uses the stats library to answer
+// three release questions:
+//
+//   1. What is the churn between consecutive releases, with a 95% CI?
+//   2. Is the variance of accuracy distinguishable from the deterministic
+//      CONTROL setup (Brown-Forsythe)?
+//   3. If we ship a K=3 ensemble instead, how much churn do we buy back?
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/release_gate [churn budget %, default 10]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/churn_reduction.h"
+#include "core/replicates.h"
+#include "core/tasks.h"
+#include "metrics/stability.h"
+#include "rng/generator.h"
+#include "stats/bootstrap.h"
+#include "stats/hypothesis.h"
+
+int main(int argc, char** argv) {
+  using namespace nnr;
+  const double churn_budget_pct = argc > 1 ? std::atof(argv[1]) : 10.0;
+  std::printf("nnrand release gate: churn budget %.1f%%\n\n",
+              churn_budget_pct);
+
+  core::Task task = core::small_cnn_bn_cifar10();
+  task.recipe.epochs = core::env_int("NNR_EPOCHS", 12);
+  const auto replicates = core::env_int("NNR_REPLICATES", 8);
+
+  std::printf("training %lld replicates under ALGO+IMPL (V100)...\n",
+              static_cast<long long>(replicates));
+  const core::TrainJob job =
+      task.job(core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  const auto runs = core::run_replicates(job, replicates, 0);
+
+  // Question 1: churn between consecutive releases, with an error bar.
+  const std::size_t n = runs.size();
+  std::vector<std::vector<double>> pair_churn(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pair_churn[i][j] = metrics::churn(runs[i].test_predictions,
+                                        runs[j].test_predictions);
+    }
+  }
+  rng::Generator boot(0x6A7E);
+  const stats::BootstrapCI churn_ci =
+      stats::bootstrap_pairwise_ci(pair_churn, 2000, 0.95, boot);
+  std::printf("  churn between releases: %.2f%%  (95%% CI [%.2f%%, %.2f%%])\n",
+              churn_ci.point * 100.0, churn_ci.lo * 100.0,
+              churn_ci.hi * 100.0);
+
+  // Question 2: is accuracy variance real, relative to CONTROL?
+  core::TrainJob control_job = job;
+  control_job.variant = core::NoiseVariant::kControl;
+  // CONTROL replicates are bitwise identical, so 3 suffice to anchor the
+  // zero-variance group.
+  const auto control_runs = core::run_replicates(control_job, 3, 0);
+  std::vector<double> acc;
+  std::vector<double> control_acc;
+  for (const auto& r : runs) acc.push_back(r.test_accuracy);
+  for (const auto& r : control_runs) control_acc.push_back(r.test_accuracy);
+  const std::vector<std::vector<double>> groups = {acc, control_acc};
+  const stats::TestResult bf = stats::brown_forsythe_test(groups);
+  std::printf(
+      "  Var(acc) vs CONTROL: Brown-Forsythe F = %.2f, p = %.4f -> %s\n",
+      bf.statistic, bf.p_value,
+      bf.p_value < 0.05 ? "variance is real" : "not distinguishable");
+
+  // Question 3: the K=3 ensemble alternative.
+  if (n >= 6) {
+    const double k3 = core::ensemble_pair_churn(runs, 3, 10);
+    std::printf("  K=3 ensemble churn: %.2f%% (%.0f%% of single-model)\n",
+                k3 * 100.0,
+                churn_ci.point > 0.0 ? 100.0 * k3 / churn_ci.point : 0.0);
+  }
+
+  // The gate: pass only when the UPPER confidence bound fits the budget —
+  // a point estimate under the budget with a CI spilling over is a fail.
+  const bool pass = churn_ci.hi * 100.0 <= churn_budget_pct;
+  std::printf("\ngate: upper CI bound %.2f%% vs budget %.1f%% -> %s\n",
+              churn_ci.hi * 100.0, churn_budget_pct,
+              pass ? "PASS" : "FAIL (consider deterministic mode, a larger "
+                              "ensemble, or a wider budget)");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#include "core/churn_reduction.h"
+
+#include <cassert>
+
+#include "metrics/stability.h"
+
+namespace nnr::core {
+
+RunResult train_warm_replicate(const TrainJob& job, std::uint64_t replicate,
+                               std::span<const float> parent_weights) {
+  TrainJob warm = job;
+  warm.warm_start_weights.emplace(parent_weights.begin(),
+                                  parent_weights.end());
+  return train_replicate(warm, replicate);
+}
+
+std::vector<std::int32_t> ensemble_vote(
+    std::span<const std::vector<std::int32_t>> predictions,
+    std::int32_t num_classes) {
+  assert(!predictions.empty() && num_classes > 0);
+  const std::size_t n = predictions.front().size();
+  std::vector<std::int32_t> vote(n, 0);
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    counts.assign(static_cast<std::size_t>(num_classes), 0);
+    for (const auto& model : predictions) {
+      assert(model.size() == n);
+      assert(model[i] >= 0 && model[i] < num_classes);
+      ++counts[static_cast<std::size_t>(model[i])];
+    }
+    // Plurality; ties break to the smallest class id (strict >), keeping
+    // the vote deterministic.
+    std::int32_t best = 0;
+    for (std::int32_t c = 1; c < num_classes; ++c) {
+      if (counts[static_cast<std::size_t>(c)] >
+          counts[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    vote[i] = best;
+  }
+  return vote;
+}
+
+double ensemble_pair_churn(std::span<const RunResult> results, std::size_t k,
+                           std::int32_t num_classes) {
+  assert(k >= 1 && results.size() >= 2 * k);
+  std::vector<std::vector<std::int32_t>> first;
+  std::vector<std::vector<std::int32_t>> second;
+  for (std::size_t i = 0; i < k; ++i) {
+    first.push_back(results[i].test_predictions);
+    second.push_back(results[k + i].test_predictions);
+  }
+  return metrics::churn(ensemble_vote(first, num_classes),
+                        ensemble_vote(second, num_classes));
+}
+
+}  // namespace nnr::core

@@ -1,0 +1,53 @@
+// Churn-mitigation techniques: warm-start training and ensembling.
+//
+// The paper measures churn as a harm (§2.1, citing Milani Fard et al. 2016
+// "Launch and iterate: Reducing prediction churn") but evaluates no
+// mitigation. This module implements the two standard ones so the library
+// can quantify how much churn each buys back under every noise regime:
+//
+//   Warm start   - initialize the successor model from the predecessor's
+//                  weights instead of the init channel, then train normally.
+//                  The successor stays in the predecessor's basin, so
+//                  disagreements are limited to examples the extra training
+//                  actually moves (Milani Fard et al.'s "launch" baseline).
+//   Ensembling   - average K independently trained models by plurality vote.
+//                  Voting integrates out per-run noise; churn between two
+//                  independent K-ensembles falls roughly with 1/sqrt(K)
+//                  until the shared-bias floor.
+//
+// Both are measurement-side *consumers* of the trainer: they add no new
+// noise channels of their own (warm start explicitly bypasses the init
+// channel; voting is deterministic with a fixed tie rule).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace nnr::core {
+
+/// Trains one replicate initialized from `parent_weights` (layout =
+/// Model::flat_weights()) instead of the init channel. All other channels
+/// behave per the job's variant. BN running statistics start fresh and
+/// re-warm during training — weight transfer, not full state transfer.
+[[nodiscard]] RunResult train_warm_replicate(
+    const TrainJob& job, std::uint64_t replicate,
+    std::span<const float> parent_weights);
+
+/// Plurality vote over per-model prediction vectors (all the same length).
+/// Ties break toward the smallest class id, so the vote itself is
+/// deterministic and contributes no churn. Precondition: at least one model.
+[[nodiscard]] std::vector<std::int32_t> ensemble_vote(
+    std::span<const std::vector<std::int32_t>> predictions,
+    std::int32_t num_classes);
+
+/// Mean churn between two disjoint K-ensembles drawn from `results`:
+/// models [0, k) vote against models [k, 2k). Precondition:
+/// results.size() >= 2*k, k >= 1.
+[[nodiscard]] double ensemble_pair_churn(
+    std::span<const RunResult> results, std::size_t k,
+    std::int32_t num_classes);
+
+}  // namespace nnr::core

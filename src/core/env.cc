@@ -1,0 +1,37 @@
+#include "core/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nnr::core {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+bool quick_mode() { return env_int("NNR_QUICK", 0) != 0; }
+
+Scale resolve_scale(std::int64_t default_replicates,
+                    std::int64_t default_epochs, std::int64_t default_train_n,
+                    std::int64_t default_test_n) {
+  Scale scale;
+  if (quick_mode()) {
+    default_replicates = std::min<std::int64_t>(default_replicates, 2);
+    default_epochs = std::min<std::int64_t>(default_epochs, 2);
+    default_train_n = std::max<std::int64_t>(default_train_n / 4, 64);
+    default_test_n = std::max<std::int64_t>(default_test_n / 4, 64);
+  }
+  scale.replicates = env_int("NNR_REPLICATES", default_replicates);
+  scale.epochs = env_int("NNR_EPOCHS", default_epochs);
+  scale.train_n = env_int("NNR_TRAIN_N", default_train_n);
+  scale.test_n = env_int("NNR_TEST_N", default_test_n);
+  scale.threads = static_cast<int>(env_int("NNR_THREADS", 0));
+  return scale;
+}
+
+}  // namespace nnr::core

@@ -1,0 +1,38 @@
+// Environment-variable scale knobs shared by benches and examples:
+//   NNR_REPLICATES  replicates per variant (default: per-bench, usually 10)
+//   NNR_EPOCHS      training epochs        (default: per-recipe)
+//   NNR_TRAIN_N     training examples      (default: per-dataset)
+//   NNR_TEST_N      test examples
+//   NNR_THREADS     host threads for replicate fan-out (0 = all cores)
+//   NNR_QUICK       when set (non-zero), benches shrink to smoke-test scale
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nnr::core {
+
+/// Integer env var with fallback (also returns fallback on parse failure).
+[[nodiscard]] std::int64_t env_int(const std::string& name,
+                                   std::int64_t fallback);
+
+/// True when NNR_QUICK is set to a non-zero value.
+[[nodiscard]] bool quick_mode();
+
+/// Experiment scale derived from the environment.
+struct Scale {
+  std::int64_t replicates;
+  std::int64_t epochs;
+  std::int64_t train_n;
+  std::int64_t test_n;
+  int threads;
+};
+
+/// Resolves the scale knobs against per-bench defaults, applying NNR_QUICK
+/// shrinkage (2 replicates, 2 epochs, quarter-size data) when requested.
+[[nodiscard]] Scale resolve_scale(std::int64_t default_replicates,
+                                  std::int64_t default_epochs,
+                                  std::int64_t default_train_n,
+                                  std::int64_t default_test_n);
+
+}  // namespace nnr::core

@@ -1,0 +1,83 @@
+// The paper's four experimental variants (§2.2) expressed as channel toggles.
+//
+//   ALGO+IMPL  default training: algorithmic seeds vary per replicate AND
+//              the device runs nondeterministic kernels.
+//   ALGO       deterministic kernels (tooling noise fully controlled);
+//              algorithmic seeds vary.
+//   IMPL       algorithmic seeds pinned (same init/shuffle/augment/dropout
+//              draws every replicate); nondeterministic kernels.
+//   CONTROL    deterministic kernels AND pinned seeds: replicates must be
+//              bitwise identical (enforced by tests).
+#pragma once
+
+#include <string_view>
+
+#include "hw/execution_context.h"
+
+namespace nnr::core {
+
+enum class NoiseVariant {
+  kAlgoPlusImpl,
+  kAlgo,
+  kImpl,
+  kControl,
+};
+
+struct ChannelToggles {
+  bool init_varies = false;
+  bool shuffle_varies = false;
+  bool augment_varies = false;
+  bool dropout_varies = false;
+  bool scheduler_varies = false;  // IMPL noise present?
+  hw::DeterminismMode mode = hw::DeterminismMode::kDefault;
+};
+
+[[nodiscard]] constexpr ChannelToggles toggles_for(NoiseVariant v) noexcept {
+  switch (v) {
+    case NoiseVariant::kAlgoPlusImpl:
+      return {.init_varies = true,
+              .shuffle_varies = true,
+              .augment_varies = true,
+              .dropout_varies = true,
+              .scheduler_varies = true,
+              .mode = hw::DeterminismMode::kDefault};
+    case NoiseVariant::kAlgo:
+      return {.init_varies = true,
+              .shuffle_varies = true,
+              .augment_varies = true,
+              .dropout_varies = true,
+              .scheduler_varies = false,
+              .mode = hw::DeterminismMode::kDeterministic};
+    case NoiseVariant::kImpl:
+      return {.init_varies = false,
+              .shuffle_varies = false,
+              .augment_varies = false,
+              .dropout_varies = false,
+              .scheduler_varies = true,
+              .mode = hw::DeterminismMode::kDefault};
+    case NoiseVariant::kControl:
+      return {.init_varies = false,
+              .shuffle_varies = false,
+              .augment_varies = false,
+              .dropout_varies = false,
+              .scheduler_varies = false,
+              .mode = hw::DeterminismMode::kDeterministic};
+  }
+  return {};
+}
+
+[[nodiscard]] constexpr std::string_view variant_name(NoiseVariant v) noexcept {
+  switch (v) {
+    case NoiseVariant::kAlgoPlusImpl:
+      return "ALGO+IMPL";
+    case NoiseVariant::kAlgo:
+      return "ALGO";
+    case NoiseVariant::kImpl:
+      return "IMPL";
+    case NoiseVariant::kControl:
+      return "CONTROL";
+  }
+  return "?";
+}
+
+}  // namespace nnr::core

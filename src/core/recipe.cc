@@ -1,0 +1,58 @@
+#include "core/recipe.h"
+
+#include <algorithm>
+
+#include "opt/lr_schedule.h"
+
+namespace nnr::core {
+
+float TrainRecipe::learning_rate(std::int64_t epoch) const {
+  switch (schedule) {
+    case ScheduleKind::kStepDecay: {
+      const opt::StepDecay sched(base_lr, std::max<std::int64_t>(1, decay_every));
+      return sched.at_epoch(epoch);
+    }
+    case ScheduleKind::kWarmupCosine: {
+      const opt::WarmupCosine sched(base_lr, /*warmup_epochs=*/1, epochs);
+      return sched.at_epoch(epoch);
+    }
+  }
+  return base_lr;
+}
+
+TrainRecipe cifar_recipe(std::int64_t epochs) {
+  TrainRecipe recipe;
+  recipe.epochs = epochs;
+  recipe.batch_size = 32;
+  recipe.base_lr = 0.002F;
+  recipe.momentum = 0.9F;
+  recipe.schedule = ScheduleKind::kStepDecay;
+  recipe.decay_every = std::max<std::int64_t>(1, 2 * epochs / 3);
+  recipe.augment = true;
+  return recipe;
+}
+
+TrainRecipe imagenet_recipe(std::int64_t epochs) {
+  TrainRecipe recipe;
+  recipe.epochs = epochs;
+  recipe.batch_size = 32;
+  recipe.base_lr = 0.1F;
+  recipe.momentum = 0.9F;
+  recipe.schedule = ScheduleKind::kWarmupCosine;
+  recipe.augment = true;
+  return recipe;
+}
+
+TrainRecipe celeba_recipe(std::int64_t epochs) {
+  TrainRecipe recipe;
+  recipe.epochs = epochs;
+  recipe.batch_size = 32;
+  recipe.base_lr = 0.05F;
+  recipe.momentum = 0.9F;
+  recipe.schedule = ScheduleKind::kStepDecay;
+  recipe.decay_every = std::max<std::int64_t>(1, epochs / 2);
+  recipe.augment = false;  // paper: no augmentation on CelebA
+  return recipe;
+}
+
+}  // namespace nnr::core

@@ -1,0 +1,43 @@
+// Training recipes — the scaled counterparts of the paper's Appendix B
+// hyperparameters. One recipe per dataset family; all hyperparameters are
+// kept identical across hardware types, as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "data/augment.h"
+
+namespace nnr::core {
+
+enum class ScheduleKind {
+  kStepDecay,     // CIFAR / CelebA recipe: lr /10 every decay_every epochs
+  kWarmupCosine,  // ImageNet recipe: 1-epoch warmup, cosine decay
+};
+
+struct TrainRecipe {
+  std::int64_t epochs = 6;
+  std::int64_t batch_size = 32;
+  float base_lr = 0.08F;
+  float momentum = 0.9F;
+  ScheduleKind schedule = ScheduleKind::kStepDecay;
+  std::int64_t decay_every = 3;  // step-decay period (epochs)
+  bool augment = true;
+  data::AugmentConfig augment_config{};
+  float dropout_rate = 0.0F;  // SmallCNN-with-dropout ablations
+
+  /// Learning rate for a (0-based) epoch under this recipe.
+  [[nodiscard]] float learning_rate(std::int64_t epoch) const;
+};
+
+/// CIFAR-10/100 recipe (paper: 200 epochs, batch 128, lr 4e-4, /10 per 50).
+[[nodiscard]] TrainRecipe cifar_recipe(std::int64_t epochs);
+
+/// ImageNet recipe (paper: 90 epochs, batch 256, SGD momentum 0.9, warmup +
+/// cosine).
+[[nodiscard]] TrainRecipe imagenet_recipe(std::int64_t epochs);
+
+/// CelebA recipe (paper: 20 epochs, batch 128, lr 1e-3, /10 per 5 epochs;
+/// no augmentation).
+[[nodiscard]] TrainRecipe celeba_recipe(std::int64_t epochs);
+
+}  // namespace nnr::core

@@ -1,0 +1,21 @@
+// Replicate fan-out: trains N independent models for a job, optionally in
+// parallel across host threads. Thread parallelism is measurement
+// infrastructure only — each replicate owns its model, optimizer, and
+// entropy streams, so the simulated training itself is unaffected by how
+// replicates are scheduled on the host (asserted by tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.h"
+
+namespace nnr::core {
+
+/// Runs replicates [0, n) of `job`. `threads <= 1` runs serially;
+/// `threads == 0` uses the hardware concurrency.
+[[nodiscard]] std::vector<RunResult> run_replicates(const TrainJob& job,
+                                                    std::int64_t n,
+                                                    int threads = 0);
+
+}  // namespace nnr::core

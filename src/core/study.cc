@@ -1,0 +1,81 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/classification.h"
+#include "metrics/stability.h"
+
+namespace nnr::core {
+
+VariantSummary summarize(std::span<const RunResult> results) {
+  VariantSummary summary;
+  std::vector<std::vector<std::int32_t>> predictions;
+  std::vector<std::vector<float>> weights;
+  predictions.reserve(results.size());
+  weights.reserve(results.size());
+  for (const RunResult& r : results) {
+    summary.accuracy.add(r.test_accuracy);
+    predictions.push_back(r.test_predictions);
+    weights.push_back(r.final_weights);
+  }
+  const metrics::PairwiseStability pairwise =
+      metrics::pairwise_stability(predictions, weights);
+  summary.mean_churn = pairwise.churn.mean();
+  summary.mean_l2 = pairwise.l2.mean();
+  return summary;
+}
+
+double PerClassVariance::max_per_class_stddev_pct() const {
+  return per_class_stddev_pct.empty()
+             ? 0.0
+             : *std::max_element(per_class_stddev_pct.begin(),
+                                 per_class_stddev_pct.end());
+}
+
+double PerClassVariance::amplification() const {
+  return overall_stddev_pct > 0.0
+             ? max_per_class_stddev_pct() / overall_stddev_pct
+             : 0.0;
+}
+
+PerClassVariance per_class_variance(std::span<const RunResult> results,
+                                    const data::LabeledImages& test) {
+  assert(!results.empty());
+  const std::int64_t classes = test.num_classes;
+  std::vector<metrics::RunningStat> per_class(
+      static_cast<std::size_t>(classes));
+  metrics::RunningStat overall;
+  for (const RunResult& r : results) {
+    overall.add(r.test_accuracy);
+    const metrics::PerClassAccuracy pca = metrics::per_class_accuracy(
+        r.test_predictions, test.labels, classes);
+    for (std::int64_t c = 0; c < classes; ++c) {
+      per_class[static_cast<std::size_t>(c)].add(
+          pca.accuracy[static_cast<std::size_t>(c)]);
+    }
+  }
+  PerClassVariance out;
+  out.overall_stddev_pct = overall.stddev() * 100.0;
+  out.per_class_stddev_pct.reserve(per_class.size());
+  for (const metrics::RunningStat& s : per_class) {
+    out.per_class_stddev_pct.push_back(s.stddev() * 100.0);
+  }
+  return out;
+}
+
+SubgroupStability subgroup_stability(std::span<const RunResult> results,
+                                     std::span<const std::uint8_t> labels,
+                                     std::span<const std::uint8_t> mask) {
+  SubgroupStability stats;
+  for (const RunResult& r : results) {
+    const metrics::BinaryConfusion confusion =
+        metrics::binary_confusion(r.test_predictions, labels, mask);
+    stats.accuracy.add(confusion.accuracy());
+    stats.fpr.add(confusion.false_positive_rate());
+    stats.fnr.add(confusion.false_negative_rate());
+  }
+  return stats;
+}
+
+}  // namespace nnr::core

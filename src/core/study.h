@@ -1,0 +1,57 @@
+// Aggregation of replicate results into the paper's stability measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "metrics/running_stat.h"
+
+namespace nnr::core {
+
+/// Summary of one (task, device, variant) cell: the quantities plotted in
+/// Figs. 1/2/5 and tabulated in Table 2.
+struct VariantSummary {
+  metrics::RunningStat accuracy;  // over replicates
+  double mean_churn = 0.0;        // mean over replicate pairs
+  double mean_l2 = 0.0;           // mean normalized L2 over pairs
+
+  [[nodiscard]] double accuracy_pct() const { return accuracy.mean() * 100.0; }
+  [[nodiscard]] double accuracy_stddev_pct() const {
+    return accuracy.stddev() * 100.0;
+  }
+  [[nodiscard]] double churn_pct() const { return mean_churn * 100.0; }
+};
+
+[[nodiscard]] VariantSummary summarize(std::span<const RunResult> results);
+
+/// Standard deviation (over replicates) of each class's accuracy, plus the
+/// stddev of overall accuracy — the Fig. 4 quantities.
+struct PerClassVariance {
+  std::vector<double> per_class_stddev_pct;  // [num_classes]
+  double overall_stddev_pct = 0.0;
+
+  [[nodiscard]] double max_per_class_stddev_pct() const;
+  /// Amplification factor: max per-class stddev / overall stddev.
+  [[nodiscard]] double amplification() const;
+};
+
+[[nodiscard]] PerClassVariance per_class_variance(
+    std::span<const RunResult> results, const data::LabeledImages& test);
+
+/// Sub-group disaggregation for the CelebA-style task (Fig. 3 / Table 5):
+/// stddev over replicates of accuracy, FPR, FNR on a masked subset.
+struct SubgroupStability {
+  metrics::RunningStat accuracy;
+  metrics::RunningStat fpr;
+  metrics::RunningStat fnr;
+};
+
+[[nodiscard]] SubgroupStability subgroup_stability(
+    std::span<const RunResult> results,
+    std::span<const std::uint8_t> binary_labels,
+    std::span<const std::uint8_t> mask);
+
+}  // namespace nnr::core

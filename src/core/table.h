@@ -1,0 +1,39 @@
+// Aligned text tables for bench output (the "same rows the paper reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nnr::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header underline, and a title line.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  /// Renders as CSV (no alignment padding).
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Structured access for exporters (report/exporter.h).
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt_pct(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_float(double value, int decimals = 3);
+
+}  // namespace nnr::core

@@ -1,0 +1,91 @@
+#include "core/tasks.h"
+
+#include "nn/zoo.h"
+
+namespace nnr::core {
+
+Task small_cnn_cifar10() {
+  const Scale scale = resolve_scale(10, 40, 512, 256);
+  Task task;
+  task.name = "SmallCNN CIFAR-10";
+  task.dataset = data::synth_cifar10(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::small_cnn(10, /*with_batchnorm=*/false); };
+  task.recipe = cifar_recipe(scale.epochs);
+  task.recipe.base_lr = 0.002F;  // the unnormalized net needs a cool LR
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+Task small_cnn_bn_cifar10() {
+  const Scale scale = resolve_scale(10, 40, 512, 256);
+  Task task;
+  task.name = "SmallCNN+BN CIFAR-10";
+  task.dataset = data::synth_cifar10(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::small_cnn(10, /*with_batchnorm=*/true); };
+  task.recipe = cifar_recipe(scale.epochs);
+  task.recipe.base_lr = 0.002F;  // same recipe as the no-BN cell (Fig. 2)
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+Task resnet18_cifar10() {
+  const Scale scale = resolve_scale(10, 16, 512, 256);
+  Task task;
+  task.name = "ResNet18 CIFAR-10";
+  task.dataset = data::synth_cifar10(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::resnet18s(10); };
+  task.recipe = cifar_recipe(scale.epochs);
+  task.recipe.base_lr = 0.02F;
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+Task resnet18_cifar100() {
+  const Scale scale = resolve_scale(10, 16, 600, 300);
+  Task task;
+  task.name = "ResNet18 CIFAR-100";
+  task.dataset = data::synth_cifar100(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::resnet18s(100); };
+  task.recipe = cifar_recipe(scale.epochs);
+  task.recipe.base_lr = 0.02F;
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+Task resnet50_imagenet() {
+  const Scale scale = resolve_scale(5, 16, 600, 300);
+  Task task;
+  task.name = "ResNet50 ImageNet";
+  task.dataset = data::synth_imagenet(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::resnet50s(20); };
+  task.recipe = imagenet_recipe(scale.epochs);
+  task.recipe.base_lr = 0.05F;
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+Task vgg_cifar10() {
+  const Scale scale = resolve_scale(10, 16, 512, 256);
+  Task task;
+  task.name = "VGG-s CIFAR-10";
+  task.dataset = data::synth_cifar10(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::vgg_s(10); };
+  task.recipe = cifar_recipe(scale.epochs);
+  task.recipe.base_lr = 0.02F;
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+Task mobilenet_cifar10() {
+  const Scale scale = resolve_scale(10, 16, 512, 256);
+  Task task;
+  task.name = "MobileNet-s CIFAR-10";
+  task.dataset = data::synth_cifar10(scale.train_n, scale.test_n);
+  task.make_model = [] { return nn::mobilenet_s(10); };
+  task.recipe = cifar_recipe(scale.epochs);
+  task.recipe.base_lr = 0.02F;
+  task.default_replicates = scale.replicates;
+  return task;
+}
+
+}  // namespace nnr::core

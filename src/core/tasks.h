@@ -1,0 +1,62 @@
+// Task presets: the scaled counterparts of the paper's (network, dataset)
+// benchmark cells, with tuned recipes. Benches and examples share these so
+// every figure/table reproduces the same cells.
+//
+// Sizes/epochs honor the environment knobs (NNR_TRAIN_N, NNR_EPOCHS,
+// NNR_REPLICATES, NNR_QUICK) via core::resolve_scale.
+#pragma once
+
+#include <string>
+
+#include "core/env.h"
+#include "core/trainer.h"
+#include "data/synth_images.h"
+
+namespace nnr::core {
+
+/// A fully materialized benchmark cell: dataset + model factory + recipe.
+struct Task {
+  std::string name;  // paper row label, e.g. "SmallCNN CIFAR-10"
+  data::ClassificationDataset dataset;
+  ModelFactory make_model;
+  TrainRecipe recipe;
+  std::int64_t default_replicates = 10;
+
+  /// A TrainJob for this task on `device` under `variant`.
+  [[nodiscard]] TrainJob job(NoiseVariant variant,
+                             hw::DeviceSpec device) const {
+    TrainJob j;
+    j.make_model = make_model;
+    j.dataset = &dataset;
+    j.recipe = recipe;
+    j.variant = variant;
+    j.device = std::move(device);
+    return j;
+  }
+};
+
+/// SmallCNN (no BN, Appendix C) on the CIFAR-10 stand-in.
+[[nodiscard]] Task small_cnn_cifar10();
+
+/// SmallCNN with BatchNorm (the Fig. 2 counterpart).
+[[nodiscard]] Task small_cnn_bn_cifar10();
+
+/// ResNet-18 (scaled) on the CIFAR-10 stand-in.
+[[nodiscard]] Task resnet18_cifar10();
+
+/// ResNet-18 (scaled) on the CIFAR-100 stand-in.
+[[nodiscard]] Task resnet18_cifar100();
+
+/// ResNet-50 (scaled) on the ImageNet stand-in (5 replicates, as in the
+/// paper's higher-cost ImageNet protocol).
+[[nodiscard]] Task resnet50_imagenet();
+
+/// VGG (scaled, plain deep stack) on the CIFAR-10 stand-in — an
+/// architecture-family cell for the stability-vs-architecture ablation
+/// (the paper's Fig. 8a profiling suite, made trainable).
+[[nodiscard]] Task vgg_cifar10();
+
+/// MobileNet (scaled, depthwise-separable) on the CIFAR-10 stand-in.
+[[nodiscard]] Task mobilenet_cifar10();
+
+}  // namespace nnr::core

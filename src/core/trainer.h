@@ -1,0 +1,101 @@
+// Single-replicate trainer: one model trained from scratch on a simulated
+// device under a noise variant's channel toggles. This is the unit of work
+// every experiment fans out over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/noise_variant.h"
+#include "core/recipe.h"
+#include "data/dataset.h"
+#include "hw/device.h"
+#include "nn/model.h"
+#include "opt/optimizer.h"
+
+namespace nnr::core {
+
+using ModelFactory = std::function<nn::Model()>;
+using OptimizerFactory =
+    std::function<std::unique_ptr<opt::Optimizer>(std::vector<nn::Param*>)>;
+
+struct RunResult {
+  std::vector<std::int32_t> test_predictions;
+  /// Per-example max softmax probability (the confidence of the argmax
+  /// prediction) — input to the calibration metrics (metrics/calibration.h).
+  std::vector<float> test_confidences;
+  std::vector<float> final_weights;
+  double test_accuracy = 0.0;
+  double final_train_loss = 0.0;
+};
+
+struct TrainJob {
+  ModelFactory make_model;
+  const data::ClassificationDataset* dataset = nullptr;  // non-owning
+  TrainRecipe recipe;
+  NoiseVariant variant = NoiseVariant::kAlgoPlusImpl;
+  hw::DeviceSpec device;
+  std::uint64_t base_seed = 0x5EEDull;
+
+  /// Custom channel toggles for probe experiments that are not one of the
+  /// four named variants (e.g. Fig. 6 varies *only* the shuffle channel on a
+  /// TPU). When set, `variant` is ignored.
+  std::optional<ChannelToggles> toggles_override;
+
+  /// Optimizer override for ablations (optimizer choice vs noise
+  /// amplification). Unset: SGD with the recipe's momentum — the paper's
+  /// setting for every experiment.
+  OptimizerFactory make_optimizer;
+
+  /// When true the epoch order is *not* drawn from the shuffle channel and
+  /// the identity order is used every epoch (the Fig. 6 probe uses a
+  /// dedicated varying order instead).
+  bool fixed_identity_order = false;
+
+  /// Warm start: when set, the model is initialized from these weights
+  /// (Model::flat_weights layout) instead of the init channel — the
+  /// "launch and iterate" churn mitigation (core/churn_reduction.h). The
+  /// init channel is not consumed at all in this mode.
+  std::optional<std::vector<float>> warm_start_weights;
+};
+
+/// Trains replicate `replicate` of `job` and evaluates on the test split.
+[[nodiscard]] RunResult train_replicate(const TrainJob& job,
+                                        std::uint64_t replicate);
+
+/// Replicate indices for factorial designs: the ALGO channel bundle
+/// (init/shuffle/augment/dropout) and the IMPL channel (scheduler entropy)
+/// draw from *independent* replicate indices. train_replicate(job, r) is the
+/// diagonal {r, r}. A varying channel is seeded by its index; a pinned
+/// channel ignores it (same semantics as the named variants).
+struct ReplicateIds {
+  std::uint64_t algo = 0;
+  std::uint64_t impl = 0;
+};
+
+/// Trains one cell of a factorial (algo seed x impl seed) grid — the unit of
+/// work for the two-way variance-decomposition study (stats/anova.h).
+[[nodiscard]] RunResult train_replicate(const TrainJob& job, ReplicateIds ids);
+
+/// Evaluates `model` on a split (argmax predictions), batched.
+[[nodiscard]] std::vector<std::int32_t> evaluate(
+    nn::Model& model, const data::LabeledImages& split,
+    hw::ExecutionContext& hw_ctx, std::int64_t batch_size);
+
+/// Predictions plus per-example argmax softmax confidence.
+struct EvalResult {
+  std::vector<std::int32_t> predictions;
+  std::vector<float> confidences;
+};
+
+/// Evaluation that also records confidences (one forward pass; evaluate()
+/// is this with the confidences dropped).
+[[nodiscard]] EvalResult evaluate_full(nn::Model& model,
+                                       const data::LabeledImages& split,
+                                       hw::ExecutionContext& hw_ctx,
+                                       std::int64_t batch_size);
+
+}  // namespace nnr::core

@@ -1,0 +1,54 @@
+#include "data/augment.h"
+
+#include <cassert>
+
+namespace nnr::data {
+
+using rng::Generator;
+using tensor::Tensor;
+
+Tensor augment_batch(const Tensor& batch, const AugmentConfig& cfg,
+                     Generator& gen) {
+  assert(batch.shape().rank() == 4);
+  const std::int64_t n = batch.shape()[0];
+  const std::int64_t c = batch.shape()[1];
+  const std::int64_t h = batch.shape()[2];
+  const std::int64_t w = batch.shape()[3];
+
+  Tensor out(batch.shape());
+  const float* src = batch.raw();
+  float* dst = out.raw();
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Per-example transform parameters (consumed in a fixed order so the
+    // augment stream is replayable).
+    std::int64_t dy = 0;
+    std::int64_t dx = 0;
+    if (cfg.random_crop && cfg.crop_pad > 0) {
+      dy = static_cast<std::int64_t>(gen.uniform_int(
+               static_cast<std::uint64_t>(2 * cfg.crop_pad + 1))) -
+           cfg.crop_pad;
+      dx = static_cast<std::int64_t>(gen.uniform_int(
+               static_cast<std::uint64_t>(2 * cfg.crop_pad + 1))) -
+           cfg.crop_pad;
+    }
+    const bool flip = cfg.horizontal_flip && gen.bernoulli(0.5F);
+
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = src + (i * c + ci) * h * w;
+      float* out_plane = dst + (i * c + ci) * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          const std::int64_t sy = y + dy;
+          std::int64_t sx = x + dx;
+          if (flip) sx = w - 1 - sx;
+          const bool inside = sy >= 0 && sy < h && sx >= 0 && sx < w;
+          out_plane[y * w + x] = inside ? plane[sy * w + sx] : 0.0F;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nnr::data

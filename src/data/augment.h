@@ -1,0 +1,26 @@
+// Stochastic data augmentation (paper Appendix B: random crop and horizontal
+// flip on every experiment except CelebA). Draws from the kAugment noise
+// channel; pinning that channel removes augmentation noise.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/generator.h"
+#include "tensor/tensor.h"
+
+namespace nnr::data {
+
+struct AugmentConfig {
+  bool random_crop = true;
+  std::int64_t crop_pad = 2;  // zero-pad margin before cropping back
+  bool horizontal_flip = true;
+};
+
+/// Returns an augmented copy of `batch` ([N, C, H, W]); per-example
+/// transforms are drawn in index order from `gen`, so a pinned generator
+/// yields identical augmentation across runs.
+[[nodiscard]] tensor::Tensor augment_batch(const tensor::Tensor& batch,
+                                           const AugmentConfig& config,
+                                           rng::Generator& gen);
+
+}  // namespace nnr::data

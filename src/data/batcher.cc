@@ -1,0 +1,52 @@
+#include "data/batcher.h"
+
+#include <cassert>
+
+#include "tensor/shape.h"
+
+namespace nnr::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<std::uint32_t> EpochShuffler::next_epoch_order() {
+  return gen_.permutation(static_cast<std::size_t>(size_));
+}
+
+std::vector<std::uint32_t> EpochShuffler::identity_order() const {
+  std::vector<std::uint32_t> order(static_cast<std::size_t>(size_));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  return order;
+}
+
+Tensor gather_images(const Tensor& images,
+                     std::span<const std::uint32_t> indices) {
+  assert(images.shape().rank() == 4);
+  const std::int64_t c = images.shape()[1];
+  const std::int64_t h = images.shape()[2];
+  const std::int64_t w = images.shape()[3];
+  const std::int64_t chw = c * h * w;
+
+  Tensor batch(Shape{static_cast<std::int64_t>(indices.size()), c, h, w});
+  const float* src = images.raw();
+  float* dst = batch.raw();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float* row = src + static_cast<std::int64_t>(indices[i]) * chw;
+    float* out = dst + static_cast<std::int64_t>(i) * chw;
+    for (std::int64_t p = 0; p < chw; ++p) out[p] = row[p];
+  }
+  return batch;
+}
+
+std::vector<std::int32_t> gather_labels(std::span<const std::int32_t> labels,
+                                        std::span<const std::uint32_t> indices) {
+  std::vector<std::int32_t> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = labels[indices[i]];
+  }
+  return out;
+}
+
+}  // namespace nnr::data

@@ -1,0 +1,46 @@
+// Epoch shuffling and mini-batch assembly.
+//
+// Shuffling is *both* an algorithmic and an implementation noise source
+// (paper §2, "Input Data Shuffling and Ordering"): it changes which examples
+// share a batch (ALGO) and the float32 accumulation order of cross-example
+// reductions (IMPL) — the latter is why even full-batch training diverges
+// under reordering (Fig. 6). The batcher therefore exposes the raw epoch
+// order so experiments can control the two effects independently.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/generator.h"
+#include "tensor/tensor.h"
+
+namespace nnr::data {
+
+/// Yields per-epoch index orders. With a pinned shuffle generator the order
+/// sequence is identical across runs.
+class EpochShuffler {
+ public:
+  EpochShuffler(std::int64_t dataset_size, rng::Generator shuffle_gen)
+      : size_(dataset_size), gen_(std::move(shuffle_gen)) {}
+
+  /// A fresh shuffled order for the next epoch.
+  [[nodiscard]] std::vector<std::uint32_t> next_epoch_order();
+
+  /// The identity order (for no-shuffle ablations).
+  [[nodiscard]] std::vector<std::uint32_t> identity_order() const;
+
+ private:
+  std::int64_t size_;
+  rng::Generator gen_;
+};
+
+/// Gathers `indices` rows of (images, labels) into a contiguous batch.
+[[nodiscard]] tensor::Tensor gather_images(const tensor::Tensor& images,
+                                           std::span<const std::uint32_t> indices);
+
+[[nodiscard]] std::vector<std::int32_t> gather_labels(
+    std::span<const std::int32_t> labels,
+    std::span<const std::uint32_t> indices);
+
+}  // namespace nnr::data

@@ -1,0 +1,53 @@
+// Dataset containers.
+//
+// Datasets are generated once per experiment from a *fixed* dataset seed and
+// shared (read-only) by every replicate: the paper varies training
+// stochasticity, never the data itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nnr::data {
+
+/// Single-label image classification split.
+struct LabeledImages {
+  tensor::Tensor images;             // [N, 3, H, W]
+  std::vector<std::int32_t> labels;  // N class ids in [0, num_classes)
+  std::int64_t num_classes = 0;
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return images.empty() ? 0 : images.shape()[0];
+  }
+};
+
+struct ClassificationDataset {
+  std::string name;
+  LabeledImages train;
+  LabeledImages test;
+};
+
+/// Binary-attribute dataset with protected sub-group annotations
+/// (the CelebA stand-in). `target` is the label being predicted;
+/// `male`/`young` are the protected attributes used for disaggregation.
+struct AttributeImages {
+  tensor::Tensor images;          // [N, 3, H, W]
+  std::vector<std::uint8_t> target;  // 0/1 per example
+  std::vector<std::uint8_t> male;    // 1 = Male, 0 = Female
+  std::vector<std::uint8_t> young;   // 1 = Young, 0 = Old
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return images.empty() ? 0 : images.shape()[0];
+  }
+};
+
+struct AttributeDataset {
+  std::string name;
+  AttributeImages train;
+  AttributeImages test;
+};
+
+}  // namespace nnr::data

@@ -1,0 +1,54 @@
+#include "data/registry.h"
+
+namespace nnr::data {
+
+std::vector<DatasetInfo> dataset_registry() {
+  return {
+      {.name = "Cifar-10*",
+       .paper_train = 50000,
+       .paper_test = 10000,
+       .synth_train = 512,
+       .synth_test = 256,
+       .classes = "10"},
+      {.name = "Cifar-100*",
+       .paper_train = 50000,
+       .paper_test = 10000,
+       .synth_train = 600,
+       .synth_test = 300,
+       .classes = "100"},
+      {.name = "ImageNet*",
+       .paper_train = 1281167,
+       .paper_test = 50000,
+       .synth_train = 640,
+       .synth_test = 320,
+       .classes = "20 (stand-in for 1000)"},
+      {.name = "CelebA*",
+       .paper_train = 162770,
+       .paper_test = 19962,
+       .synth_train = 2048,
+       .synth_test = 1024,
+       .classes = "binary target + 2 protected attrs (stand-in for 40)"},
+  };
+}
+
+SubgroupCounts count_subgroups(const AttributeImages& split) {
+  SubgroupCounts counts;
+  counts.total = split.size();
+  for (std::int64_t i = 0; i < split.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const bool pos = split.target[idx] != 0;
+    if (split.male[idx] != 0) {
+      (pos ? counts.male_pos : counts.male_neg)++;
+    } else {
+      (pos ? counts.female_pos : counts.female_neg)++;
+    }
+    if (split.young[idx] != 0) {
+      (pos ? counts.young_pos : counts.young_neg)++;
+    } else {
+      (pos ? counts.old_pos : counts.old_neg)++;
+    }
+  }
+  return counts;
+}
+
+}  // namespace nnr::data

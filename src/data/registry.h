@@ -1,0 +1,37 @@
+// Dataset overview metadata (paper Table 4) and sub-group distribution
+// statistics (paper Table 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace nnr::data {
+
+/// Table 4 row: one benchmarked dataset.
+struct DatasetInfo {
+  std::string name;         // paper name (our stand-in marked with *)
+  std::int64_t paper_train = 0;
+  std::int64_t paper_test = 0;
+  std::int64_t synth_train = 0;  // stand-in default sizes
+  std::int64_t synth_test = 0;
+  std::string classes;      // e.g. "10" or "40 (Multi-label)"
+};
+
+/// The four datasets of paper Table 4 with both paper and stand-in sizes.
+[[nodiscard]] std::vector<DatasetInfo> dataset_registry();
+
+/// Table 3 cell counts for an attribute split of a generated dataset.
+struct SubgroupCounts {
+  std::int64_t male_pos = 0, male_neg = 0;
+  std::int64_t female_pos = 0, female_neg = 0;
+  std::int64_t young_pos = 0, young_neg = 0;
+  std::int64_t old_pos = 0, old_neg = 0;
+  std::int64_t total = 0;
+};
+
+[[nodiscard]] SubgroupCounts count_subgroups(const AttributeImages& split);
+
+}  // namespace nnr::data

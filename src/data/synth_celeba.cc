@@ -1,0 +1,127 @@
+#include "data/synth_celeba.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "rng/generator.h"
+#include "tensor/shape.h"
+
+namespace nnr::data {
+namespace {
+
+using rng::Generator;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A smooth random direction in pixel space (unit RMS), shared by all
+/// examples of the dataset: the "feature" carrying an attribute.
+std::vector<float> make_direction(Generator& gen, std::int64_t chw,
+                                  std::int64_t hw_size) {
+  std::vector<float> dir(static_cast<std::size_t>(chw));
+  // Low-frequency gratings -> spatially coherent feature.
+  const int n_gratings = 3;
+  struct G {
+    float fx, fy, phase, amp;
+  };
+  for (int c = 0; c < 3; ++c) {
+    std::vector<G> gs(n_gratings);
+    for (G& g : gs) {
+      g.fx = static_cast<float>(gen.uniform_int(3)) + 1.0F;
+      g.fy = static_cast<float>(gen.uniform_int(3)) + 1.0F;
+      g.phase = gen.uniform(0.0F, 2.0F * std::numbers::pi_v<float>);
+      g.amp = gen.uniform(-1.0F, 1.0F);
+    }
+    for (std::int64_t iy = 0; iy < hw_size; ++iy) {
+      for (std::int64_t ix = 0; ix < hw_size; ++ix) {
+        float v = 0.0F;
+        for (const G& g : gs) {
+          const float x = static_cast<float>(ix) / static_cast<float>(hw_size);
+          const float y = static_cast<float>(iy) / static_cast<float>(hw_size);
+          v += g.amp * std::sin(2.0F * std::numbers::pi_v<float> *
+                                    (g.fx * x + g.fy * y) +
+                                g.phase);
+        }
+        dir[static_cast<std::size_t>((c * hw_size + iy) * hw_size + ix)] = v;
+      }
+    }
+  }
+  // Normalize to unit RMS.
+  double ss = 0.0;
+  for (float v : dir) ss += static_cast<double>(v) * v;
+  const float inv_rms =
+      1.0F / std::max(1e-6F, std::sqrt(static_cast<float>(
+                                 ss / static_cast<double>(dir.size()))));
+  for (float& v : dir) v *= inv_rms;
+  return dir;
+}
+
+AttributeImages make_split(const SynthCelebAConfig& cfg, std::int64_t n,
+                           const std::vector<float>& male_dir,
+                           const std::vector<float>& young_dir,
+                           const std::vector<float>& target_dir,
+                           std::uint64_t split_stream) {
+  const std::int64_t hw = cfg.image_size;
+  const std::int64_t chw = 3 * hw * hw;
+  AttributeImages split;
+  split.images = Tensor(Shape{n, 3, hw, hw});
+  split.target.resize(static_cast<std::size_t>(n));
+  split.male.resize(static_cast<std::size_t>(n));
+  split.young.resize(static_cast<std::size_t>(n));
+
+  Generator gen(cfg.dataset_seed, split_stream);
+  float* base = split.images.raw();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool male = gen.bernoulli(cfg.p_male);
+    const bool young = gen.bernoulli(cfg.p_young);
+    const bool positive =
+        gen.bernoulli(expected_positive_rate(cfg, male, young));
+    split.male[static_cast<std::size_t>(i)] = male ? 1 : 0;
+    split.young[static_cast<std::size_t>(i)] = young ? 1 : 0;
+    split.target[static_cast<std::size_t>(i)] = positive ? 1 : 0;
+
+    const float g_sign = male ? 1.0F : -1.0F;
+    const float a_sign = young ? 1.0F : -1.0F;
+    const float t_sign = positive ? 1.0F : -1.0F;
+    float* img = base + i * chw;
+    for (std::int64_t p = 0; p < chw; ++p) {
+      img[p] = g_sign * male_dir[static_cast<std::size_t>(p)] +
+               a_sign * young_dir[static_cast<std::size_t>(p)] +
+               t_sign * cfg.target_amplitude *
+                   target_dir[static_cast<std::size_t>(p)] +
+               cfg.noise_sigma * gen.normal();
+    }
+  }
+  return split;
+}
+
+}  // namespace
+
+float expected_positive_rate(const SynthCelebAConfig& cfg, bool male,
+                             bool young) {
+  const float pm = male ? cfg.p_pos_given_male : cfg.p_pos_given_female;
+  const float py = young ? cfg.p_pos_given_young : cfg.p_pos_given_old;
+  return std::clamp(pm * py / cfg.p_pos, 0.0F, 1.0F);
+}
+
+AttributeDataset make_synth_celeba(const SynthCelebAConfig& cfg) {
+  assert(cfg.train_n > 0 && cfg.test_n > 0);
+  const std::int64_t chw = 3 * cfg.image_size * cfg.image_size;
+
+  Generator dir_gen(cfg.dataset_seed ^ 0xD1Aull, /*stream=*/7);
+  const auto male_dir = make_direction(dir_gen, chw, cfg.image_size);
+  const auto young_dir = make_direction(dir_gen, chw, cfg.image_size);
+  const auto target_dir = make_direction(dir_gen, chw, cfg.image_size);
+
+  AttributeDataset ds;
+  ds.name = "CelebA*";
+  ds.train = make_split(cfg, cfg.train_n, male_dir, young_dir, target_dir,
+                        /*split_stream=*/1);
+  ds.test = make_split(cfg, cfg.test_n, male_dir, young_dir, target_dir,
+                       /*split_stream=*/2);
+  return ds;
+}
+
+}  // namespace nnr::data

@@ -1,0 +1,176 @@
+#include "data/synth_images.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "rng/generator.h"
+#include "tensor/shape.h"
+
+namespace nnr::data {
+namespace {
+
+using rng::Generator;
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Grating {
+  float fx, fy, phase, amp[3];
+};
+
+/// A class prototype: 3-channel superposition of a few random gratings.
+std::vector<Grating> make_prototype(Generator& gen, int n_gratings) {
+  std::vector<Grating> gratings(static_cast<std::size_t>(n_gratings));
+  for (Grating& g : gratings) {
+    g.fx = static_cast<float>(gen.uniform_int(4)) + 1.0F;   // 1..4 cycles
+    g.fy = static_cast<float>(gen.uniform_int(4)) + 1.0F;
+    g.phase = gen.uniform(0.0F, 2.0F * std::numbers::pi_v<float>);
+    for (float& a : g.amp) a = gen.uniform(-1.0F, 1.0F);
+  }
+  return gratings;
+}
+
+float eval_prototype(const std::vector<Grating>& proto, int channel, float x,
+                     float y) {
+  float v = 0.0F;
+  for (const Grating& g : proto) {
+    v += g.amp[channel] *
+         std::sin(2.0F * std::numbers::pi_v<float> * (g.fx * x + g.fy * y) +
+                  g.phase);
+  }
+  return v;
+}
+
+void render_sample(const std::vector<Grating>& proto, Generator& gen,
+                   float sigma, std::int64_t hw, float* out) {
+  // Per-sample nuisance parameters: translation, contrast, brightness, and
+  // a horizontal flip. Including the flip in generation makes each class
+  // flip-closed, so random-flip augmentation is label-preserving (as it is
+  // for natural images).
+  const float dx = gen.uniform(0.0F, 0.25F);
+  const float dy = gen.uniform(0.0F, 0.25F);
+  const float contrast = gen.uniform(0.8F, 1.2F);
+  const float brightness = gen.uniform(-0.1F, 0.1F);
+  const bool mirrored = gen.bernoulli(0.5F);
+  for (int c = 0; c < 3; ++c) {
+    for (std::int64_t iy = 0; iy < hw; ++iy) {
+      for (std::int64_t ix = 0; ix < hw; ++ix) {
+        const std::int64_t sx = mirrored ? (hw - 1 - ix) : ix;
+        const float x = static_cast<float>(sx) / static_cast<float>(hw) + dx;
+        const float y = static_cast<float>(iy) / static_cast<float>(hw) + dy;
+        const float signal = contrast * eval_prototype(proto, c, x, y);
+        out[(c * hw + iy) * hw + ix] =
+            signal + brightness + sigma * gen.normal();
+      }
+    }
+  }
+}
+
+LabeledImages make_split(const SynthImageConfig& cfg,
+                         const std::vector<std::vector<Grating>>& prototypes,
+                         const std::vector<float>& sigmas,
+                         std::int64_t per_class, std::uint64_t split_stream) {
+  const std::int64_t n = cfg.num_classes * per_class;
+  LabeledImages split;
+  split.num_classes = cfg.num_classes;
+  split.images =
+      Tensor(Shape{n, 3, cfg.image_size, cfg.image_size});
+  split.labels.resize(static_cast<std::size_t>(n));
+
+  const std::int64_t chw = 3 * cfg.image_size * cfg.image_size;
+  float* base = split.images.raw();
+  std::int64_t idx = 0;
+  for (std::int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    Generator gen(cfg.dataset_seed + 17 * static_cast<std::uint64_t>(cls) + 3,
+                  split_stream);
+    for (std::int64_t s = 0; s < per_class; ++s, ++idx) {
+      render_sample(prototypes[static_cast<std::size_t>(cls)], gen,
+                    sigmas[static_cast<std::size_t>(cls)], cfg.image_size,
+                    base + idx * chw);
+      split.labels[static_cast<std::size_t>(idx)] =
+          static_cast<std::int32_t>(cls);
+    }
+  }
+  return split;
+}
+
+/// Standardizes both splits with the train split's global mean/std — the
+/// usual image-pipeline normalization, and essential for training the no-BN
+/// SmallCNN (paper Appendix C) whose activations are otherwise unscaled.
+void standardize(LabeledImages& train, LabeledImages& test) {
+  double mean = 0.0;
+  for (float v : train.images.data()) mean += v;
+  mean /= static_cast<double>(train.images.numel());
+  double var = 0.0;
+  for (float v : train.images.data()) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(train.images.numel());
+  const float inv_std =
+      1.0F / std::max(1e-6F, std::sqrt(static_cast<float>(var)));
+  const float fmean = static_cast<float>(mean);
+  for (float& v : train.images.data()) v = (v - fmean) * inv_std;
+  for (float& v : test.images.data()) v = (v - fmean) * inv_std;
+}
+
+}  // namespace
+
+ClassificationDataset make_synth_classification(const SynthImageConfig& cfg,
+                                                std::string name) {
+  assert(cfg.num_classes > 0 && cfg.train_per_class > 0 &&
+         cfg.test_per_class > 0);
+  // Class prototypes and difficulties are split-independent.
+  std::vector<std::vector<Grating>> prototypes;
+  std::vector<float> sigmas;
+  prototypes.reserve(static_cast<std::size_t>(cfg.num_classes));
+  sigmas.reserve(static_cast<std::size_t>(cfg.num_classes));
+  for (std::int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    Generator gen(cfg.dataset_seed ^ (0x9E37u + static_cast<std::uint64_t>(cls)),
+                  /*stream=*/0xC0DE);
+    prototypes.push_back(make_prototype(gen, /*n_gratings=*/4));
+    sigmas.push_back(cfg.sigma_min +
+                     (cfg.sigma_max - cfg.sigma_min) * gen.uniform());
+  }
+
+  ClassificationDataset ds;
+  ds.name = std::move(name);
+  ds.train = make_split(cfg, prototypes, sigmas, cfg.train_per_class,
+                        /*split_stream=*/1);
+  ds.test = make_split(cfg, prototypes, sigmas, cfg.test_per_class,
+                       /*split_stream=*/2);
+  standardize(ds.train, ds.test);
+  return ds;
+}
+
+ClassificationDataset synth_cifar10(std::int64_t train_n, std::int64_t test_n) {
+  SynthImageConfig cfg;
+  cfg.num_classes = 10;
+  cfg.train_per_class = std::max<std::int64_t>(1, train_n / cfg.num_classes);
+  cfg.test_per_class = std::max<std::int64_t>(1, test_n / cfg.num_classes);
+  cfg.dataset_seed = 0xC1FA5010ull;
+  return make_synth_classification(cfg, "CIFAR-10*");
+}
+
+ClassificationDataset synth_cifar100(std::int64_t train_n,
+                                     std::int64_t test_n) {
+  SynthImageConfig cfg;
+  cfg.num_classes = 100;
+  cfg.train_per_class = std::max<std::int64_t>(1, train_n / cfg.num_classes);
+  cfg.test_per_class = std::max<std::int64_t>(1, test_n / cfg.num_classes);
+  cfg.dataset_seed = 0xC1FA5100ull;
+  return make_synth_classification(cfg, "CIFAR-100*");
+}
+
+ClassificationDataset synth_imagenet(std::int64_t train_n,
+                                     std::int64_t test_n) {
+  SynthImageConfig cfg;
+  cfg.num_classes = 20;
+  cfg.train_per_class = std::max<std::int64_t>(1, train_n / cfg.num_classes);
+  cfg.test_per_class = std::max<std::int64_t>(1, test_n / cfg.num_classes);
+  cfg.dataset_seed = 0x13A6E7ull;
+  return make_synth_classification(cfg, "ImageNet*");
+}
+
+}  // namespace nnr::data

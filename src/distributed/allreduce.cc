@@ -1,0 +1,67 @@
+#include "distributed/allreduce.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace nnr::distributed {
+
+void allreduce_sum(std::span<const std::span<const float>> worker_buffers,
+                   std::span<float> out, AllReduceAlgo algo,
+                   rng::Generator* entropy) {
+  assert(!worker_buffers.empty());
+  const std::size_t workers = worker_buffers.size();
+  const std::size_t n = out.size();
+  for (const auto& buffer : worker_buffers) {
+    assert(buffer.size() == n);
+    (void)buffer;
+  }
+
+  switch (algo) {
+    case AllReduceAlgo::kRingOrdered: {
+      // Accumulate in worker-rank order.
+      for (std::size_t i = 0; i < n; ++i) out[i] = worker_buffers[0][i];
+      for (std::size_t w = 1; w < workers; ++w) {
+        const auto& buffer = worker_buffers[w];
+        for (std::size_t i = 0; i < n; ++i) out[i] += buffer[i];
+      }
+      return;
+    }
+    case AllReduceAlgo::kTreeFixed: {
+      // Fixed balanced binary tree over workers, elementwise.
+      std::vector<std::vector<float>> partials(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        partials[w].assign(worker_buffers[w].begin(), worker_buffers[w].end());
+      }
+      std::size_t active = workers;
+      while (active > 1) {
+        const std::size_t half = (active + 1) / 2;
+        for (std::size_t w = 0; w + half < active; ++w) {
+          float* dst = partials[w].data();
+          const float* src = partials[w + half].data();
+          for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+        }
+        active = half;
+      }
+      for (std::size_t i = 0; i < n; ++i) out[i] = partials[0][i];
+      return;
+    }
+    case AllReduceAlgo::kRingShuffled: {
+      assert(entropy != nullptr &&
+             "shuffled all-reduce requires a scheduler entropy stream");
+      // One arrival order per collective launch.
+      std::vector<std::uint32_t> order(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        order[w] = static_cast<std::uint32_t>(w);
+      }
+      entropy->shuffle(std::span<std::uint32_t>(order));
+      for (std::size_t i = 0; i < n; ++i) out[i] = 0.0F;
+      for (const std::uint32_t w : order) {
+        const auto& buffer = worker_buffers[w];
+        for (std::size_t i = 0; i < n; ++i) out[i] += buffer[i];
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace nnr::distributed

@@ -1,0 +1,41 @@
+// Simulated gradient all-reduce for data-parallel training.
+//
+// The paper's stated limitation (§6) is that it studies a single device;
+// distributed training adds a new reduction — the cross-worker gradient sum —
+// whose ordering is another tooling noise source. This module reproduces the
+// three orderings that occur in practice:
+//
+//   kTreeFixed     - fixed binary reduction tree (deterministic collectives,
+//                    e.g. NCCL with fixed ring order and no atomics),
+//   kRingOrdered   - worker-rank order (deterministic given rank layout, but
+//                    sensitive to rank placement — the distributed analogue
+//                    of input-order sensitivity),
+//   kRingShuffled  - per-step arrival order (asynchronous/atomic updates):
+//                    the nondeterministic default.
+//
+// As everywhere in this library, the divergence produced is genuine float32
+// rounding under reordering, not injected noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rng/generator.h"
+
+namespace nnr::distributed {
+
+enum class AllReduceAlgo {
+  kTreeFixed,
+  kRingOrdered,
+  kRingShuffled,
+};
+
+/// Sums `worker_buffers` elementwise into `out` under the given ordering.
+/// All buffers must have out.size() elements. For kRingShuffled, `entropy`
+/// supplies this step's arrival order (one permutation per call — a
+/// "collective launch") and must be non-null.
+void allreduce_sum(std::span<const std::span<const float>> worker_buffers,
+                   std::span<float> out, AllReduceAlgo algo,
+                   rng::Generator* entropy);
+
+}  // namespace nnr::distributed

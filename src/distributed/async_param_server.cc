@@ -1,0 +1,209 @@
+#include "distributed/async_param_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "data/batcher.h"
+#include "metrics/classification.h"
+#include "nn/loss.h"
+#include "opt/sgd.h"
+#include "rng/seed_channels.h"
+
+namespace nnr::distributed {
+
+using core::ChannelToggles;
+using core::RunResult;
+using core::TrainJob;
+using data::EpochShuffler;
+using data::gather_images;
+using data::gather_labels;
+using rng::Channel;
+using rng::make_channel_generator;
+using tensor::Tensor;
+
+namespace {
+
+std::vector<float> save_flat(const std::vector<nn::Param*>& params) {
+  std::vector<float> flat;
+  for (const nn::Param* p : params) {
+    const auto view = p->value.data();
+    flat.insert(flat.end(), view.begin(), view.end());
+  }
+  return flat;
+}
+
+void load_flat(const std::vector<nn::Param*>& params,
+               const std::vector<float>& flat) {
+  std::size_t offset = 0;
+  for (nn::Param* p : params) {
+    auto view = p->value.data();
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                view.size(), view.begin());
+    offset += view.size();
+  }
+  assert(offset == flat.size());
+}
+
+/// Serves mini-batch shards across epochs: each shard carries the indices of
+/// its examples and the learning rate of its epoch.
+class ShardStream {
+ public:
+  ShardStream(const TrainJob& job, EpochShuffler shuffler)
+      : job_(job), shuffler_(std::move(shuffler)) {}
+
+  struct Shard {
+    std::vector<std::uint32_t> indices;
+    float learning_rate = 0.0F;
+  };
+
+  [[nodiscard]] std::optional<Shard> next() {
+    const std::int64_t train_n = job_.dataset->train.size();
+    if (cursor_ >= train_n) {
+      if (epoch_ + 1 >= job_.recipe.epochs) return std::nullopt;
+      ++epoch_;
+      cursor_ = 0;
+      order_.clear();
+    }
+    if (order_.empty()) {
+      order_ = job_.fixed_identity_order ? shuffler_.identity_order()
+                                         : shuffler_.next_epoch_order();
+    }
+    const std::int64_t end =
+        std::min(cursor_ + job_.recipe.batch_size, train_n);
+    Shard shard;
+    shard.indices.assign(order_.begin() + cursor_, order_.begin() + end);
+    shard.learning_rate = job_.recipe.learning_rate(epoch_);
+    cursor_ = end;
+    return shard;
+  }
+
+ private:
+  const TrainJob& job_;
+  EpochShuffler shuffler_;
+  std::vector<std::uint32_t> order_;
+  std::int64_t epoch_ = 0;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace
+
+RunResult train_replicate_async(const TrainJob& job, const AsyncConfig& config,
+                                std::uint64_t replicate) {
+  assert(job.dataset != nullptr && job.make_model != nullptr);
+  assert(config.workers >= 1);
+  const ChannelToggles toggles = job.toggles_override
+                                     ? *job.toggles_override
+                                     : toggles_for(job.variant);
+  const data::LabeledImages& train = job.dataset->train;
+  const data::LabeledImages& test = job.dataset->test;
+
+  auto init_gen = make_channel_generator(job.base_seed, Channel::kInit,
+                                         replicate, toggles.init_varies);
+  auto shuffle_gen = make_channel_generator(job.base_seed, Channel::kShuffle,
+                                            replicate, toggles.shuffle_varies);
+  auto augment_gen = make_channel_generator(job.base_seed, Channel::kAugment,
+                                            replicate, toggles.augment_varies);
+  auto dropout_gen = make_channel_generator(job.base_seed, Channel::kDropout,
+                                            replicate, toggles.dropout_varies);
+  auto scheduler_gen =
+      make_channel_generator(job.base_seed, Channel::kScheduler, replicate,
+                             toggles.scheduler_varies);
+  // The push/pull arrival order is its own consumer of scheduler entropy.
+  auto arrival_gen = make_channel_generator(
+      job.base_seed ^ 0xA517C0DEull, Channel::kScheduler, replicate,
+      toggles.scheduler_varies);
+
+  hw::ExecutionContext hw_ctx(job.device, toggles.mode,
+                              std::move(scheduler_gen));
+
+  nn::Model model = job.make_model();
+  model.init_weights(init_gen);
+  const std::vector<nn::Param*> params = model.params();
+  opt::Sgd optimizer(params, job.recipe.momentum);
+
+  nn::RunContext ctx{.hw = &hw_ctx, .training = true, .dropout = &dropout_gen};
+  ShardStream stream(job, EpochShuffler(train.size(), std::move(shuffle_gen)));
+
+  // Server state lives in the model params between completions; each
+  // in-flight worker holds the weight snapshot it fetched plus its shard.
+  struct InFlight {
+    std::vector<float> snapshot;
+    ShardStream::Shard shard;
+  };
+  std::vector<std::optional<InFlight>> in_flight(
+      static_cast<std::size_t>(config.workers));
+
+  std::vector<float> server = save_flat(params);
+  for (int w = 0; w < config.workers; ++w) {
+    if (auto shard = stream.next()) {
+      in_flight[static_cast<std::size_t>(w)] =
+          InFlight{server, *std::move(shard)};
+    }
+  }
+
+  // Arrivals are deterministic round-robin unless shuffled arrivals are
+  // requested AND the run is in the nondeterministic regime.
+  const bool shuffle_arrivals =
+      config.shuffled_arrivals && toggles.scheduler_varies;
+
+  double last_loss = 0.0;
+  std::vector<std::uint32_t> round_order;
+  for (;;) {
+    round_order.clear();
+    for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(config.workers);
+         ++w) {
+      if (in_flight[w].has_value()) round_order.push_back(w);
+    }
+    if (round_order.empty()) break;
+    if (shuffle_arrivals) {
+      // One permutation per round: the order in which pushes reach the
+      // server this round.
+      arrival_gen.shuffle(std::span<std::uint32_t>(round_order));
+    }
+
+    for (const std::uint32_t w : round_order) {
+      InFlight work = *std::move(in_flight[w]);
+      in_flight[w].reset();
+
+      // Compute the gradient against the (stale) fetched snapshot.
+      load_flat(params, work.snapshot);
+      Tensor images = gather_images(train.images, work.shard.indices);
+      if (job.recipe.augment) {
+        images = data::augment_batch(images, job.recipe.augment_config,
+                                     augment_gen);
+      }
+      const std::vector<std::int32_t> labels =
+          gather_labels(train.labels, work.shard.indices);
+      model.zero_grads();
+      const Tensor logits = model.forward(images, ctx);
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels, ctx);
+      last_loss = loss.loss;
+      (void)model.backward(loss.grad_logits, ctx);
+
+      // Apply to the *current* server weights (the async step), then the
+      // worker immediately fetches and takes the next shard.
+      load_flat(params, server);
+      optimizer.step(work.shard.learning_rate);
+      server = save_flat(params);
+
+      if (auto shard = stream.next()) {
+        in_flight[w] = InFlight{server, *std::move(shard)};
+      }
+    }
+  }
+
+  load_flat(params, server);
+  RunResult result;
+  result.final_train_loss = last_loss;
+  result.test_predictions =
+      core::evaluate(model, test, hw_ctx, job.recipe.batch_size);
+  result.test_accuracy =
+      metrics::accuracy(result.test_predictions, test.labels);
+  result.final_weights = model.flat_weights();
+  return result;
+}
+
+}  // namespace nnr::distributed

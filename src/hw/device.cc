@@ -1,0 +1,66 @@
+#include "hw/device.h"
+
+namespace nnr::hw {
+
+DeviceSpec p100() {
+  return {.name = "P100",
+          .kind = DeviceKind::kGpuCudaCores,
+          .arch = GpuArch::kPascal,
+          .cuda_cores = 3584,
+          .tensor_cores = 0};
+}
+
+DeviceSpec v100() {
+  return {.name = "V100",
+          .kind = DeviceKind::kGpuCudaCores,
+          .arch = GpuArch::kVolta,
+          .cuda_cores = 5120,
+          .tensor_cores = 640};
+}
+
+DeviceSpec rtx5000() {
+  return {.name = "RTX5000",
+          .kind = DeviceKind::kGpuCudaCores,
+          .arch = GpuArch::kTuring,
+          .cuda_cores = 3072,
+          .tensor_cores = 384};
+}
+
+DeviceSpec rtx5000_tensor_cores() {
+  return {.name = "RTX5000 TC",
+          .kind = DeviceKind::kGpuTensorCores,
+          .arch = GpuArch::kTuring,
+          .cuda_cores = 3072,
+          .tensor_cores = 384};
+}
+
+DeviceSpec t4() {
+  return {.name = "T4",
+          .kind = DeviceKind::kGpuCudaCores,
+          .arch = GpuArch::kTuring,
+          .cuda_cores = 2560,
+          .tensor_cores = 320};
+}
+
+DeviceSpec tpu_v2() {
+  return {.name = "TPUv2",
+          .kind = DeviceKind::kTpu,
+          .arch = GpuArch::kNone,
+          .cuda_cores = 0,
+          .tensor_cores = 0};
+}
+
+const std::vector<DeviceSpec>& all_devices() {
+  static const std::vector<DeviceSpec> devices = {
+      p100(), v100(), rtx5000(), rtx5000_tensor_cores(), t4(), tpu_v2()};
+  return devices;
+}
+
+std::optional<DeviceSpec> find_device(std::string_view name) {
+  for (const DeviceSpec& d : all_devices()) {
+    if (d.name == name) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nnr::hw

@@ -1,0 +1,50 @@
+#include "hw/execution_context.h"
+
+namespace nnr::hw {
+
+tensor::KernelPolicy ExecutionContext::policy_for(
+    bool tensor_core_eligible) noexcept {
+  using tensor::AccumOrder;
+  tensor::KernelPolicy policy;
+  policy.cuda_cores = device_.cuda_cores;
+
+  if (device_.kind == DeviceKind::kTpu) {
+    // Systolic array: single-threaded deterministic accumulation in input
+    // layout order. Input reordering still changes results (Fig. 6).
+    policy.order = AccumOrder::kSequential;
+    policy.cuda_cores = 0;
+    return policy;
+  }
+
+  if (mode_ == DeterminismMode::kDeterministic) {
+    // Restricted deterministic kernel menu: fixed-tree reductions.
+    policy.order = AccumOrder::kPairwiseTree;
+    return policy;
+  }
+
+  if (device_.kind == DeviceKind::kGpuTensorCores && tensor_core_eligible) {
+    // MMA units use fixed tiling: deterministic. (Noise still enters through
+    // the CUDA-core fallback ops; see reduction_policy().)
+    policy.order = AccumOrder::kPairwiseTree;
+    return policy;
+  }
+
+  policy.order = AccumOrder::kShardedShuffled;
+  policy.entropy = &entropy_;
+  return policy;
+}
+
+tensor::KernelPolicy ExecutionContext::matmul_policy() noexcept {
+  return policy_for(/*tensor_core_eligible=*/true);
+}
+
+tensor::KernelPolicy ExecutionContext::reduction_policy() noexcept {
+  return policy_for(/*tensor_core_eligible=*/false);
+}
+
+bool ExecutionContext::fully_deterministic() const noexcept {
+  return device_.kind == DeviceKind::kTpu ||
+         mode_ == DeterminismMode::kDeterministic;
+}
+
+}  // namespace nnr::hw

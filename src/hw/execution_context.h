@@ -1,0 +1,59 @@
+// ExecutionContext: binds a simulated device + determinism mode to the
+// kernel policies the tensor substrate consumes.
+//
+// One context is created per training run (replicate). It owns the
+// scheduler-entropy stream for that run; kernel launches draw their combine
+// orders from it, so two runs with different entropy streams experience
+// different scheduler interleavings — and two runs in deterministic mode (or
+// with the entropy channel pinned) are bitwise identical.
+#pragma once
+
+#include <utility>
+
+#include "hw/device.h"
+#include "rng/generator.h"
+#include "tensor/gemm.h"
+
+namespace nnr::hw {
+
+enum class DeterminismMode {
+  kDefault,        // vendor-default kernels: fastest, nondeterministic on GPU
+  kDeterministic,  // restricted deterministic kernel menu (TF/cuDNN patches)
+};
+
+class ExecutionContext {
+ public:
+  ExecutionContext(DeviceSpec device, DeterminismMode mode,
+                   rng::Generator scheduler_entropy)
+      : device_(std::move(device)),
+        mode_(mode),
+        entropy_(std::move(scheduler_entropy)) {}
+
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+  [[nodiscard]] DeterminismMode mode() const noexcept { return mode_; }
+
+  /// Policy for GEMM-class kernels (dense/conv forward and backward).
+  ///
+  /// Tensor-Core devices run GEMM on fixed-tiling MMA units — deterministic —
+  /// while CUDA-core devices retire partials in scheduler order.
+  [[nodiscard]] tensor::KernelPolicy matmul_policy() noexcept;
+
+  /// Policy for reduction-class kernels (batch-norm statistics, bias
+  /// gradients, loss reductions). These have no Tensor-Core implementation:
+  /// on a TC device they *fall back* to CUDA cores and stay nondeterministic,
+  /// which is why Tensor-Core training is still noisy (paper §3.3).
+  [[nodiscard]] tensor::KernelPolicy reduction_policy() noexcept;
+
+  /// True if every kernel launched through this context is deterministic
+  /// (bitwise reproducible given identical inputs).
+  [[nodiscard]] bool fully_deterministic() const noexcept;
+
+ private:
+  [[nodiscard]] tensor::KernelPolicy policy_for(bool tensor_core_eligible) noexcept;
+
+  DeviceSpec device_;
+  DeterminismMode mode_;
+  rng::Generator entropy_;
+};
+
+}  // namespace nnr::hw

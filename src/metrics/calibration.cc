@@ -1,0 +1,72 @@
+#include "metrics/calibration.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nnr::metrics {
+
+std::vector<ReliabilityBin> reliability_diagram(
+    std::span<const float> confidences,
+    std::span<const std::int32_t> predictions,
+    std::span<const std::int32_t> labels, int bins) {
+  assert(bins >= 1);
+  assert(confidences.size() == predictions.size());
+  assert(confidences.size() == labels.size());
+  std::vector<ReliabilityBin> diagram(static_cast<std::size_t>(bins));
+  for (std::size_t i = 0; i < confidences.size(); ++i) {
+    const double c = confidences[i];
+    assert(c >= 0.0 && c <= 1.0);
+    auto b = static_cast<std::size_t>(c * bins);
+    if (b >= diagram.size()) b = diagram.size() - 1;  // c == 1.0
+    diagram[b].confidence_sum += c;
+    diagram[b].correct += predictions[i] == labels[i] ? 1 : 0;
+    ++diagram[b].count;
+  }
+  return diagram;
+}
+
+double expected_calibration_error(std::span<const float> confidences,
+                                  std::span<const std::int32_t> predictions,
+                                  std::span<const std::int32_t> labels,
+                                  int bins) {
+  if (confidences.empty()) return 0.0;
+  const std::vector<ReliabilityBin> diagram =
+      reliability_diagram(confidences, predictions, labels, bins);
+  const double n = static_cast<double>(confidences.size());
+  double ece = 0.0;
+  for (const ReliabilityBin& bin : diagram) {
+    if (bin.count == 0) continue;
+    ece += (static_cast<double>(bin.count) / n) *
+           std::fabs(bin.accuracy() - bin.mean_confidence());
+  }
+  return ece;
+}
+
+double confidence_gap(std::span<const float> confidences,
+                      std::span<const std::int32_t> predictions,
+                      std::span<const std::int32_t> labels) {
+  assert(confidences.size() == predictions.size());
+  assert(confidences.size() == labels.size());
+  if (confidences.empty()) return 0.0;
+  double conf = 0.0;
+  double correct = 0.0;
+  for (std::size_t i = 0; i < confidences.size(); ++i) {
+    conf += confidences[i];
+    correct += predictions[i] == labels[i] ? 1.0 : 0.0;
+  }
+  const double n = static_cast<double>(confidences.size());
+  return conf / n - correct / n;
+}
+
+double confidence_divergence(std::span<const float> a,
+                             std::span<const float> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace nnr::metrics

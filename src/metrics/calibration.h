@@ -1,0 +1,66 @@
+// Calibration metrics: does training noise destabilize a model's confidence,
+// not just its predictions?
+//
+// The paper shows noise leaves top-line accuracy alone while destabilizing
+// sub-aggregate measures (per-class accuracy, sub-group FPR/FNR — §3.2).
+// Calibration is another such sub-aggregate: two replicates can agree on
+// accuracy yet assign very different confidence to the same examples, which
+// matters in exactly the safety-critical settings the paper motivates
+// (thresholded decisions in medicine, lending). This module provides the
+// standard binned calibration diagnostics; the ablation bench measures their
+// replicate-to-replicate spread per noise variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nnr::metrics {
+
+/// One confidence bin of a reliability diagram.
+struct ReliabilityBin {
+  double confidence_sum = 0.0;  // sum of confidences landing in the bin
+  std::int64_t correct = 0;     // correctly predicted examples in the bin
+  std::int64_t count = 0;       // examples in the bin
+
+  [[nodiscard]] double mean_confidence() const noexcept {
+    return count > 0 ? confidence_sum / static_cast<double>(count) : 0.0;
+  }
+  [[nodiscard]] double accuracy() const noexcept {
+    return count > 0 ? static_cast<double>(correct) /
+                           static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Equal-width reliability histogram over [0, 1]. Confidence exactly 1.0
+/// lands in the last bin. Preconditions: equal spans, bins >= 1,
+/// confidences in [0, 1].
+[[nodiscard]] std::vector<ReliabilityBin> reliability_diagram(
+    std::span<const float> confidences,
+    std::span<const std::int32_t> predictions,
+    std::span<const std::int32_t> labels, int bins);
+
+/// Expected calibration error: the count-weighted mean |accuracy - mean
+/// confidence| over the reliability bins (Naeini et al. 2015 form, the
+/// standard 15-bin default elsewhere in the literature). Range [0, 1];
+/// 0 = perfectly calibrated.
+[[nodiscard]] double expected_calibration_error(
+    std::span<const float> confidences,
+    std::span<const std::int32_t> predictions,
+    std::span<const std::int32_t> labels, int bins = 15);
+
+/// Mean confidence minus accuracy: positive = overconfident. A signed
+/// companion to ECE (which is unsigned and cannot distinguish over- from
+/// under-confidence).
+[[nodiscard]] double confidence_gap(std::span<const float> confidences,
+                                    std::span<const std::int32_t> predictions,
+                                    std::span<const std::int32_t> labels);
+
+/// Per-example confidence divergence between two replicates: mean |c1 - c2|.
+/// Zero only when the two models assign identical confidence everywhere —
+/// a stricter agreement notion than churn (which only compares argmaxes).
+[[nodiscard]] double confidence_divergence(std::span<const float> a,
+                                           std::span<const float> b);
+
+}  // namespace nnr::metrics

@@ -1,0 +1,76 @@
+#include "metrics/classification.h"
+
+#include <cassert>
+
+namespace nnr::metrics {
+
+double accuracy(std::span<const std::int32_t> predictions,
+                std::span<const std::int32_t> labels) {
+  assert(predictions.size() == labels.size() && !predictions.empty());
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+PerClassAccuracy per_class_accuracy(std::span<const std::int32_t> predictions,
+                                    std::span<const std::int32_t> labels,
+                                    std::int64_t num_classes) {
+  assert(predictions.size() == labels.size());
+  PerClassAccuracy result;
+  result.accuracy.assign(static_cast<std::size_t>(num_classes), 0.0);
+  result.support.assign(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(num_classes), 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(labels[i]);
+    assert(labels[i] >= 0 && labels[i] < num_classes);
+    ++result.support[cls];
+    if (predictions[i] == labels[i]) ++correct[cls];
+  }
+  for (std::size_t c = 0; c < result.accuracy.size(); ++c) {
+    result.accuracy[c] =
+        result.support[c] > 0
+            ? static_cast<double>(correct[c]) /
+                  static_cast<double>(result.support[c])
+            : 0.0;
+  }
+  return result;
+}
+
+double BinaryConfusion::accuracy() const noexcept {
+  const std::int64_t n = total();
+  return n > 0 ? static_cast<double>(tp + tn) / static_cast<double>(n) : 0.0;
+}
+
+double BinaryConfusion::false_positive_rate() const noexcept {
+  const std::int64_t negatives = fp + tn;
+  return negatives > 0 ? static_cast<double>(fp) / static_cast<double>(negatives)
+                       : 0.0;
+}
+
+double BinaryConfusion::false_negative_rate() const noexcept {
+  const std::int64_t positives = fn + tp;
+  return positives > 0 ? static_cast<double>(fn) / static_cast<double>(positives)
+                       : 0.0;
+}
+
+BinaryConfusion binary_confusion(std::span<const std::int32_t> predictions,
+                                 std::span<const std::uint8_t> labels,
+                                 std::span<const std::uint8_t> mask) {
+  assert(predictions.size() == labels.size());
+  assert(mask.empty() || mask.size() == labels.size());
+  BinaryConfusion confusion;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!mask.empty() && mask[i] == 0) continue;
+    const bool predicted_pos = predictions[i] != 0;
+    const bool actual_pos = labels[i] != 0;
+    if (predicted_pos && actual_pos) ++confusion.tp;
+    if (predicted_pos && !actual_pos) ++confusion.fp;
+    if (!predicted_pos && actual_pos) ++confusion.fn;
+    if (!predicted_pos && !actual_pos) ++confusion.tn;
+  }
+  return confusion;
+}
+
+}  // namespace nnr::metrics

@@ -1,0 +1,46 @@
+// Classification metrics: top-1 accuracy, per-class accuracy, and binary
+// confusion-based rates (FPR/FNR) with sub-group disaggregation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nnr::metrics {
+
+/// Fraction of matching predictions. Precondition: equal, non-zero sizes.
+[[nodiscard]] double accuracy(std::span<const std::int32_t> predictions,
+                              std::span<const std::int32_t> labels);
+
+/// Per-class accuracy: element c is the accuracy over examples whose label
+/// is c (NaN-free: classes with no examples report 0 and are flagged).
+struct PerClassAccuracy {
+  std::vector<double> accuracy;       // [num_classes]
+  std::vector<std::int64_t> support;  // examples per class
+};
+
+[[nodiscard]] PerClassAccuracy per_class_accuracy(
+    std::span<const std::int32_t> predictions,
+    std::span<const std::int32_t> labels, std::int64_t num_classes);
+
+/// Binary confusion counts over an example subset given by `mask`
+/// (mask empty => all examples).
+struct BinaryConfusion {
+  std::int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return tp + fp + tn + fn;
+  }
+  [[nodiscard]] double accuracy() const noexcept;
+  /// FP / (FP + TN); 0 when there are no negatives.
+  [[nodiscard]] double false_positive_rate() const noexcept;
+  /// FN / (FN + TP); 0 when there are no positives.
+  [[nodiscard]] double false_negative_rate() const noexcept;
+};
+
+[[nodiscard]] BinaryConfusion binary_confusion(
+    std::span<const std::int32_t> predictions,
+    std::span<const std::uint8_t> labels,
+    std::span<const std::uint8_t> mask = {});
+
+}  // namespace nnr::metrics

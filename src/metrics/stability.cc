@@ -1,0 +1,105 @@
+#include "metrics/stability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace nnr::metrics {
+
+double churn(std::span<const std::int32_t> a, std::span<const std::int32_t> b) {
+  assert(a.size() == b.size() && !a.empty());
+  std::int64_t disagreements = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++disagreements;
+  }
+  return static_cast<double>(disagreements) / static_cast<double>(a.size());
+}
+
+double normalized_l2_distance(std::span<const float> a,
+                              std::span<const float> b) {
+  assert(a.size() == b.size() && !a.empty());
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    norm_a += static_cast<double>(a[i]) * a[i];
+    norm_b += static_cast<double>(b[i]) * b[i];
+  }
+  norm_a = std::sqrt(norm_a);
+  norm_b = std::sqrt(norm_b);
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  double dist_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] / norm_a - b[i] / norm_b;
+    dist_sq += d * d;
+  }
+  return std::sqrt(dist_sq);
+}
+
+PairwiseStability pairwise_stability(
+    std::span<const std::vector<std::int32_t>> predictions,
+    std::span<const std::vector<float>> weights) {
+  assert(predictions.size() == weights.size());
+  PairwiseStability stats;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    for (std::size_t j = i + 1; j < predictions.size(); ++j) {
+      stats.churn.add(churn(predictions[i], predictions[j]));
+      stats.l2.add(normalized_l2_distance(weights[i], weights[j]));
+    }
+  }
+  return stats;
+}
+
+std::vector<double> per_example_flip_rate(
+    std::span<const std::vector<std::int32_t>> predictions) {
+  assert(predictions.size() >= 2);
+  const std::size_t n = predictions[0].size();
+  std::vector<double> rates(n, 0.0);
+  std::int64_t pairs = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    assert(predictions[i].size() == n);
+    for (std::size_t j = i + 1; j < predictions.size(); ++j) {
+      ++pairs;
+      for (std::size_t e = 0; e < n; ++e) {
+        if (predictions[i][e] != predictions[j][e]) rates[e] += 1.0;
+      }
+    }
+  }
+  for (double& r : rates) r /= static_cast<double>(pairs);
+  return rates;
+}
+
+ChurnConcentration churn_concentration(std::span<const double> flip_rates) {
+  assert(!flip_rates.empty());
+  ChurnConcentration result;
+  const auto n = static_cast<double>(flip_rates.size());
+
+  std::vector<double> sorted(flip_rates.begin(), flip_rates.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  result.mean_flip_rate = total / n;
+  result.frac_never_flip =
+      static_cast<double>(std::count(sorted.begin(), sorted.end(), 0.0)) / n;
+  result.frac_always_flip =
+      static_cast<double>(std::count(sorted.begin(), sorted.end(), 1.0)) / n;
+
+  if (total > 0.0) {
+    const std::size_t decile_start =
+        flip_rates.size() - std::max<std::size_t>(1, flip_rates.size() / 10);
+    const double top_sum = std::accumulate(
+        sorted.begin() + static_cast<std::ptrdiff_t>(decile_start),
+        sorted.end(), 0.0);
+    result.top_decile_share = top_sum / total;
+
+    // Gini via the sorted-rank identity: G = (2 sum_i i*x_i) / (n sum x) -
+    // (n + 1) / n, with 1-based ranks over ascending x.
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * sorted[i];
+    }
+    result.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+  return result;
+}
+
+}  // namespace nnr::metrics

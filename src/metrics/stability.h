@@ -1,0 +1,59 @@
+// Model-stability measures (paper §2.1): predictive churn, normalized L2
+// weight distance, and their aggregation over replicate pairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "metrics/running_stat.h"
+
+namespace nnr::metrics {
+
+/// Predictive churn C(f1, f2) = fraction of test examples where the two
+/// models' predictions disagree (Milani Fard et al., 2016; paper Eq. 2).
+[[nodiscard]] double churn(std::span<const std::int32_t> predictions_a,
+                           std::span<const std::int32_t> predictions_b);
+
+/// L2 distance between two weight vectors, each first normalized to unit
+/// length (the paper normalizes "for a consistent visualization scale").
+[[nodiscard]] double normalized_l2_distance(std::span<const float> weights_a,
+                                            std::span<const float> weights_b);
+
+/// Pairwise aggregation over N replicates: mean churn / mean normalized L2
+/// over all N*(N-1)/2 unordered pairs.
+struct PairwiseStability {
+  RunningStat churn;
+  RunningStat l2;
+};
+
+[[nodiscard]] PairwiseStability pairwise_stability(
+    std::span<const std::vector<std::int32_t>> predictions,
+    std::span<const std::vector<float>> weights);
+
+/// Per-example instability: for each test example, the fraction of replicate
+/// pairs whose predictions disagree on it. Aggregate churn is the mean of
+/// this vector; its *distribution* shows where churn concentrates. The paper
+/// observes noise "disproportionately impact[s] features in the long-tail"
+/// (§3.2) — this is the example-level view of that finding (cf. Chen et al.
+/// 2020 on per-example prediction variation).
+[[nodiscard]] std::vector<double> per_example_flip_rate(
+    std::span<const std::vector<std::int32_t>> predictions);
+
+/// Summary of how concentrated per-example churn is.
+struct ChurnConcentration {
+  double mean_flip_rate = 0.0;     // == aggregate churn
+  double frac_never_flip = 0.0;    // examples with flip rate 0
+  double frac_always_flip = 0.0;   // examples that flip in every pair
+  /// Fraction of all flips carried by the top decile of examples (1.0 =
+  /// perfectly concentrated, 0.1 = perfectly uniform).
+  double top_decile_share = 0.0;
+  /// Gini coefficient of the flip-rate distribution (0 = uniform churn,
+  /// -> 1 = churn concentrated on a vanishing fraction of examples).
+  double gini = 0.0;
+};
+
+[[nodiscard]] ChurnConcentration churn_concentration(
+    std::span<const double> flip_rates);
+
+}  // namespace nnr::metrics

@@ -1,0 +1,180 @@
+#include "nn/batchnorm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace nnr::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// Gathers NCHW activations into a [C, N*H*W] matrix so that per-channel
+/// reductions are contiguous single launches.
+void gather_channels(const Tensor& x, Tensor& out) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t hw = x.shape()[2] * x.shape()[3];
+  const float* src = x.raw();
+  float* dst = out.raw();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = src + (ni * c + ci) * hw;
+      float* row = dst + ci * (n * hw) + ni * hw;
+      for (std::int64_t p = 0; p < hw; ++p) row[p] = plane[p];
+    }
+  }
+}
+
+}  // namespace
+
+BatchNorm2D::BatchNorm2D(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_("bn.gamma", Shape{channels}),
+      beta_("bn.beta", Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}) {
+  gamma_.value.fill(1.0F);
+  beta_.value.fill(0.0F);
+  running_mean_.fill(0.0F);
+  running_var_.fill(1.0F);
+}
+
+std::string BatchNorm2D::name() const {
+  return "BatchNorm2D(" + std::to_string(channels_) + ")";
+}
+
+Tensor BatchNorm2D::forward(const Tensor& input, RunContext& ctx) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == channels_);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  const std::int64_t m = n * hw;  // elements per channel
+
+  std::vector<float> mean(static_cast<std::size_t>(channels_));
+  std::vector<float> var(static_cast<std::size_t>(channels_));
+
+  if (ctx.training) {
+    // Batch statistics through the device reduction policy (two launches).
+    Tensor gathered(Shape{channels_, m});
+    gather_channels(input, gathered);
+    tensor::reduce_rows(gathered, mean, ctx.hw->reduction_policy());
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      mean[static_cast<std::size_t>(c)] /= static_cast<float>(m);
+    }
+    // Center in place, then reduce squares.
+    Tensor centered_sq(Shape{channels_, m});
+    {
+      const float* g = gathered.raw();
+      float* sq = centered_sq.raw();
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        const float mu = mean[static_cast<std::size_t>(c)];
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float d = g[c * m + i] - mu;
+          sq[c * m + i] = d * d;
+        }
+      }
+    }
+    tensor::reduce_rows(centered_sq, var, ctx.hw->reduction_policy());
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      var[static_cast<std::size_t>(c)] /= static_cast<float>(m);
+    }
+    // Update running statistics.
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      running_mean_.at(c) =
+          momentum_ * running_mean_.at(c) + (1.0F - momentum_) * mean[ci];
+      running_var_.at(c) =
+          momentum_ * running_var_.at(c) + (1.0F - momentum_) * var[ci];
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      mean[static_cast<std::size_t>(c)] = running_mean_.at(c);
+      var[static_cast<std::size_t>(c)] = running_var_.at(c);
+    }
+  }
+
+  inv_std_.assign(static_cast<std::size_t>(channels_), 0.0F);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    inv_std_[static_cast<std::size_t>(c)] =
+        1.0F / std::sqrt(var[static_cast<std::size_t>(c)] + epsilon_);
+  }
+
+  Tensor output(input.shape());
+  xhat_ = Tensor(input.shape());
+  const float* src = input.raw();
+  float* xh = xhat_.raw();
+  float* out = output.raw();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      const float mu = mean[ci];
+      const float is = inv_std_[ci];
+      const float g = gamma_.value.at(c);
+      const float b = beta_.value.at(c);
+      const std::int64_t base = (ni * channels_ + c) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        const float norm = (src[base + p] - mu) * is;
+        xh[base + p] = norm;
+        out[base + p] = g * norm + b;
+      }
+    }
+  }
+  if (!ctx.training) xhat_ = Tensor();  // nothing to backprop at eval
+  return output;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& grad_output, RunContext& ctx) {
+  assert(!xhat_.empty() && "backward() requires a training-mode forward()");
+  const std::int64_t n = grad_output.shape()[0];
+  const std::int64_t hw = grad_output.shape()[2] * grad_output.shape()[3];
+  const std::int64_t m = n * hw;
+
+  // Per-channel sums of dy and dy*xhat (two reduction launches).
+  Tensor dy_gathered(Shape{channels_, m});
+  gather_channels(grad_output, dy_gathered);
+  Tensor dyxh(Shape{channels_, m});
+  {
+    Tensor xh_gathered(Shape{channels_, m});
+    gather_channels(xhat_, xh_gathered);
+    const float* a = dy_gathered.raw();
+    const float* b = xh_gathered.raw();
+    float* o = dyxh.raw();
+    for (std::int64_t i = 0; i < channels_ * m; ++i) o[i] = a[i] * b[i];
+  }
+  std::vector<float> sum_dy(static_cast<std::size_t>(channels_));
+  std::vector<float> sum_dyxh(static_cast<std::size_t>(channels_));
+  tensor::reduce_rows(dy_gathered, sum_dy, ctx.hw->reduction_policy());
+  tensor::reduce_rows(dyxh, sum_dyxh, ctx.hw->reduction_policy());
+
+  tensor::axpy(1.0F, sum_dyxh, gamma_.grad.data());
+  tensor::axpy(1.0F, sum_dy, beta_.grad.data());
+
+  // dx = gamma * inv_std / m * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+  Tensor grad_input(grad_output.shape());
+  const float* dy = grad_output.raw();
+  const float* xh = xhat_.raw();
+  float* dx = grad_input.raw();
+  const float inv_m = 1.0F / static_cast<float>(m);
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      const float scale = gamma_.value.at(c) * inv_std_[ci] * inv_m;
+      const float sdy = sum_dy[ci];
+      const float sdyxh = sum_dyxh[ci];
+      const std::int64_t base = (ni * channels_ + c) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        dx[base + p] = scale * (static_cast<float>(m) * dy[base + p] - sdy -
+                                xh[base + p] * sdyxh);
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace nnr::nn

@@ -1,0 +1,59 @@
+// BatchNorm2D (Ioffe & Szegedy 2015).
+//
+// The paper (Fig. 2) identifies batch normalization as the model-design
+// choice that most strongly damps system noise; the SmallCNN (no BN) is its
+// noisiest benchmark. Reproducing that requires the BN statistics to run
+// through the device's reduction policy: the per-channel mean/variance sums
+// are large cross-batch float32 reductions and a primary entry point for
+// implementation noise (they have no Tensor-Core implementation, so they stay
+// nondeterministic even on TC devices).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace nnr::nn {
+
+class BatchNorm2D final : public Layer {
+ public:
+  explicit BatchNorm2D(std::int64_t channels, float momentum = 0.9F,
+                       float epsilon = 1e-5F);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input,
+                                       RunContext& ctx) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                        RunContext& ctx) override;
+  [[nodiscard]] std::vector<Param*> params() override {
+    return {&gamma_, &beta_};
+  }
+  [[nodiscard]] std::vector<NamedBuffer> buffers() override {
+    return {{"bn.running_mean", &running_mean_},
+            {"bn.running_var", &running_var_}};
+  }
+  [[nodiscard]] std::string name() const override;
+
+  /// Running statistics (used at eval time); exposed for tests.
+  [[nodiscard]] std::span<const float> running_mean() const noexcept {
+    return running_mean_.data();
+  }
+  [[nodiscard]] std::span<const float> running_var() const noexcept {
+    return running_var_.data();
+  }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float epsilon_;
+
+  Param gamma_;  // [C], init 1
+  Param beta_;   // [C], init 0
+  tensor::Tensor running_mean_;  // [C]
+  tensor::Tensor running_var_;   // [C]
+
+  // Backward caches (training mode only).
+  tensor::Tensor xhat_;     // normalized input, same shape as input
+  std::vector<float> inv_std_;  // [C]
+};
+
+}  // namespace nnr::nn

@@ -1,0 +1,51 @@
+#include "nn/dropout.h"
+
+#include <cassert>
+
+namespace nnr::nn {
+
+using tensor::Tensor;
+
+Dropout::Dropout(float rate) : rate_(rate) {
+  assert(rate >= 0.0F && rate < 1.0F);
+}
+
+std::string Dropout::name() const {
+  return "Dropout(" + std::to_string(rate_) + ")";
+}
+
+Tensor Dropout::forward(const Tensor& input, RunContext& ctx) {
+  if (!ctx.training || rate_ == 0.0F) {
+    mask_ = Tensor();
+    return input;
+  }
+  assert(ctx.dropout != nullptr &&
+         "training-mode Dropout requires the dropout noise channel");
+  const float keep_scale = 1.0F / (1.0F - rate_);
+  mask_ = Tensor(input.shape());
+  Tensor output(input.shape());
+  const float* src = input.raw();
+  float* msk = mask_.raw();
+  float* dst = output.raw();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float m = ctx.dropout->bernoulli(rate_) ? 0.0F : keep_scale;
+    msk[i] = m;
+    dst[i] = src[i] * m;
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output, RunContext& /*ctx*/) {
+  if (mask_.empty()) return grad_output;  // eval-mode or rate 0: identity
+  assert(grad_output.shape() == mask_.shape());
+  Tensor grad_input(grad_output.shape());
+  const float* dy = grad_output.raw();
+  const float* msk = mask_.raw();
+  float* dx = grad_input.raw();
+  const std::int64_t n = grad_output.numel();
+  for (std::int64_t i = 0; i < n; ++i) dx[i] = dy[i] * msk[i];
+  return grad_input;
+}
+
+}  // namespace nnr::nn

@@ -1,0 +1,27 @@
+// Dropout (Srivastava et al., 2014) — the paper's canonical "stochastic
+// layer" (Table 1). Draws its mask from the kDropout noise channel; pinning
+// that channel's seed freezes the layer across replicates.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace nnr::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `rate` is the drop probability in [0, 1). Inverted-dropout scaling:
+  /// surviving activations are multiplied by 1/(1-rate) so eval is identity.
+  explicit Dropout(float rate);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input,
+                                       RunContext& ctx) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                        RunContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  float rate_;
+  tensor::Tensor mask_;  // keep-scale per element (0 or 1/(1-rate))
+};
+
+}  // namespace nnr::nn

@@ -1,0 +1,25 @@
+#include "nn/flatten.h"
+
+#include <cassert>
+
+namespace nnr::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor Flatten::forward(const Tensor& input, RunContext& /*ctx*/) {
+  assert(input.shape().rank() == 4);
+  input_shape_ = input.shape();
+  Tensor output = input;
+  output.reshape(Shape{input_shape_[0],
+                       input_shape_[1] * input_shape_[2] * input_shape_[3]});
+  return output;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output, RunContext& /*ctx*/) {
+  Tensor grad_input = grad_output;
+  grad_input.reshape(input_shape_);
+  return grad_input;
+}
+
+}  // namespace nnr::nn

@@ -1,0 +1,22 @@
+// Flatten: NCHW -> [N, C*H*W] (pure reshape; contiguous layout preserved).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace nnr::nn {
+
+class Flatten final : public Layer {
+ public:
+  Flatten() = default;
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input,
+                                       RunContext& ctx) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                        RunContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace nnr::nn

@@ -1,0 +1,151 @@
+#include "nn/groupnorm.h"
+
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "tensor/gemm.h"
+
+namespace nnr::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+GroupNorm::GroupNorm(std::int64_t channels, std::int64_t groups, float epsilon)
+    : channels_(channels),
+      groups_(groups),
+      epsilon_(epsilon),
+      gamma_("gn.gamma", Shape{channels}),
+      beta_("gn.beta", Shape{channels}) {
+  assert(groups_ > 0 && channels_ % groups_ == 0);
+  gamma_.value.fill(1.0F);
+  beta_.value.fill(0.0F);
+}
+
+std::string GroupNorm::name() const {
+  return "GroupNorm(" + std::to_string(channels_) + ", g=" +
+         std::to_string(groups_) + ")";
+}
+
+Tensor GroupNorm::forward(const Tensor& input, RunContext& ctx) {
+  assert(input.shape().rank() == 4 && input.shape()[1] == channels_);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  const std::int64_t cg = channels_ / groups_;  // channels per group
+  const std::int64_t m = cg * hw;               // elements per group slab
+
+  xhat_ = Tensor(input.shape());
+  inv_std_.assign(static_cast<std::size_t>(n * groups_), 0.0F);
+
+  Tensor output(input.shape());
+  const float* x = input.raw();
+  const float* gamma = gamma_.value.raw();
+  const float* beta = beta_.value.raw();
+  float* xh = xhat_.raw();
+  float* y = output.raw();
+
+  std::vector<float> sq(static_cast<std::size_t>(m));
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      // Group slab is contiguous in NCHW: channels [g*cg, (g+1)*cg) of
+      // sample ni.
+      const std::int64_t base = (ni * channels_ + g * cg) * hw;
+      const std::span<const float> slab(x + base, static_cast<std::size_t>(m));
+
+      const float mean =
+          tensor::reduce_sum(slab, ctx.hw->reduction_policy()) /
+          static_cast<float>(m);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float d = slab[static_cast<std::size_t>(i)] - mean;
+        sq[static_cast<std::size_t>(i)] = d * d;
+      }
+      const float var = tensor::reduce_sum(sq, ctx.hw->reduction_policy()) /
+                        static_cast<float>(m);
+      const float inv_std = 1.0F / std::sqrt(var + epsilon_);
+      inv_std_[static_cast<std::size_t>(ni * groups_ + g)] = inv_std;
+
+      for (std::int64_t ci = 0; ci < cg; ++ci) {
+        const std::int64_t c = g * cg + ci;
+        const std::int64_t off = base + ci * hw;
+        for (std::int64_t p = 0; p < hw; ++p) {
+          const float normed = (x[off + p] - mean) * inv_std;
+          xh[off + p] = normed;
+          y[off + p] = gamma[c] * normed + beta[c];
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor GroupNorm::backward(const Tensor& grad_output, RunContext& ctx) {
+  assert(grad_output.shape() == xhat_.shape());
+  const std::int64_t n = grad_output.shape()[0];
+  const std::int64_t hw = grad_output.shape()[2] * grad_output.shape()[3];
+  const std::int64_t cg = channels_ / groups_;
+  const std::int64_t m = cg * hw;
+
+  Tensor grad_input(grad_output.shape());
+  const float* dy = grad_output.raw();
+  const float* xh = xhat_.raw();
+  const float* gamma = gamma_.value.raw();
+  float* dgamma = gamma_.grad.raw();
+  float* dbeta = beta_.grad.raw();
+  float* dx = grad_input.raw();
+
+  // dgamma[c] = sum_{n,hw} dy * xhat; dbeta[c] = sum_{n,hw} dy. Each
+  // (sample, channel) plane reduces under the policy; the small cross-sample
+  // combine is sequential (one add per sample, as a grid-level atomic would
+  // retire in channel order).
+  std::vector<float> plane_buf(static_cast<std::size_t>(hw));
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const std::int64_t off = (ni * channels_ + c) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        plane_buf[static_cast<std::size_t>(p)] = dy[off + p] * xh[off + p];
+      }
+      dgamma[c] += tensor::reduce_sum(plane_buf, ctx.hw->reduction_policy());
+      dbeta[c] += tensor::reduce_sum(
+          std::span<const float>(dy + off, static_cast<std::size_t>(hw)),
+          ctx.hw->reduction_policy());
+    }
+  }
+
+  // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat)),
+  // with means over the group slab and dxhat = dy * gamma[c].
+  std::vector<float> dxhat(static_cast<std::size_t>(m));
+  std::vector<float> dxhat_xhat(static_cast<std::size_t>(m));
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      const std::int64_t base = (ni * channels_ + g * cg) * hw;
+      for (std::int64_t ci = 0; ci < cg; ++ci) {
+        const float gm = gamma[g * cg + ci];
+        const std::int64_t off = base + ci * hw;
+        for (std::int64_t p = 0; p < hw; ++p) {
+          const std::size_t i = static_cast<std::size_t>(ci * hw + p);
+          dxhat[i] = dy[off + p] * gm;
+          dxhat_xhat[i] = dxhat[i] * xh[off + p];
+        }
+      }
+      const float mean_dxhat =
+          tensor::reduce_sum(dxhat, ctx.hw->reduction_policy()) /
+          static_cast<float>(m);
+      const float mean_dxhat_xhat =
+          tensor::reduce_sum(dxhat_xhat, ctx.hw->reduction_policy()) /
+          static_cast<float>(m);
+      const float inv_std =
+          inv_std_[static_cast<std::size_t>(ni * groups_ + g)];
+      for (std::int64_t ci = 0; ci < cg; ++ci) {
+        const std::int64_t off = base + ci * hw;
+        for (std::int64_t p = 0; p < hw; ++p) {
+          const std::size_t i = static_cast<std::size_t>(ci * hw + p);
+          dx[off + p] = inv_std * (dxhat[i] - mean_dxhat -
+                                   xh[off + p] * mean_dxhat_xhat);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace nnr::nn

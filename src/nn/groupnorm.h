@@ -1,0 +1,51 @@
+// GroupNorm (Wu & He 2018): per-sample, per-group normalization.
+//
+// The ablation-relevant contrast with BatchNorm2D: GroupNorm's statistics
+// are computed within a single sample, so they do not couple replicas
+// through batch composition — data-order noise cannot enter through the
+// normalizer. Its reductions (group mean/variance) still run under the
+// device reduction policy, so scheduler noise applies as usual. The
+// normalization ablation bench compares BN / GN / no-norm variants of the
+// SmallCNN to separate "normalization stabilizes optimization" from
+// "batch statistics inject order sensitivity" (paper Fig. 2 shows the
+// combined effect only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nnr::nn {
+
+class GroupNorm final : public Layer {
+ public:
+  /// `channels` must be divisible by `groups`. groups == channels gives
+  /// InstanceNorm; groups == 1 gives LayerNorm over C*H*W.
+  GroupNorm(std::int64_t channels, std::int64_t groups, float epsilon = 1e-5F);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input,
+                                       RunContext& ctx) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                        RunContext& ctx) override;
+  [[nodiscard]] std::vector<Param*> params() override {
+    return {&gamma_, &beta_};
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::int64_t groups() const noexcept { return groups_; }
+
+ private:
+  std::int64_t channels_;
+  std::int64_t groups_;
+  float epsilon_;
+
+  Param gamma_;  // [C], init 1
+  Param beta_;   // [C], init 0
+
+  // Backward caches.
+  tensor::Tensor xhat_;          // normalized input
+  std::vector<float> inv_std_;   // [N * groups]
+};
+
+}  // namespace nnr::nn

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nnr::nn {
+
+void glorot_uniform(rng::Generator& gen, tensor::Tensor& weights,
+                    std::int64_t fan_in, std::int64_t fan_out) {
+  assert(fan_in > 0 && fan_out > 0);
+  const float limit =
+      std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  for (float& w : weights.data()) w = gen.uniform(-limit, limit);
+}
+
+void he_normal(rng::Generator& gen, tensor::Tensor& weights,
+               std::int64_t fan_in) {
+  assert(fan_in > 0);
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  for (float& w : weights.data()) w = gen.normal(0.0F, stddev);
+}
+
+}  // namespace nnr::nn

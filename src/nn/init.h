@@ -1,0 +1,22 @@
+// Weight initialization schemes (paper Table 1, "Random Initialization").
+//
+// Initialization draws from the kInit noise channel; pinning that channel's
+// seed is exactly how the IMPL and CONTROL variants remove init noise.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/generator.h"
+#include "tensor/tensor.h"
+
+namespace nnr::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform(rng::Generator& gen, tensor::Tensor& weights,
+                    std::int64_t fan_in, std::int64_t fan_out);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)) — standard for ReLU networks.
+void he_normal(rng::Generator& gen, tensor::Tensor& weights,
+               std::int64_t fan_in);
+
+}  // namespace nnr::nn

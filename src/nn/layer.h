@@ -1,0 +1,86 @@
+// Layer interface for the training stack.
+//
+// Layers are stateful (they own parameters and per-batch caches) and are
+// driven by a RunContext that carries the simulated device, the training
+// flag, and the dropout noise channel. All reductions a layer performs must
+// go through the context's kernel policies — this is the invariant that makes
+// the IMPL noise model faithful (and is checked by the determinism-contract
+// tests).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/execution_context.h"
+#include "rng/generator.h"
+#include "tensor/tensor.h"
+
+namespace nnr::nn {
+
+/// A trainable parameter: value and accumulated gradient, same shape.
+struct Param {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  Param(std::string param_name, tensor::Shape shape)
+      : name(std::move(param_name)), value(shape), grad(shape) {}
+};
+
+/// A named, non-trainable tensor that persists across batches and must be
+/// serialized with the model (checkpointing).
+struct NamedBuffer {
+  std::string name;
+  tensor::Tensor* value = nullptr;
+};
+
+/// Per-step execution environment threaded through forward/backward.
+struct RunContext {
+  hw::ExecutionContext* hw = nullptr;  // never null during execution
+  bool training = false;
+  rng::Generator* dropout = nullptr;  // required by stochastic layers when training
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output; caches whatever backward() needs.
+  [[nodiscard]] virtual tensor::Tensor forward(const tensor::Tensor& input,
+                                               RunContext& ctx) = 0;
+
+  /// Consumes d(loss)/d(output), accumulates parameter gradients, and
+  /// returns d(loss)/d(input). Must be called after forward() on the same
+  /// batch.
+  [[nodiscard]] virtual tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                                RunContext& ctx) = 0;
+
+  /// Trainable parameters (possibly empty). Pointers remain valid for the
+  /// lifetime of the layer.
+  [[nodiscard]] virtual std::vector<Param*> params() { return {}; }
+
+  /// Non-trainable persistent state a checkpoint must capture (e.g. the
+  /// batch-norm running statistics). Pointers remain valid for the lifetime
+  /// of the layer. Composite layers recurse in the same fixed child order as
+  /// params().
+  [[nodiscard]] virtual std::vector<NamedBuffer> buffers() { return {}; }
+
+  /// Draws initial parameter values from the init noise channel. Layers
+  /// without random initialization (BN, activations, pooling) keep their
+  /// constant defaults. Composite layers must recurse in a fixed child order
+  /// so the init stream is consumed identically across runs.
+  virtual void init_weights(rng::Generator& /*init_gen*/) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Layer() = default;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace nnr::nn

@@ -1,0 +1,77 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nnr::nn {
+
+using tensor::Tensor;
+
+Tensor Model::forward(const Tensor& input, RunContext& ctx) {
+  Tensor activation = input;
+  for (auto& layer : layers_) {
+    activation = layer->forward(activation, ctx);
+  }
+  return activation;
+}
+
+Tensor Model::backward(const Tensor& grad_output, RunContext& ctx) {
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad, ctx);
+  }
+  return grad;
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::vector<NamedBuffer> Model::buffers() {
+  std::vector<NamedBuffer> all;
+  for (auto& layer : layers_) {
+    for (NamedBuffer b : layer->buffers()) all.push_back(b);
+  }
+  return all;
+}
+
+void Model::zero_grads() {
+  for (Param* p : params()) p->grad.fill(0.0F);
+}
+
+void Model::init_weights(rng::Generator& init_gen) {
+  for (auto& layer : layers_) layer->init_weights(init_gen);
+}
+
+std::vector<float> Model::flat_weights() {
+  std::vector<float> flat;
+  for (Param* p : params()) {
+    const auto view = p->value.data();
+    flat.insert(flat.end(), view.begin(), view.end());
+  }
+  return flat;
+}
+
+void Model::load_flat_weights(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (Param* p : params()) {
+    const auto dst = p->value.data();
+    assert(offset + dst.size() <= flat.size());
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                dst.size(), dst.begin());
+    offset += dst.size();
+  }
+  assert(offset == flat.size());
+}
+
+std::int64_t Model::num_params() {
+  std::int64_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace nnr::nn

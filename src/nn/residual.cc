@@ -1,0 +1,193 @@
+#include "nn/residual.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace nnr::nn {
+
+using tensor::Tensor;
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride)
+    : conv1_(in_channels, out_channels, 3, stride),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1),
+      bn2_(out_channels) {
+  if (stride != 1 || in_channels != out_channels) {
+    proj_ = std::make_unique<Conv2D>(in_channels, out_channels, 1, stride, 0);
+    proj_bn_ = std::make_unique<BatchNorm2D>(out_channels);
+  }
+}
+
+std::string BasicBlock::name() const { return "BasicBlock"; }
+
+void BasicBlock::init_weights(rng::Generator& init_gen) {
+  conv1_.init_weights(init_gen);
+  conv2_.init_weights(init_gen);
+  if (proj_) proj_->init_weights(init_gen);
+}
+
+std::vector<Param*> BasicBlock::params() {
+  std::vector<Param*> all;
+  auto append = [&all](Layer& layer) {
+    for (Param* p : layer.params()) all.push_back(p);
+  };
+  append(conv1_);
+  append(bn1_);
+  append(conv2_);
+  append(bn2_);
+  if (proj_) {
+    append(*proj_);
+    append(*proj_bn_);
+  }
+  return all;
+}
+
+std::vector<NamedBuffer> BasicBlock::buffers() {
+  std::vector<NamedBuffer> all;
+  auto append = [&all](Layer& layer) {
+    for (NamedBuffer b : layer.buffers()) all.push_back(b);
+  };
+  append(bn1_);
+  append(bn2_);
+  if (proj_bn_) append(*proj_bn_);
+  return all;
+}
+
+Tensor BasicBlock::forward(const Tensor& input, RunContext& ctx) {
+  Tensor main = conv1_.forward(input, ctx);
+  main = bn1_.forward(main, ctx);
+  main = relu1_.forward(main, ctx);
+  main = conv2_.forward(main, ctx);
+  main = bn2_.forward(main, ctx);
+
+  Tensor skip = input;
+  if (proj_) {
+    skip = proj_->forward(input, ctx);
+    skip = proj_bn_->forward(skip, ctx);
+  }
+  assert(main.shape() == skip.shape());
+  tensor::axpy(1.0F, skip.data(), main.data());
+  return relu_out_.forward(main, ctx);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output, RunContext& ctx) {
+  Tensor grad_sum = relu_out_.backward(grad_output, ctx);
+
+  // Skip path.
+  Tensor grad_skip = grad_sum;
+  if (proj_) {
+    grad_skip = proj_bn_->backward(grad_skip, ctx);
+    grad_skip = proj_->backward(grad_skip, ctx);
+  }
+
+  // Main path.
+  Tensor grad = bn2_.backward(grad_sum, ctx);
+  grad = conv2_.backward(grad, ctx);
+  grad = relu1_.backward(grad, ctx);
+  grad = bn1_.backward(grad, ctx);
+  grad = conv1_.backward(grad, ctx);
+
+  tensor::axpy(1.0F, grad_skip.data(), grad.data());
+  return grad;
+}
+
+BottleneckBlock::BottleneckBlock(std::int64_t in_channels,
+                                 std::int64_t mid_channels,
+                                 std::int64_t expansion, std::int64_t stride)
+    : conv1_(in_channels, mid_channels, 1, 1, 0),
+      bn1_(mid_channels),
+      conv2_(mid_channels, mid_channels, 3, stride),
+      bn2_(mid_channels),
+      conv3_(mid_channels, mid_channels * expansion, 1, 1, 0),
+      bn3_(mid_channels * expansion) {
+  const std::int64_t out_channels = mid_channels * expansion;
+  if (stride != 1 || in_channels != out_channels) {
+    proj_ = std::make_unique<Conv2D>(in_channels, out_channels, 1, stride, 0);
+    proj_bn_ = std::make_unique<BatchNorm2D>(out_channels);
+  }
+}
+
+std::string BottleneckBlock::name() const { return "BottleneckBlock"; }
+
+void BottleneckBlock::init_weights(rng::Generator& init_gen) {
+  conv1_.init_weights(init_gen);
+  conv2_.init_weights(init_gen);
+  conv3_.init_weights(init_gen);
+  if (proj_) proj_->init_weights(init_gen);
+}
+
+std::vector<Param*> BottleneckBlock::params() {
+  std::vector<Param*> all;
+  auto append = [&all](Layer& layer) {
+    for (Param* p : layer.params()) all.push_back(p);
+  };
+  append(conv1_);
+  append(bn1_);
+  append(conv2_);
+  append(bn2_);
+  append(conv3_);
+  append(bn3_);
+  if (proj_) {
+    append(*proj_);
+    append(*proj_bn_);
+  }
+  return all;
+}
+
+std::vector<NamedBuffer> BottleneckBlock::buffers() {
+  std::vector<NamedBuffer> all;
+  auto append = [&all](Layer& layer) {
+    for (NamedBuffer b : layer.buffers()) all.push_back(b);
+  };
+  append(bn1_);
+  append(bn2_);
+  append(bn3_);
+  if (proj_bn_) append(*proj_bn_);
+  return all;
+}
+
+Tensor BottleneckBlock::forward(const Tensor& input, RunContext& ctx) {
+  Tensor main = conv1_.forward(input, ctx);
+  main = bn1_.forward(main, ctx);
+  main = relu1_.forward(main, ctx);
+  main = conv2_.forward(main, ctx);
+  main = bn2_.forward(main, ctx);
+  main = relu2_.forward(main, ctx);
+  main = conv3_.forward(main, ctx);
+  main = bn3_.forward(main, ctx);
+
+  Tensor skip = input;
+  if (proj_) {
+    skip = proj_->forward(input, ctx);
+    skip = proj_bn_->forward(skip, ctx);
+  }
+  assert(main.shape() == skip.shape());
+  tensor::axpy(1.0F, skip.data(), main.data());
+  return relu_out_.forward(main, ctx);
+}
+
+Tensor BottleneckBlock::backward(const Tensor& grad_output, RunContext& ctx) {
+  Tensor grad_sum = relu_out_.backward(grad_output, ctx);
+
+  Tensor grad_skip = grad_sum;
+  if (proj_) {
+    grad_skip = proj_bn_->backward(grad_skip, ctx);
+    grad_skip = proj_->backward(grad_skip, ctx);
+  }
+
+  Tensor grad = bn3_.backward(grad_sum, ctx);
+  grad = conv3_.backward(grad, ctx);
+  grad = relu2_.backward(grad, ctx);
+  grad = bn2_.backward(grad, ctx);
+  grad = conv2_.backward(grad, ctx);
+  grad = relu1_.backward(grad, ctx);
+  grad = bn1_.backward(grad, ctx);
+  grad = conv1_.backward(grad, ctx);
+
+  tensor::axpy(1.0F, grad_skip.data(), grad.data());
+  return grad;
+}
+
+}  // namespace nnr::nn

@@ -1,0 +1,73 @@
+// Residual blocks (He et al., 2016) for the scaled ResNet-18/50 models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+
+namespace nnr::nn {
+
+/// Basic residual block: conv3x3-BN-ReLU-conv3x3-BN + identity/projection
+/// skip, followed by ReLU. A 1x1 projection (with BN) is inserted when the
+/// channel count or stride changes.
+class BasicBlock final : public Layer {
+ public:
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input,
+                                       RunContext& ctx) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                        RunContext& ctx) override;
+  [[nodiscard]] std::vector<Param*> params() override;
+  [[nodiscard]] std::vector<NamedBuffer> buffers() override;
+  void init_weights(rng::Generator& init_gen) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Conv2D conv1_;
+  BatchNorm2D bn1_;
+  ReLU relu1_;
+  Conv2D conv2_;
+  BatchNorm2D bn2_;
+  std::unique_ptr<Conv2D> proj_;      // nullptr when the skip is identity
+  std::unique_ptr<BatchNorm2D> proj_bn_;
+  ReLU relu_out_;
+};
+
+/// Bottleneck residual block (1x1 reduce, 3x3, 1x1 expand) used by the
+/// scaled ResNet-50.
+class BottleneckBlock final : public Layer {
+ public:
+  /// `expansion` multiplies `mid_channels` to give the block output width.
+  BottleneckBlock(std::int64_t in_channels, std::int64_t mid_channels,
+                  std::int64_t expansion, std::int64_t stride);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input,
+                                       RunContext& ctx) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                        RunContext& ctx) override;
+  [[nodiscard]] std::vector<Param*> params() override;
+  [[nodiscard]] std::vector<NamedBuffer> buffers() override;
+  void init_weights(rng::Generator& init_gen) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Conv2D conv1_;
+  BatchNorm2D bn1_;
+  ReLU relu1_;
+  Conv2D conv2_;
+  BatchNorm2D bn2_;
+  ReLU relu2_;
+  Conv2D conv3_;
+  BatchNorm2D bn3_;
+  std::unique_ptr<Conv2D> proj_;
+  std::unique_ptr<BatchNorm2D> proj_bn_;
+  ReLU relu_out_;
+};
+
+}  // namespace nnr::nn

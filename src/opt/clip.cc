@@ -1,0 +1,40 @@
+#include "opt/clip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nnr::opt {
+
+double global_grad_norm(const std::vector<nn::Param*>& params) {
+  // double accumulation: the norm is a control quantity, not part of the
+  // float32 training signal whose rounding the study measures.
+  double sum_sq = 0.0;
+  for (const nn::Param* p : params) {
+    for (const float g : p->grad.data()) {
+      sum_sq += static_cast<double>(g) * static_cast<double>(g);
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double clip_grad_norm(const std::vector<nn::Param*>& params, float max_norm) {
+  assert(max_norm > 0.0F);
+  const double norm = global_grad_norm(params);
+  if (norm > static_cast<double>(max_norm)) {
+    const auto scale = static_cast<float>(static_cast<double>(max_norm) / norm);
+    for (nn::Param* p : params) {
+      for (float& g : p->grad.data()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+void clip_grad_value(const std::vector<nn::Param*>& params, float limit) {
+  assert(limit > 0.0F);
+  for (nn::Param* p : params) {
+    for (float& g : p->grad.data()) g = std::clamp(g, -limit, limit);
+  }
+}
+
+}  // namespace nnr::opt

@@ -1,0 +1,29 @@
+// Gradient clipping utilities.
+//
+// Global-norm clipping performs the one cross-element reduction in the
+// optimizer path. We compute it in a *fixed* parameter-then-index order with
+// sequential accumulation, so clipping is bitwise deterministic on every
+// device and adds no implementation noise of its own — matching TF, where
+// clip_by_global_norm runs as a host-side fused reduction outside the
+// autotuned kernel set. (The gradients being clipped still carry whatever
+// IMPL noise the backward kernels produced.)
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nnr::opt {
+
+/// L2 norm over the concatenation of all parameter gradients, accumulated
+/// sequentially in parameter order.
+[[nodiscard]] double global_grad_norm(const std::vector<nn::Param*>& params);
+
+/// Scales all gradients by max_norm / global_norm when the global norm
+/// exceeds max_norm. Returns the pre-clip global norm.
+double clip_grad_norm(const std::vector<nn::Param*>& params, float max_norm);
+
+/// Clamps every gradient element into [-limit, +limit].
+void clip_grad_value(const std::vector<nn::Param*>& params, float limit);
+
+}  // namespace nnr::opt

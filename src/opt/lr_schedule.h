@@ -1,0 +1,72 @@
+// Learning-rate schedules used by the paper's training recipes (Appendix B):
+//   - step decay (/10 every k epochs) for the CIFAR and CelebA recipes,
+//   - warmup + cosine decay for the ImageNet recipe.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numbers>
+
+namespace nnr::opt {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate for the given (0-based) epoch.
+  [[nodiscard]] virtual float at_epoch(std::int64_t epoch) const = 0;
+};
+
+/// base_lr * decay_factor^(epoch / decay_every).
+class StepDecay final : public LrSchedule {
+ public:
+  StepDecay(float base_lr, std::int64_t decay_every, float decay_factor = 0.1F)
+      : base_lr_(base_lr),
+        decay_every_(decay_every),
+        decay_factor_(decay_factor) {}
+
+  [[nodiscard]] float at_epoch(std::int64_t epoch) const override {
+    float lr = base_lr_;
+    for (std::int64_t e = decay_every_; e <= epoch; e += decay_every_) {
+      lr *= decay_factor_;
+    }
+    return lr;
+  }
+
+ private:
+  float base_lr_;
+  std::int64_t decay_every_;
+  float decay_factor_;
+};
+
+/// Linear warmup over `warmup_epochs`, then cosine decay to zero at
+/// `total_epochs` (the paper's ImageNet recipe).
+class WarmupCosine final : public LrSchedule {
+ public:
+  WarmupCosine(float base_lr, std::int64_t warmup_epochs,
+               std::int64_t total_epochs)
+      : base_lr_(base_lr),
+        warmup_epochs_(warmup_epochs),
+        total_epochs_(total_epochs) {}
+
+  [[nodiscard]] float at_epoch(std::int64_t epoch) const override {
+    if (epoch < warmup_epochs_) {
+      // Mid-epoch average of a linear ramp: epoch 0 of a 1-epoch warmup
+      // trains at base_lr/2, reaching base_lr when warmup completes.
+      return base_lr_ * (static_cast<float>(epoch) + 0.5F) /
+             static_cast<float>(warmup_epochs_);
+    }
+    const float progress =
+        static_cast<float>(epoch - warmup_epochs_) /
+        static_cast<float>(std::max<std::int64_t>(1, total_epochs_ - warmup_epochs_));
+    return base_lr_ * 0.5F *
+           (1.0F + std::cos(std::numbers::pi_v<float> * progress));
+  }
+
+ private:
+  float base_lr_;
+  std::int64_t warmup_epochs_;
+  std::int64_t total_epochs_;
+};
+
+}  // namespace nnr::opt

@@ -1,0 +1,39 @@
+// Kernel taxonomy for the simulated cuDNN-style kernel library.
+//
+// The overhead study (paper §4) hinges on one mechanism: for each conv pass
+// the vendor library offers a *menu* of algorithms, the autotuner picks the
+// fastest, and deterministic mode removes the nondeterministic entries
+// (atomic-accumulation weight-gradient kernels, some FFT/Winograd tilings),
+// forcing slower choices. We reproduce that mechanism with a calibrated cost
+// model; absolute times are arbitrary units, ratios are what the figures
+// report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nnr::profiler {
+
+/// One conv layer expands to three passes per training step.
+enum class ConvPass { kForward, kWgrad, kBgrad };
+
+/// Algorithm families on the menus (names mirror cuDNN's).
+enum class ConvAlgo {
+  kImplicitGemm,         // deterministic, baseline throughput
+  kImplicitPrecompGemm,  // deterministic, faster for big K
+  kWinograd,             // fast for 3x3; nondeterministic for wgrad tilings
+  kFft,                  // fast for large kernels; nondeterministic wgrad
+  kAtomicReduction,      // wgrad via atomics: fastest, never deterministic
+  kDirectDeterministic,  // fallback always-deterministic kernel
+};
+
+[[nodiscard]] std::string algo_name(ConvAlgo algo);
+[[nodiscard]] std::string pass_name(ConvPass pass);
+
+/// A recorded kernel launch (one entry of the simulated nvprof timeline).
+struct KernelLaunch {
+  std::string kernel_type;  // e.g. "winograd_fwd_3x3"
+  double time_ms = 0.0;
+};
+
+}  // namespace nnr::profiler

@@ -1,0 +1,353 @@
+#include "profiler/network_desc.h"
+
+#include <cassert>
+
+namespace nnr::profiler {
+
+double LayerDesc::macs() const noexcept {
+  const double spatial = static_cast<double>(out_h) * static_cast<double>(out_w);
+  switch (kind) {
+    case LayerKind::kConv:
+      return spatial * static_cast<double>(kernel) * static_cast<double>(kernel) *
+             static_cast<double>(in_channels) * static_cast<double>(out_channels);
+    case LayerKind::kDepthwiseConv:
+      return spatial * static_cast<double>(kernel) * static_cast<double>(kernel) *
+             static_cast<double>(out_channels);
+    case LayerKind::kDense:
+      return static_cast<double>(in_channels) * static_cast<double>(out_channels);
+    case LayerKind::kBatchNorm:
+    case LayerKind::kPool:
+    case LayerKind::kActivation:
+      return 0.0;  // memory-bound; costed by bytes
+  }
+  return 0.0;
+}
+
+double LayerDesc::activation_bytes() const noexcept {
+  const double spatial = static_cast<double>(out_h) * static_cast<double>(out_w);
+  return 4.0 * spatial * static_cast<double>(out_channels);
+}
+
+double NetworkDesc::total_macs() const noexcept {
+  double total = 0.0;
+  for (const LayerDesc& l : layers) total += l.macs();
+  return total;
+}
+
+namespace {
+
+/// Appends conv + BN + activation (the standard fused trio).
+void conv_bn(std::vector<LayerDesc>& layers, std::int64_t k, std::int64_t cin,
+             std::int64_t cout, std::int64_t spatial, std::int64_t stride = 1,
+             bool depthwise = false) {
+  layers.push_back({.kind = depthwise ? LayerKind::kDepthwiseConv
+                                      : LayerKind::kConv,
+                    .kernel = k,
+                    .in_channels = cin,
+                    .out_channels = cout,
+                    .out_h = spatial,
+                    .out_w = spatial,
+                    .stride = stride});
+  layers.push_back({.kind = LayerKind::kBatchNorm,
+                    .out_channels = cout,
+                    .out_h = spatial,
+                    .out_w = spatial});
+  layers.push_back({.kind = LayerKind::kActivation,
+                    .out_channels = cout,
+                    .out_h = spatial,
+                    .out_w = spatial});
+}
+
+/// Pointwise 1x1 conv + BN + activation, lowered to GEMM by the framework
+/// (depthwise-separable blocks).
+void pointwise_bn(std::vector<LayerDesc>& layers, std::int64_t cin,
+                  std::int64_t cout, std::int64_t spatial) {
+  conv_bn(layers, 1, cin, cout, spatial);
+  layers[layers.size() - 3].gemm_lowered = true;
+}
+
+void pool(std::vector<LayerDesc>& layers, std::int64_t channels,
+          std::int64_t out_spatial) {
+  layers.push_back({.kind = LayerKind::kPool,
+                    .kernel = 2,
+                    .out_channels = channels,
+                    .out_h = out_spatial,
+                    .out_w = out_spatial});
+}
+
+void dense(std::vector<LayerDesc>& layers, std::int64_t in, std::int64_t out) {
+  layers.push_back({.kind = LayerKind::kDense,
+                    .in_channels = in,
+                    .out_channels = out,
+                    .out_h = 1,
+                    .out_w = 1});
+}
+
+NetworkDesc vgg_desc(const char* name, const std::vector<int>& block_sizes) {
+  NetworkDesc net;
+  net.name = name;
+  const std::int64_t widths[5] = {64, 128, 256, 512, 512};
+  std::int64_t spatial = 224;
+  std::int64_t cin = 3;
+  for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+    for (int i = 0; i < block_sizes[b]; ++i) {
+      conv_bn(net.layers, 3, cin, widths[b], spatial);
+      cin = widths[b];
+    }
+    spatial /= 2;
+    pool(net.layers, cin, spatial);
+  }
+  dense(net.layers, 512 * 7 * 7, 4096);
+  dense(net.layers, 4096, 4096);
+  dense(net.layers, 4096, 1000);
+  return net;
+}
+
+NetworkDesc resnet_desc(const char* name, const std::vector<int>& blocks) {
+  NetworkDesc net;
+  net.name = name;
+  conv_bn(net.layers, 7, 3, 64, 112, 2);
+  pool(net.layers, 64, 56);
+  const std::int64_t mids[4] = {64, 128, 256, 512};
+  const std::int64_t spatials[4] = {56, 28, 14, 7};
+  std::int64_t cin = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t mid = mids[stage];
+    const std::int64_t out = mid * 4;
+    const std::int64_t sp = spatials[stage];
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      conv_bn(net.layers, 1, cin, mid, sp);
+      conv_bn(net.layers, 3, mid, mid, sp);
+      conv_bn(net.layers, 1, mid, out, sp);
+      if (b == 0) conv_bn(net.layers, 1, cin, out, sp);  // projection
+      cin = out;
+    }
+  }
+  dense(net.layers, 2048, 1000);
+  return net;
+}
+
+NetworkDesc densenet_desc(const char* name, const std::vector<int>& blocks) {
+  NetworkDesc net;
+  net.name = name;
+  constexpr std::int64_t kGrowth = 32;
+  conv_bn(net.layers, 7, 3, 64, 112, 2);
+  pool(net.layers, 64, 56);
+  std::int64_t channels = 64;
+  std::int64_t spatial = 56;
+  for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+    for (int l = 0; l < blocks[stage]; ++l) {
+      conv_bn(net.layers, 1, channels, 4 * kGrowth, spatial);
+      conv_bn(net.layers, 3, 4 * kGrowth, kGrowth, spatial);
+      channels += kGrowth;
+    }
+    if (stage + 1 < blocks.size()) {
+      channels /= 2;
+      conv_bn(net.layers, 1, channels * 2, channels, spatial);
+      spatial /= 2;
+      pool(net.layers, channels, spatial);
+    }
+  }
+  dense(net.layers, channels, 1000);
+  return net;
+}
+
+}  // namespace
+
+NetworkDesc vgg16_desc() { return vgg_desc("VGG16", {2, 2, 3, 3, 3}); }
+NetworkDesc vgg19_desc() { return vgg_desc("VGG19", {2, 2, 4, 4, 4}); }
+NetworkDesc resnet50_desc() { return resnet_desc("ResNet50", {3, 4, 6, 3}); }
+NetworkDesc resnet152_desc() {
+  return resnet_desc("ResNet152", {3, 8, 36, 3});
+}
+NetworkDesc densenet121_desc() {
+  return densenet_desc("DenseNet121", {6, 12, 24, 16});
+}
+NetworkDesc densenet201_desc() {
+  return densenet_desc("DenseNet201", {6, 12, 48, 32});
+}
+
+NetworkDesc inception_v3_desc() {
+  // Workload-level approximation: factorized 7x1/1x7 convs are folded into
+  // equivalent-MAC square convs. Channel widths follow the published
+  // architecture closely enough for kernel-time accounting.
+  NetworkDesc net;
+  net.name = "Inceptionv3";
+  conv_bn(net.layers, 3, 3, 32, 149, 2);
+  conv_bn(net.layers, 3, 32, 32, 147);
+  conv_bn(net.layers, 3, 32, 64, 147);
+  pool(net.layers, 64, 73);
+  conv_bn(net.layers, 1, 64, 80, 73);
+  conv_bn(net.layers, 3, 80, 192, 71);
+  pool(net.layers, 192, 35);
+  // 3x Inception-A @35 (mix of 1x1, 5x5, 3x3 towers).
+  std::int64_t cin = 192;
+  for (int i = 0; i < 3; ++i) {
+    conv_bn(net.layers, 1, cin, 64, 35);
+    conv_bn(net.layers, 1, cin, 48, 35);
+    conv_bn(net.layers, 5, 48, 64, 35);
+    conv_bn(net.layers, 1, cin, 64, 35);
+    conv_bn(net.layers, 3, 64, 96, 35);
+    conv_bn(net.layers, 3, 96, 96, 35);
+    conv_bn(net.layers, 1, cin, 32, 35);
+    cin = 288;
+  }
+  // Reduction-A to 17x17.
+  conv_bn(net.layers, 3, 288, 384, 17, 2);
+  conv_bn(net.layers, 1, 288, 64, 35);
+  conv_bn(net.layers, 3, 64, 96, 35);
+  conv_bn(net.layers, 3, 96, 96, 17, 2);
+  // 4x Inception-B @17. The factorized 1x7/7x1 towers are represented as
+  // 3x3-equivalents: two 1-D 7-tap passes cost ~14 MACs/pixel/channel-pair,
+  // close to two 3x3 passes, and use the 3x3 algo menus (1-D kernels have no
+  // large-tile FFT path).
+  cin = 768;
+  for (int i = 0; i < 4; ++i) {
+    conv_bn(net.layers, 1, cin, 192, 17);
+    conv_bn(net.layers, 1, cin, 128, 17);
+    conv_bn(net.layers, 3, 128, 160, 17);
+    conv_bn(net.layers, 3, 160, 192, 17);
+    conv_bn(net.layers, 1, cin, 128, 17);
+    conv_bn(net.layers, 3, 128, 160, 17);
+    conv_bn(net.layers, 3, 160, 192, 17);
+    conv_bn(net.layers, 1, cin, 192, 17);
+  }
+  // Reduction-B to 8x8, then 2x Inception-C @8.
+  conv_bn(net.layers, 1, 768, 192, 17);
+  conv_bn(net.layers, 3, 192, 320, 8, 2);
+  conv_bn(net.layers, 3, 192, 192, 8, 2);
+  cin = 1280;
+  for (int i = 0; i < 2; ++i) {
+    conv_bn(net.layers, 1, cin, 320, 8);
+    conv_bn(net.layers, 1, cin, 384, 8);
+    conv_bn(net.layers, 3, 384, 768, 8);
+    conv_bn(net.layers, 1, cin, 448, 8);
+    conv_bn(net.layers, 3, 448, 384, 8);
+    conv_bn(net.layers, 3, 384, 768, 8);
+    cin = 2048;
+  }
+  dense(net.layers, 2048, 1000);
+  return net;
+}
+
+NetworkDesc xception_desc() {
+  NetworkDesc net;
+  net.name = "Xception";
+  conv_bn(net.layers, 3, 3, 32, 111, 2);
+  conv_bn(net.layers, 3, 32, 64, 109);
+  // Entry flow separable blocks.
+  const std::int64_t entry[3] = {128, 256, 728};
+  std::int64_t cin = 64;
+  std::int64_t spatial = 109;
+  for (std::int64_t width : entry) {
+    spatial /= 2;
+    conv_bn(net.layers, 3, cin, cin, spatial * 2, 1, /*depthwise=*/true);
+    pointwise_bn(net.layers, cin, width, spatial * 2);
+    conv_bn(net.layers, 3, width, width, spatial * 2, 1, /*depthwise=*/true);
+    pointwise_bn(net.layers, width, width, spatial * 2);
+    pool(net.layers, width, spatial);
+    conv_bn(net.layers, 1, cin, width, spatial);  // residual projection
+    cin = width;
+  }
+  // Middle flow: 8 blocks of 3 separable convs at 728 channels, 19x19.
+  for (int b = 0; b < 8; ++b) {
+    for (int i = 0; i < 3; ++i) {
+      conv_bn(net.layers, 3, 728, 728, 19, 1, /*depthwise=*/true);
+      pointwise_bn(net.layers, 728, 728, 19);
+    }
+  }
+  // Exit flow.
+  conv_bn(net.layers, 3, 728, 728, 19, 1, /*depthwise=*/true);
+  pointwise_bn(net.layers, 728, 1024, 19);
+  pool(net.layers, 1024, 10);
+  conv_bn(net.layers, 3, 1024, 1024, 10, 1, /*depthwise=*/true);
+  pointwise_bn(net.layers, 1024, 1536, 10);
+  conv_bn(net.layers, 3, 1536, 1536, 10, 1, /*depthwise=*/true);
+  pointwise_bn(net.layers, 1536, 2048, 10);
+  dense(net.layers, 2048, 1000);
+  return net;
+}
+
+NetworkDesc mobilenet_desc() {
+  NetworkDesc net;
+  net.name = "MobileNet";
+  conv_bn(net.layers, 3, 3, 32, 112, 2);
+  struct Block {
+    std::int64_t cout;
+    std::int64_t spatial;
+    std::int64_t stride;
+  };
+  // MobileNet v1 depthwise-separable stack.
+  const Block blocks[] = {
+      {64, 112, 1},  {128, 56, 2}, {128, 56, 1},  {256, 28, 2},
+      {256, 28, 1},  {512, 14, 2}, {512, 14, 1},  {512, 14, 1},
+      {512, 14, 1},  {512, 14, 1}, {512, 14, 1},  {1024, 7, 2},
+      {1024, 7, 1},
+  };
+  std::int64_t cin = 32;
+  for (const Block& b : blocks) {
+    conv_bn(net.layers, 3, cin, cin, b.spatial, b.stride, /*depthwise=*/true);
+    pointwise_bn(net.layers, cin, b.cout, b.spatial);
+    cin = b.cout;
+  }
+  dense(net.layers, 1024, 1000);
+  return net;
+}
+
+NetworkDesc efficientnet_b0_desc() {
+  NetworkDesc net;
+  net.name = "EfficientNetB0";
+  conv_bn(net.layers, 3, 3, 32, 112, 2);
+  struct MbConv {
+    std::int64_t expand;   // expansion factor
+    std::int64_t kernel;
+    std::int64_t cout;
+    std::int64_t spatial;
+    int repeat;
+  };
+  const MbConv blocks[] = {
+      {1, 3, 16, 112, 1}, {6, 3, 24, 56, 2},  {6, 5, 40, 28, 2},
+      {6, 3, 80, 14, 3},  {6, 5, 112, 14, 3}, {6, 5, 192, 7, 4},
+      {6, 3, 320, 7, 1},
+  };
+  std::int64_t cin = 32;
+  for (const MbConv& b : blocks) {
+    for (int r = 0; r < b.repeat; ++r) {
+      const std::int64_t mid = cin * b.expand;
+      if (b.expand != 1) pointwise_bn(net.layers, cin, mid, b.spatial);
+      conv_bn(net.layers, b.kernel, mid, mid, b.spatial, 1,
+              /*depthwise=*/true);
+      pointwise_bn(net.layers, mid, b.cout, b.spatial);
+      cin = b.cout;
+    }
+  }
+  pointwise_bn(net.layers, 320, 1280, 7);
+  dense(net.layers, 1280, 1000);
+  return net;
+}
+
+NetworkDesc medium_cnn_desc(std::int64_t kernel) {
+  assert(kernel == 1 || kernel == 3 || kernel == 5 || kernel == 7);
+  NetworkDesc net;
+  net.name = "MediumCNN-" + std::to_string(kernel) + "x" +
+             std::to_string(kernel);
+  const std::int64_t widths[7] = {3, 16, 32, 64, 128, 256, 512};
+  std::int64_t spatial = 224;
+  for (int stage = 0; stage < 6; ++stage) {
+    spatial /= 2;
+    conv_bn(net.layers, kernel, widths[stage], widths[stage + 1], spatial * 2);
+    pool(net.layers, widths[stage + 1], spatial);
+  }
+  dense(net.layers, 512, 32);
+  dense(net.layers, 32, 1000);
+  return net;
+}
+
+std::vector<NetworkDesc> profiled_networks() {
+  return {vgg16_desc(),        vgg19_desc(),        resnet50_desc(),
+          resnet152_desc(),    densenet121_desc(),  densenet201_desc(),
+          inception_v3_desc(), xception_desc(),     mobilenet_desc(),
+          efficientnet_b0_desc()};
+}
+
+}  // namespace nnr::profiler

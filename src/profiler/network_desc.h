@@ -1,0 +1,73 @@
+// Layer-level descriptors of the ten profiled networks (paper Fig. 7/8).
+//
+// These descriptors exist for the *cost model only* — they describe kernel
+// workloads (shapes, kernel sizes, depthwise-ness), not trainable modules.
+// All follow the paper's profiling setup: ImageNet input 224x224, batch 64.
+// Topologies are faithful at the level that matters for kernel-time
+// accounting: per-layer spatial dims, channel widths, kernel sizes, stride,
+// and whether the conv is depthwise (depthwise convs have no fast
+// nondeterministic algo and profile at ~1x overhead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nnr::profiler {
+
+enum class LayerKind {
+  kConv,           // dense convolution
+  kDepthwiseConv,  // per-channel convolution (MobileNet/Xception/EfficientNet)
+  kDense,          // fully connected (GEMM)
+  kBatchNorm,
+  kPool,
+  kActivation,
+};
+
+struct LayerDesc {
+  LayerKind kind = LayerKind::kConv;
+  std::int64_t kernel = 0;     // conv kernel size (square)
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t out_h = 0;      // output spatial dims
+  std::int64_t out_w = 0;
+  std::int64_t stride = 1;
+
+  /// True for pointwise (1x1) convs inside depthwise-separable blocks:
+  /// frameworks lower these to plain batched GEMM, which has a fast
+  /// deterministic path — the reason MobileNet-family models profile at
+  /// ~101% overhead (Fig. 8a) while conv-path 1x1 layers do not.
+  bool gemm_lowered = false;
+
+  /// Multiply-accumulates per example for this layer.
+  [[nodiscard]] double macs() const noexcept;
+  /// Activation bytes touched per example (for memory-bound kernels).
+  [[nodiscard]] double activation_bytes() const noexcept;
+};
+
+struct NetworkDesc {
+  std::string name;
+  std::vector<LayerDesc> layers;
+
+  [[nodiscard]] double total_macs() const noexcept;
+};
+
+/// The Fig. 8(a) network suite, in the paper's legend order.
+[[nodiscard]] std::vector<NetworkDesc> profiled_networks();
+
+[[nodiscard]] NetworkDesc vgg16_desc();
+[[nodiscard]] NetworkDesc vgg19_desc();
+[[nodiscard]] NetworkDesc resnet50_desc();
+[[nodiscard]] NetworkDesc resnet152_desc();
+[[nodiscard]] NetworkDesc densenet121_desc();
+[[nodiscard]] NetworkDesc densenet201_desc();
+[[nodiscard]] NetworkDesc inception_v3_desc();
+[[nodiscard]] NetworkDesc xception_desc();
+[[nodiscard]] NetworkDesc mobilenet_desc();
+[[nodiscard]] NetworkDesc efficientnet_b0_desc();
+
+/// The six-layer medium CNN with parametric kernel size (paper Appendix C,
+/// Fig. 8(b)); 224x224 input.
+[[nodiscard]] NetworkDesc medium_cnn_desc(std::int64_t kernel);
+
+}  // namespace nnr::profiler

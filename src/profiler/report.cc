@@ -1,0 +1,43 @@
+#include "profiler/report.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nnr::profiler {
+
+std::vector<KernelTypeTime> aggregate_by_type(
+    const std::vector<KernelLaunch>& launches) {
+  std::unordered_map<std::string, KernelTypeTime> grouped;
+  for (const KernelLaunch& launch : launches) {
+    KernelTypeTime& entry = grouped[launch.kernel_type];
+    entry.kernel_type = launch.kernel_type;
+    entry.total_ms += launch.time_ms;
+    ++entry.launches;
+  }
+  std::vector<KernelTypeTime> sorted;
+  sorted.reserve(grouped.size());
+  for (auto& [_, entry] : grouped) sorted.push_back(std::move(entry));
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KernelTypeTime& a, const KernelTypeTime& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return sorted;
+}
+
+std::vector<KernelTypeTime> top_k(const std::vector<KernelTypeTime>& aggregated,
+                                  std::size_t k) {
+  std::vector<KernelTypeTime> prefix(
+      aggregated.begin(),
+      aggregated.begin() +
+          static_cast<std::ptrdiff_t>(std::min(k, aggregated.size())));
+  return prefix;
+}
+
+double top1_share(const std::vector<KernelTypeTime>& aggregated) {
+  if (aggregated.empty()) return 0.0;
+  double total = 0.0;
+  for (const KernelTypeTime& entry : aggregated) total += entry.total_ms;
+  return total > 0.0 ? aggregated.front().total_ms / total : 0.0;
+}
+
+}  // namespace nnr::profiler

@@ -1,0 +1,32 @@
+// Timeline aggregation: the simulated nvprof "GPU time per kernel type"
+// report (paper Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profiler/kernels.h"
+
+namespace nnr::profiler {
+
+struct KernelTypeTime {
+  std::string kernel_type;
+  double total_ms = 0.0;
+  std::int64_t launches = 0;
+};
+
+/// Groups launches by kernel type and returns cumulative times sorted
+/// descending (Top-1 first, as in Fig. 7).
+[[nodiscard]] std::vector<KernelTypeTime> aggregate_by_type(
+    const std::vector<KernelLaunch>& launches);
+
+/// Top-k prefix (k may exceed the number of distinct types).
+[[nodiscard]] std::vector<KernelTypeTime> top_k(
+    const std::vector<KernelTypeTime>& aggregated, std::size_t k);
+
+/// Skewness indicator used in the Fig. 7 discussion: fraction of total time
+/// spent in the top-1 kernel type.
+[[nodiscard]] double top1_share(const std::vector<KernelTypeTime>& aggregated);
+
+}  // namespace nnr::profiler

@@ -1,0 +1,66 @@
+#include "rng/generator.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace nnr::rng {
+
+float Generator::uniform() noexcept {
+  // Top 24 bits -> float32-exact uniform grid in [0, 1).
+  const std::uint32_t bits = engine_() >> 8;
+  return static_cast<float>(bits) * 0x1.0p-24F;
+}
+
+float Generator::uniform(float lo, float hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Generator::uniform_int(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Rejection sampling over 64-bit draws: bias is unmeasurable and the
+  // expected number of retries is < 2 for any n.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t draw = 0;
+  do {
+    draw = engine_.next_u64();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+float Generator::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  float u1 = uniform();
+  if (u1 < 1e-12F) u1 = 1e-12F;
+  const float u2 = uniform();
+  const float radius = std::sqrt(-2.0F * std::log(u1));
+  const float angle = 2.0F * std::numbers::pi_v<float> * u2;
+  spare_normal_ = radius * std::sin(angle);
+  have_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+float Generator::normal(float mean, float stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Generator::bernoulli(float p) noexcept { return uniform() < p; }
+
+void Generator::permutation(std::span<std::uint32_t> out) noexcept {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(i);
+  }
+  shuffle(out);
+}
+
+std::vector<std::uint32_t> Generator::permutation(std::size_t n) {
+  std::vector<std::uint32_t> out(n);
+  permutation(std::span<std::uint32_t>(out));
+  return out;
+}
+
+}  // namespace nnr::rng

@@ -1,0 +1,66 @@
+// Generator: distribution sampling on top of the Philox stream.
+//
+// All stochastic operations in the library (weight init, shuffling, data
+// augmentation, dropout, scheduler entropy) draw from a Generator so that
+// every source of randomness is attributable to exactly one seedable stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/philox.h"
+
+namespace nnr::rng {
+
+class Generator {
+ public:
+  explicit Generator(std::uint64_t seed, std::uint64_t stream = 0) noexcept
+      : engine_(seed, stream) {}
+
+  /// Uniform in [0, 1). 24-bit mantissa resolution (exact float32 grid).
+  [[nodiscard]] float uniform() noexcept;
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] float uniform(float lo, float hi) noexcept;
+
+  /// Uniform integer in [0, n). Uses rejection sampling — unbiased.
+  /// Precondition: n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic two-draws-per-call form).
+  [[nodiscard]] float normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] float normal(float mean, float stddev) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(float p) noexcept;
+
+  /// Fills `out` with a uniformly random permutation of [0, out.size())
+  /// using Fisher-Yates.
+  void permutation(std::span<std::uint32_t> out) noexcept;
+
+  /// Convenience: returns a random permutation of [0, n).
+  [[nodiscard]] std::vector<std::uint32_t> permutation(std::size_t n);
+
+  /// In-place Fisher-Yates shuffle of arbitrary elements.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Raw 32 random bits (exposes the underlying stream for tests).
+  [[nodiscard]] std::uint32_t next_u32() noexcept { return engine_(); }
+
+ private:
+  Philox engine_;
+  bool have_spare_normal_ = false;
+  float spare_normal_ = 0.0F;
+};
+
+}  // namespace nnr::rng

@@ -1,0 +1,30 @@
+#include "rng/seed_channels.h"
+
+namespace nnr::rng {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base_seed, Channel channel,
+                          std::uint64_t replicate) noexcept {
+  std::uint64_t h = splitmix64(base_seed);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(channel));
+  h = splitmix64(h ^ (replicate + 0x5555555555555555ull));
+  return h;
+}
+
+Generator make_channel_generator(std::uint64_t base_seed, Channel channel,
+                                 std::uint64_t replicate, bool varying) {
+  const std::uint64_t effective_replicate = varying ? replicate : 0;
+  return Generator(derive_seed(base_seed, channel, effective_replicate),
+                   static_cast<std::uint64_t>(channel));
+}
+
+}  // namespace nnr::rng

@@ -1,0 +1,48 @@
+// Seed-channel management for the variance-isolation study.
+//
+// The paper's experimental design (§2.2) toggles algorithmic noise (ALGO) and
+// implementation noise (IMPL) independently. We realize this with five named
+// randomness channels, each backed by an independent Philox stream:
+//
+//   kInit      - weight initialization                  (ALGO)
+//   kShuffle   - epoch shuffling / batch composition    (ALGO)
+//   kAugment   - stochastic data augmentation           (ALGO)
+//   kDropout   - stochastic layers                      (ALGO)
+//   kScheduler - simulated accelerator scheduling order (IMPL)
+//
+// A NoiseVariant decides, per channel, whether the channel's seed varies with
+// the replicate index (noise "on") or is pinned to a fixed value (noise
+// "off"/controlled). Deriving streams from (base_seed, channel, replicate)
+// with a splitmix-style mixer guarantees channels never alias.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/generator.h"
+
+namespace nnr::rng {
+
+enum class Channel : std::uint64_t {
+  kInit = 1,
+  kShuffle = 2,
+  kAugment = 3,
+  kDropout = 4,
+  kScheduler = 5,
+};
+
+/// Mixes (seed, channel, replicate) into a 64-bit stream id with full
+/// avalanche (splitmix64 finalizer). Pure function.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        Channel channel,
+                                        std::uint64_t replicate) noexcept;
+
+/// Factory for per-channel generators.
+///
+/// `varying` selects whether this channel's stream differs across replicates
+/// (noise present) or is identical for every replicate (noise controlled).
+[[nodiscard]] Generator make_channel_generator(std::uint64_t base_seed,
+                                               Channel channel,
+                                               std::uint64_t replicate,
+                                               bool varying);
+
+}  // namespace nnr::rng

@@ -1,0 +1,298 @@
+#include "serialize/checkpoint.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace nnr::serialize {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'N', 'N', 'R', 'C', 'K', 'P', 'T', '1'};
+constexpr std::array<char, 8> kTrainMagic = {'N', 'N', 'R', 'T', 'R',
+                                             'N', 'S', '1'};
+constexpr std::uint32_t kKindParam = 0;
+constexpr std::uint32_t kKindBuffer = 1;
+constexpr std::uint32_t kKindOptSlot = 2;
+
+/// Incremental FNV-1a (64-bit) over the serialized body.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t bytes) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+class Writer {
+ public:
+  Writer(const std::string& path, const std::array<char, 8>& magic)
+      : out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) throw CheckpointError("cannot open for writing: " + path);
+    out_.write(magic.data(), magic.size());
+  }
+
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+    hash_.update(&v, sizeof(T));
+  }
+
+  void put_bytes(const void* data, std::size_t bytes) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    hash_.update(data, bytes);
+  }
+
+  void finish(const std::string& path) {
+    const std::uint64_t digest = hash_.digest();
+    out_.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    out_.flush();
+    if (!out_) throw CheckpointError("write failed: " + path);
+  }
+
+ private:
+  std::ofstream out_;
+  Fnv1a hash_;
+};
+
+class Reader {
+ public:
+  Reader(const std::string& path, const std::array<char, 8>& magic)
+      : path_(path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw CheckpointError("cannot open for reading: " + path);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    if (bytes_.size() < magic.size() + sizeof(std::uint64_t)) {
+      throw CheckpointError("truncated checkpoint: " + path);
+    }
+    if (std::memcmp(bytes_.data(), magic.data(), magic.size()) != 0) {
+      throw CheckpointError(
+          "bad magic (wrong or non-NNR checkpoint kind): " + path);
+    }
+    body_end_ = bytes_.size() - sizeof(std::uint64_t);
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes_.data() + body_end_, sizeof(stored));
+    Fnv1a hash;
+    hash.update(bytes_.data() + kMagic.size(), body_end_ - kMagic.size());
+    if (hash.digest() != stored) {
+      throw CheckpointError("checksum mismatch (corrupt checkpoint): " + path);
+    }
+    pos_ = kMagic.size();
+  }
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void get_bytes(void* dst, std::size_t bytes) {
+    need(bytes);
+    std::memcpy(dst, bytes_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == body_end_; }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (pos_ + bytes > body_end_) {
+      throw CheckpointError("truncated checkpoint body: " + path_);
+    }
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+  std::size_t body_end_ = 0;
+  std::size_t pos_ = 0;
+};
+
+struct Entry {
+  std::uint32_t kind;
+  std::string name;
+  tensor::Tensor* value;
+};
+
+std::vector<Entry> collect_entries(nn::Model& model) {
+  std::vector<Entry> entries;
+  for (nn::Param* p : model.params()) {
+    entries.push_back({kKindParam, p->name, &p->value});
+  }
+  for (const nn::NamedBuffer& b : model.buffers()) {
+    entries.push_back({kKindBuffer, b.name, b.value});
+  }
+  return entries;
+}
+
+void write_entry(Writer& w, const Entry& e) {
+  w.put(e.kind);
+  w.put(static_cast<std::uint32_t>(e.name.size()));
+  w.put_bytes(e.name.data(), e.name.size());
+  const tensor::Shape& shape = e.value->shape();
+  w.put(static_cast<std::uint32_t>(shape.rank()));
+  for (int d = 0; d < shape.rank(); ++d) {
+    w.put(static_cast<std::int64_t>(shape[d]));
+  }
+  w.put_bytes(e.value->raw(),
+              static_cast<std::size_t>(e.value->numel()) * sizeof(float));
+}
+
+void read_entry_into(Reader& r, const Entry& e, std::size_t index) {
+  const auto kind = r.get<std::uint32_t>();
+  if (kind != e.kind) {
+    throw CheckpointError("entry " + std::to_string(index) +
+                          ": kind mismatch (param/buffer order differs)");
+  }
+  const auto name_len = r.get<std::uint32_t>();
+  std::string name(name_len, '\0');
+  r.get_bytes(name.data(), name_len);
+  if (name != e.name) {
+    throw CheckpointError("entry " + std::to_string(index) + ": name '" +
+                          name + "' does not match model entry '" + e.name +
+                          "'");
+  }
+  const auto rank = r.get<std::uint32_t>();
+  if (static_cast<int>(rank) != e.value->shape().rank()) {
+    throw CheckpointError("entry " + std::to_string(index) + " ('" + name +
+                          "'): rank mismatch");
+  }
+  for (std::uint32_t d = 0; d < rank; ++d) {
+    const auto dim = r.get<std::int64_t>();
+    if (dim != e.value->shape()[static_cast<int>(d)]) {
+      throw CheckpointError("entry " + std::to_string(index) + " ('" + name +
+                            "'): shape mismatch on axis " + std::to_string(d));
+    }
+  }
+  r.get_bytes(e.value->raw(),
+              static_cast<std::size_t>(e.value->numel()) * sizeof(float));
+}
+
+}  // namespace
+
+void save_model(const std::string& path, nn::Model& model) {
+  const std::vector<Entry> entries = collect_entries(model);
+  Writer w(path, kMagic);
+  w.put(static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) write_entry(w, e);
+  w.finish(path);
+}
+
+void load_model(const std::string& path, nn::Model& model) {
+  const std::vector<Entry> entries = collect_entries(model);
+  Reader r(path, kMagic);
+  const auto count = r.get<std::uint32_t>();
+  if (count != entries.size()) {
+    throw CheckpointError(
+        "checkpoint holds " + std::to_string(count) + " entries but model has " +
+        std::to_string(entries.size()));
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    read_entry_into(r, entries[i], i);
+  }
+  if (!r.exhausted()) {
+    throw CheckpointError("trailing bytes after final entry: " + path);
+  }
+}
+
+std::size_t checkpoint_entry_count(nn::Model& model) {
+  return collect_entries(model).size();
+}
+
+namespace {
+
+void write_slot(Writer& w, const std::string& name,
+                const std::vector<float>& slot) {
+  w.put(kKindOptSlot);
+  w.put(static_cast<std::uint32_t>(name.size()));
+  w.put_bytes(name.data(), name.size());
+  w.put(static_cast<std::uint32_t>(1));  // rank
+  w.put(static_cast<std::int64_t>(slot.size()));
+  w.put_bytes(slot.data(), slot.size() * sizeof(float));
+}
+
+void read_slot_into(Reader& r, const std::string& expected_name,
+                    std::vector<float>& slot, std::size_t index) {
+  const auto kind = r.get<std::uint32_t>();
+  if (kind != kKindOptSlot) {
+    throw CheckpointError("entry " + std::to_string(index) +
+                          ": expected an optimizer slot");
+  }
+  const auto name_len = r.get<std::uint32_t>();
+  std::string name(name_len, '\0');
+  r.get_bytes(name.data(), name_len);
+  if (name != expected_name) {
+    throw CheckpointError("optimizer slot '" + name +
+                          "' does not match expected '" + expected_name +
+                          "' (different optimizer type or model)");
+  }
+  const auto rank = r.get<std::uint32_t>();
+  const auto dim = r.get<std::int64_t>();
+  if (rank != 1 || dim != static_cast<std::int64_t>(slot.size())) {
+    throw CheckpointError("optimizer slot '" + name + "': size mismatch");
+  }
+  r.get_bytes(slot.data(), slot.size() * sizeof(float));
+}
+
+}  // namespace
+
+void save_training_state(const std::string& path, nn::Model& model,
+                         opt::Optimizer& optimizer) {
+  const std::vector<Entry> entries = collect_entries(model);
+  const auto slots = optimizer.mutable_state();
+  Writer w(path, kTrainMagic);
+  w.put(static_cast<std::uint64_t>(optimizer.steps_taken()));
+  w.put(static_cast<std::uint32_t>(entries.size()));
+  w.put(static_cast<std::uint32_t>(slots.size()));
+  for (const Entry& e : entries) write_entry(w, e);
+  for (const auto& [name, slot] : slots) write_slot(w, name, *slot);
+  w.finish(path);
+}
+
+void load_training_state(const std::string& path, nn::Model& model,
+                         opt::Optimizer& optimizer) {
+  const std::vector<Entry> entries = collect_entries(model);
+  const auto slots = optimizer.mutable_state();
+  Reader r(path, kTrainMagic);
+  const auto steps = r.get<std::uint64_t>();
+  const auto entry_count = r.get<std::uint32_t>();
+  const auto slot_count = r.get<std::uint32_t>();
+  if (entry_count != entries.size()) {
+    throw CheckpointError("training state holds " +
+                          std::to_string(entry_count) +
+                          " model entries but model has " +
+                          std::to_string(entries.size()));
+  }
+  if (slot_count != slots.size()) {
+    throw CheckpointError("training state holds " +
+                          std::to_string(slot_count) +
+                          " optimizer slots but optimizer has " +
+                          std::to_string(slots.size()));
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    read_entry_into(r, entries[i], i);
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    read_slot_into(r, slots[i].first, *slots[i].second, i);
+  }
+  if (!r.exhausted()) {
+    throw CheckpointError("trailing bytes after final entry: " + path);
+  }
+  optimizer.set_steps_taken(static_cast<std::int64_t>(steps));
+}
+
+}  // namespace nnr::serialize

@@ -1,0 +1,88 @@
+#include "stats/anova.h"
+
+#include <cassert>
+#include <limits>
+
+namespace nnr::stats {
+namespace {
+
+double share(double ss, double total) noexcept {
+  return total > 0.0 ? ss / total : 0.0;
+}
+
+double f_stat(double ss_effect, double df_effect, double ss_resid,
+              double df_resid) noexcept {
+  if (df_effect <= 0.0 || df_resid <= 0.0) return 0.0;
+  const double ms_effect = ss_effect / df_effect;
+  const double ms_resid = ss_resid / df_resid;
+  if (ms_resid == 0.0) {
+    return ms_effect == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return ms_effect / ms_resid;
+}
+
+}  // namespace
+
+double TwoWayAnova::rows_share() const noexcept {
+  return share(ss_rows, ss_total);
+}
+double TwoWayAnova::cols_share() const noexcept {
+  return share(ss_cols, ss_total);
+}
+double TwoWayAnova::residual_share() const noexcept {
+  return share(ss_residual, ss_total);
+}
+double TwoWayAnova::f_rows() const noexcept {
+  return f_stat(ss_rows, df_rows, ss_residual, df_residual);
+}
+double TwoWayAnova::f_cols() const noexcept {
+  return f_stat(ss_cols, df_cols, ss_residual, df_residual);
+}
+
+TwoWayAnova two_way_anova(const std::vector<std::vector<double>>& y) {
+  const std::size_t rows = y.size();
+  assert(rows >= 2);
+  const std::size_t cols = y[0].size();
+  assert(cols >= 2);
+
+  double grand = 0.0;
+  for (const auto& row : y) {
+    assert(row.size() == cols);
+    for (const double v : row) grand += v;
+  }
+  const double n = static_cast<double>(rows * cols);
+  grand /= n;
+
+  std::vector<double> row_mean(rows, 0.0);
+  std::vector<double> col_mean(cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      row_mean[i] += y[i][j];
+      col_mean[j] += y[i][j];
+    }
+  }
+  for (double& m : row_mean) m /= static_cast<double>(cols);
+  for (double& m : col_mean) m /= static_cast<double>(rows);
+
+  TwoWayAnova a;
+  a.grand_mean = grand;
+  for (const double m : row_mean) {
+    a.ss_rows += static_cast<double>(cols) * (m - grand) * (m - grand);
+  }
+  for (const double m : col_mean) {
+    a.ss_cols += static_cast<double>(rows) * (m - grand) * (m - grand);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double resid = y[i][j] - row_mean[i] - col_mean[j] + grand;
+      a.ss_residual += resid * resid;
+      a.ss_total += (y[i][j] - grand) * (y[i][j] - grand);
+    }
+  }
+  a.df_rows = static_cast<double>(rows) - 1.0;
+  a.df_cols = static_cast<double>(cols) - 1.0;
+  a.df_residual = a.df_rows * a.df_cols;
+  return a;
+}
+
+}  // namespace nnr::stats

@@ -1,0 +1,54 @@
+// Two-way factorial variance decomposition of training outcomes.
+//
+// The paper isolates ALGO and IMPL noise by pinning one bundle of channels
+// and letting the other vary (§2.2) — two one-dimensional slices through a
+// two-dimensional seed space. This module supports the full factorial view:
+// train a grid of replicates indexed by (algo seed i, scheduler-entropy seed
+// j) and decompose the variance of any outcome y[i][j] into
+//
+//     algo main effect + impl main effect + interaction (residual),
+//
+// the classical two-way ANOVA with one observation per cell. The interaction
+// term quantifies the paper's observation that combined noise is
+// *non-additive* ("the lack of an additive relationship between different
+// sources of noise", §3.1): under additivity the residual share is ~0.
+#pragma once
+
+#include <vector>
+
+namespace nnr::stats {
+
+struct TwoWayAnova {
+  // Sums of squares.
+  double ss_rows = 0.0;      // factor A main effect (algo seeds)
+  double ss_cols = 0.0;      // factor B main effect (impl seeds)
+  double ss_residual = 0.0;  // interaction + measurement noise
+  double ss_total = 0.0;
+
+  // Degrees of freedom.
+  double df_rows = 0.0;
+  double df_cols = 0.0;
+  double df_residual = 0.0;
+
+  double grand_mean = 0.0;
+
+  /// Fraction of total variance attributed to each component (eta-squared).
+  /// All zero when ss_total == 0 (a fully deterministic grid).
+  [[nodiscard]] double rows_share() const noexcept;
+  [[nodiscard]] double cols_share() const noexcept;
+  [[nodiscard]] double residual_share() const noexcept;
+
+  /// F statistic of a main effect against the residual mean square, for use
+  /// with stats::f_upper_tail_p. Returns infinity when the residual mean
+  /// square is zero but the effect is not.
+  [[nodiscard]] double f_rows() const noexcept;
+  [[nodiscard]] double f_cols() const noexcept;
+};
+
+/// Decomposes `y` (rows = levels of factor A, cols = levels of factor B, one
+/// observation per cell). Requires at least 2 rows and 2 columns and a
+/// rectangular matrix.
+[[nodiscard]] TwoWayAnova two_way_anova(
+    const std::vector<std::vector<double>>& y);
+
+}  // namespace nnr::stats

@@ -1,0 +1,65 @@
+#include "tensor/gemm.h"
+
+#include <cassert>
+
+namespace nnr::tensor {
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c,
+             const KernelPolicy& policy) {
+  assert(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+         c.shape().rank() == 2);
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[0];
+  assert(b.shape()[1] == k);
+  assert(c.shape()[0] == m && c.shape()[1] == n);
+
+  // One plan per kernel launch: the scheduler interleaving is drawn once and
+  // applied to every output element, then the next launch redraws it.
+  const ReductionPlan plan = policy.make_plan(k);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row_a = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      pc[i * n + j] = plan.reduce_dot_strided(row_a, pb + j * k, k, 1);
+    }
+  }
+}
+
+void transpose(const Tensor& in, Tensor& out) {
+  assert(in.shape().rank() == 2 && out.shape().rank() == 2);
+  const std::int64_t rows = in.shape()[0];
+  const std::int64_t cols = in.shape()[1];
+  assert(out.shape()[0] == cols && out.shape()[1] == rows);
+  const float* pin = in.raw();
+  float* pout = out.raw();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      pout[j * rows + i] = pin[i * cols + j];
+    }
+  }
+}
+
+float reduce_sum(std::span<const float> values, const KernelPolicy& policy) {
+  const ReductionPlan plan =
+      policy.make_plan(static_cast<std::int64_t>(values.size()));
+  return plan.reduce(values);
+}
+
+void reduce_rows(const Tensor& in, std::span<float> out,
+                 const KernelPolicy& policy) {
+  assert(in.shape().rank() == 2);
+  const std::int64_t rows = in.shape()[0];
+  const std::int64_t cols = in.shape()[1];
+  assert(static_cast<std::int64_t>(out.size()) == rows);
+  const ReductionPlan plan = policy.make_plan(cols);
+  const float* pin = in.raw();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    out[static_cast<std::size_t>(r)] = plan.reduce(
+        std::span<const float>(pin + r * cols, static_cast<std::size_t>(cols)));
+  }
+}
+
+}  // namespace nnr::tensor

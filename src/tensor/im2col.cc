@@ -1,0 +1,78 @@
+#include "tensor/im2col.h"
+
+#include <cassert>
+
+namespace nnr::tensor {
+
+void im2col(const Tensor& input, const ConvGeometry& geom, Tensor& cols) {
+  assert(input.shape().rank() == 4);
+  assert(input.shape()[0] == geom.batch && input.shape()[1] == geom.in_channels);
+  assert(input.shape()[2] == geom.in_h && input.shape()[3] == geom.in_w);
+  const std::int64_t oh = geom.out_h();
+  const std::int64_t ow = geom.out_w();
+  const std::int64_t patch = geom.patch_size();
+  assert(cols.shape()[0] == geom.out_pixels() && cols.shape()[1] == patch);
+
+  const float* pin = input.raw();
+  float* pcols = cols.raw();
+  const std::int64_t chw = geom.in_channels * geom.in_h * geom.in_w;
+  const std::int64_t hw = geom.in_h * geom.in_w;
+
+  std::int64_t row = 0;
+  for (std::int64_t n = 0; n < geom.batch; ++n) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        float* dst = pcols + row * patch;
+        for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+          const float* src_c = pin + n * chw + c * hw;
+          for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+            const std::int64_t iy = oy * geom.stride + ky - geom.pad;
+            for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++dst) {
+              const std::int64_t ix = ox * geom.stride + kx - geom.pad;
+              const bool inside =
+                  iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w;
+              *dst = inside ? src_c[iy * geom.in_w + ix] : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& cols, const ConvGeometry& geom, Tensor& grad_input) {
+  assert(grad_input.shape().rank() == 4);
+  const std::int64_t oh = geom.out_h();
+  const std::int64_t ow = geom.out_w();
+  const std::int64_t patch = geom.patch_size();
+  assert(cols.shape()[0] == geom.out_pixels() && cols.shape()[1] == patch);
+
+  grad_input.fill(0.0F);
+  const float* pcols = cols.raw();
+  float* pout = grad_input.raw();
+  const std::int64_t chw = geom.in_channels * geom.in_h * geom.in_w;
+  const std::int64_t hw = geom.in_h * geom.in_w;
+
+  std::int64_t row = 0;
+  for (std::int64_t n = 0; n < geom.batch; ++n) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        const float* src = pcols + row * patch;
+        for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+          float* dst_c = pout + n * chw + c * hw;
+          for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+            const std::int64_t iy = oy * geom.stride + ky - geom.pad;
+            for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++src) {
+              const std::int64_t ix = ox * geom.stride + kx - geom.pad;
+              if (iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w) {
+                dst_c[iy * geom.in_w + ix] += *src;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nnr::tensor

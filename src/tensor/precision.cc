@@ -1,0 +1,114 @@
+#include "tensor/precision.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace nnr::tensor {
+namespace {
+
+/// Round-to-nearest-even truncation of the low `drop_bits` mantissa bits.
+float round_mantissa(float value, int drop_bits) noexcept {
+  if (!std::isfinite(value)) return value;
+  const auto bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t mask = (1u << drop_bits) - 1u;
+  const std::uint32_t remainder = bits & mask;
+  const std::uint32_t halfway = 1u << (drop_bits - 1);
+  std::uint32_t truncated = bits & ~mask;
+  const bool round_up =
+      remainder > halfway ||
+      (remainder == halfway && ((bits >> drop_bits) & 1u) != 0);
+  if (round_up) truncated += 1u << drop_bits;  // may carry into the exponent
+  return std::bit_cast<float>(truncated);
+}
+
+/// IEEE binary16 via float32 round-trip (round-to-nearest-even).
+float to_float16(float value) noexcept {
+  if (std::isnan(value)) return value;
+  constexpr float kMaxHalf = 65504.0F;
+  // Mantissa: 23 -> 10 bits.
+  float rounded = round_mantissa(value, 13);
+  // Exponent range: clamp overflow; flush subnormals-of-half toward the
+  // binary16 subnormal grid (approximated by zero below the min normal —
+  // adequate for gradient-scale ablations).
+  if (rounded > kMaxHalf) return std::numeric_limits<float>::infinity();
+  if (rounded < -kMaxHalf) return -std::numeric_limits<float>::infinity();
+  constexpr float kMinNormalHalf = 6.103515625e-05F;  // 2^-14
+  if (std::fabs(rounded) < kMinNormalHalf) {
+    // Quantize to the binary16 subnormal step 2^-24.
+    constexpr float kStep = 5.9604644775390625e-08F;  // 2^-24
+    rounded = std::nearbyint(rounded / kStep) * kStep;
+  }
+  return rounded;
+}
+
+}  // namespace
+
+float quantize(float value, Precision precision) noexcept {
+  switch (precision) {
+    case Precision::kFloat32:
+      return value;
+    case Precision::kBfloat16:
+      return round_mantissa(value, 16);  // 23 -> 7 mantissa bits
+    case Precision::kFloat16:
+      return to_float16(value);
+  }
+  return value;
+}
+
+float reduce_sum_quantized(std::span<const float> values,
+                           Precision precision) noexcept {
+  float acc = 0.0F;
+  for (float v : values) {
+    acc = quantize(acc + quantize(v, precision), precision);
+  }
+  return acc;
+}
+
+float reduce_sum_kahan(std::span<const float> values) noexcept {
+  float sum = 0.0F;
+  float compensation = 0.0F;
+  for (const float v : values) {
+    const float y = v - compensation;
+    const float t = sum + y;
+    // (t - sum) recovers the part of y that made it into the accumulator;
+    // the remainder is carried into the next addition.
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+float reduce_sum_permuted(std::span<const float> values,
+                          std::span<const std::uint32_t> order) noexcept {
+  float acc = 0.0F;
+  for (const std::uint32_t i : order) acc += values[i];
+  return acc;
+}
+
+float reduce_sum_kahan_permuted(std::span<const float> values,
+                                std::span<const std::uint32_t> order) noexcept {
+  float sum = 0.0F;
+  float compensation = 0.0F;
+  for (const std::uint32_t i : order) {
+    const float y = values[i] - compensation;
+    const float t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+float ulp_at_one(Precision precision) noexcept {
+  switch (precision) {
+    case Precision::kFloat32:
+      return 1.1920928955078125e-07F;  // 2^-23
+    case Precision::kBfloat16:
+      return 7.8125e-03F;  // 2^-7
+    case Precision::kFloat16:
+      return 9.765625e-04F;  // 2^-10
+  }
+  return 0.0F;
+}
+
+}  // namespace nnr::tensor

@@ -1,0 +1,63 @@
+// Emulated reduced-precision accumulation.
+//
+// Tooling choices include the numeric format: Tensor-Core-era accelerators
+// accumulate fp16/bf16 products, which coarsens the rounding grid and with
+// it the magnitude of ordering noise. This module emulates half-precision
+// formats on top of float32 so the study can sweep precision as a tooling
+// axis (an extension ablation; see bench/ablation_precision).
+//
+// Emulation is round-to-nearest-even through the target format's grid:
+// exact for every representable value, deterministic, and independent of
+// host FPU modes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nnr::tensor {
+
+enum class Precision {
+  kFloat32,   // native accumulation
+  kBfloat16,  // 8-bit exponent, 7-bit mantissa (truncate-to-nearest-even)
+  kFloat16,   // IEEE binary16 (round-to-nearest-even, clamps to +/-inf)
+};
+
+/// Rounds one float32 value to the target format's grid (returned as
+/// float32). kFloat32 is the identity.
+[[nodiscard]] float quantize(float value, Precision precision) noexcept;
+
+/// Sums `values` with the accumulator held in the target precision after
+/// every addition — the "low-precision accumulate" kernel. Sequential
+/// (layout) order; the point of the ablation is the grid, not the order.
+[[nodiscard]] float reduce_sum_quantized(std::span<const float> values,
+                                         Precision precision) noexcept;
+
+/// Unit in the last place of the format at magnitude ~1.0 — the rounding
+/// grid spacing the ordering noise rides on.
+[[nodiscard]] float ulp_at_one(Precision precision) noexcept;
+
+// --- Compensated summation (mitigation ablation) ---
+//
+// Deterministic kernels remove ordering noise by *fixing the order* at a
+// throughput cost (paper §4). Kahan summation attacks the same noise from
+// the other side: it shrinks the rounding error each ordering produces, so
+// different orders land on (nearly always) the same float32 value without
+// restricting the schedule. bench/ablation_precision Part B quantifies the
+// residual order sensitivity.
+
+/// Kahan-compensated sequential sum (float32 accumulator + float32
+/// compensation term).
+[[nodiscard]] float reduce_sum_kahan(std::span<const float> values) noexcept;
+
+/// Plain float32 sum visiting `values[order[i]]` — the order-sensitivity
+/// probe baseline. `order` must be a permutation of [0, values.size()).
+[[nodiscard]] float reduce_sum_permuted(
+    std::span<const float> values,
+    std::span<const std::uint32_t> order) noexcept;
+
+/// Kahan-compensated sum in a caller-provided visiting order.
+[[nodiscard]] float reduce_sum_kahan_permuted(
+    std::span<const float> values,
+    std::span<const std::uint32_t> order) noexcept;
+
+}  // namespace nnr::tensor

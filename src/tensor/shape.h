@@ -1,0 +1,63 @@
+// Shape: a small, value-semantic dimension vector for dense tensors.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace nnr::tensor {
+
+/// Dense tensor shape, up to 4 dimensions (covers N/NC/NCHW layouts used by
+/// the training stack). Value type; cheap to copy.
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::int64_t> dims) {
+    assert(dims.size() <= kMaxRank);
+    for (std::int64_t d : dims) {
+      assert(d >= 0);
+      dims_[rank_++] = d;
+    }
+  }
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  [[nodiscard]] std::int64_t operator[](int axis) const noexcept {
+    assert(axis >= 0 && axis < rank_);
+    return dims_[axis];
+  }
+
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  [[nodiscard]] bool operator==(const Shape& other) const noexcept {
+    if (rank_ != other.rank_) return false;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace nnr::tensor

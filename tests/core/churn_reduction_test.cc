@@ -1,0 +1,141 @@
+// Churn mitigation: ensemble voting semantics, warm-start contract, and the
+// headline property — both techniques reduce churn relative to independent
+// cold-started single models.
+#include "core/churn_reduction.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/replicates.h"
+#include "data/synth_images.h"
+#include "metrics/stability.h"
+#include "nn/zoo.h"
+
+namespace nnr::core {
+namespace {
+
+using Preds = std::vector<std::int32_t>;
+
+TEST(EnsembleVote, SingleModelIsIdentity) {
+  const std::vector<Preds> preds = {{0, 2, 1, 2}};
+  EXPECT_EQ(ensemble_vote(preds, 3), (Preds{0, 2, 1, 2}));
+}
+
+TEST(EnsembleVote, MajorityWins) {
+  const std::vector<Preds> preds = {{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(ensemble_vote(preds, 3), (Preds{0, 2}));
+}
+
+TEST(EnsembleVote, TieBreaksToSmallestClass) {
+  const std::vector<Preds> preds = {{2}, {1}};
+  EXPECT_EQ(ensemble_vote(preds, 3), (Preds{1}));
+}
+
+TEST(EnsembleVote, UnanimousModelsPassThrough) {
+  const std::vector<Preds> preds = {{3, 0, 3}, {3, 0, 3}, {3, 0, 3}};
+  EXPECT_EQ(ensemble_vote(preds, 4), (Preds{3, 0, 3}));
+}
+
+TEST(EnsembleVote, DeterministicAcrossCalls) {
+  const std::vector<Preds> preds = {{0, 1, 2}, {1, 1, 0}, {2, 1, 0},
+                                    {0, 0, 0}};
+  EXPECT_EQ(ensemble_vote(preds, 3), ensemble_vote(preds, 3));
+}
+
+class ChurnReductionTrainingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ClassificationDataset(data::synth_cifar10(200, 100));
+    TrainJob job = base_job();
+    // Ten cold-started ALGO+IMPL replicates shared by the tests below.
+    results_ = new std::vector<RunResult>(run_replicates(job, 10, 0));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    delete dataset_;
+    results_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static TrainJob base_job() {
+    TrainJob job;
+    job.make_model = [] { return nn::small_cnn(10, /*with_batchnorm=*/true); };
+    job.dataset = dataset_;
+    job.recipe = cifar_recipe(/*epochs=*/6);
+    job.variant = NoiseVariant::kAlgoPlusImpl;
+    job.device = hw::v100();
+    job.base_seed = 0xC0FFEEull;
+    return job;
+  }
+
+  static double mean_single_churn() {
+    metrics::RunningStat churn;
+    for (std::size_t i = 0; i < results_->size(); ++i) {
+      for (std::size_t j = i + 1; j < results_->size(); ++j) {
+        churn.add(metrics::churn((*results_)[i].test_predictions,
+                                 (*results_)[j].test_predictions));
+      }
+    }
+    return churn.mean();
+  }
+
+  static data::ClassificationDataset* dataset_;
+  static std::vector<RunResult>* results_;
+};
+
+data::ClassificationDataset* ChurnReductionTrainingTest::dataset_ = nullptr;
+std::vector<RunResult>* ChurnReductionTrainingTest::results_ = nullptr;
+
+TEST_F(ChurnReductionTrainingTest, EnsembleChurnBelowSingleModelChurn) {
+  const double single = mean_single_churn();
+  const double k5 = ensemble_pair_churn(*results_, 5, 10);
+  EXPECT_LT(k5, single)
+      << "5-ensembles must disagree less than independent single models";
+}
+
+TEST_F(ChurnReductionTrainingTest, LargerEnsembleNoWorse) {
+  // K=5 should be at most marginally worse than K=2 (both beat K=1 clearly;
+  // allow small-sample slack between ensemble sizes).
+  const double k2 = ensemble_pair_churn(*results_, 2, 10);
+  const double k5 = ensemble_pair_churn(*results_, 5, 10);
+  EXPECT_LE(k5, k2 + 0.05);
+}
+
+TEST_F(ChurnReductionTrainingTest, WarmStartReducesChurnToParent) {
+  // Successor trained from parent weights must agree with the parent more
+  // than two independently trained models agree with each other.
+  const RunResult& parent = (*results_)[0];
+  TrainJob warm_job = base_job();
+  warm_job.recipe.epochs = 2;  // the "iterate" step is short
+  const RunResult successor =
+      train_warm_replicate(warm_job, /*replicate=*/99, parent.final_weights);
+  const double warm_churn =
+      metrics::churn(parent.test_predictions, successor.test_predictions);
+  EXPECT_LT(warm_churn, mean_single_churn());
+}
+
+TEST_F(ChurnReductionTrainingTest, WarmStartBypassesInitChannel) {
+  // Two warm starts from the same parent under CONTROL (all channels
+  // pinned, deterministic kernels) must be bitwise identical regardless of
+  // replicate index — the init channel is not consumed.
+  TrainJob job = base_job();
+  job.variant = NoiseVariant::kControl;
+  job.recipe.epochs = 1;
+  const std::vector<float>& parent = (*results_)[0].final_weights;
+  const RunResult a = train_warm_replicate(job, 0, parent);
+  const RunResult b = train_warm_replicate(job, 7, parent);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
+TEST_F(ChurnReductionTrainingTest, ZeroEpochWarmStartKeepsWeights) {
+  TrainJob job = base_job();
+  job.variant = NoiseVariant::kControl;
+  job.recipe.epochs = 0;
+  const std::vector<float>& parent = (*results_)[0].final_weights;
+  const RunResult out = train_warm_replicate(job, 0, parent);
+  EXPECT_EQ(out.final_weights, parent);
+}
+
+}  // namespace
+}  // namespace nnr::core

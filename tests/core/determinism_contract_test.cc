@@ -1,0 +1,105 @@
+// The determinism contract — the load-bearing guarantees of the whole study:
+//
+//   1. CONTROL replicates are bitwise identical (paper §2.2 "Control").
+//   2. ALGO on a deterministic device with pinned seeds is bitwise stable.
+//   3. IMPL replicates genuinely diverge on GPU devices.
+//   4. TPU removes IMPL noise entirely (inherently deterministic hardware).
+#include <gtest/gtest.h>
+
+#include "core/replicates.h"
+#include "core/trainer.h"
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+
+namespace nnr::core {
+namespace {
+
+class DeterminismContract : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ClassificationDataset(data::synth_cifar10(120, 60));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static TrainJob job(NoiseVariant variant, hw::DeviceSpec device) {
+    TrainJob j;
+    j.make_model = [] { return nn::small_cnn(10, true); };
+    j.dataset = dataset_;
+    j.recipe = cifar_recipe(2);
+    j.variant = variant;
+    j.device = std::move(device);
+    j.base_seed = 0xFEEDull;
+    return j;
+  }
+
+  static data::ClassificationDataset* dataset_;
+};
+
+data::ClassificationDataset* DeterminismContract::dataset_ = nullptr;
+
+TEST_F(DeterminismContract, ControlReplicatesAreBitwiseIdentical) {
+  const auto results =
+      run_replicates(job(NoiseVariant::kControl, hw::v100()), 3, 1);
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[0].final_weights, results[r].final_weights)
+        << "replicate " << r << " diverged under CONTROL";
+    EXPECT_EQ(results[0].test_predictions, results[r].test_predictions);
+  }
+}
+
+TEST_F(DeterminismContract, SameReplicateSameResult) {
+  // Re-running the same replicate id reproduces the exact run (the property
+  // that makes every experiment in this repo replayable).
+  const TrainJob j = job(NoiseVariant::kAlgoPlusImpl, hw::v100());
+  const RunResult a = train_replicate(j, 4);
+  const RunResult b = train_replicate(j, 4);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.test_predictions, b.test_predictions);
+}
+
+TEST_F(DeterminismContract, ImplReplicatesDivergeOnGpu) {
+  const auto results =
+      run_replicates(job(NoiseVariant::kImpl, hw::v100()), 2, 1);
+  EXPECT_NE(results[0].final_weights, results[1].final_weights)
+      << "scheduler entropy failed to perturb training";
+}
+
+TEST_F(DeterminismContract, AlgoReplicatesDivergeThroughSeeds) {
+  const auto results =
+      run_replicates(job(NoiseVariant::kAlgo, hw::v100()), 2, 1);
+  EXPECT_NE(results[0].final_weights, results[1].final_weights);
+}
+
+TEST_F(DeterminismContract, TpuRemovesImplNoise) {
+  // IMPL variant = pinned algorithmic seeds. On inherently deterministic
+  // hardware nothing is left to vary: replicates must be bitwise identical.
+  const auto results =
+      run_replicates(job(NoiseVariant::kImpl, hw::tpu_v2()), 2, 1);
+  EXPECT_EQ(results[0].final_weights, results[1].final_weights);
+  EXPECT_EQ(results[0].test_predictions, results[1].test_predictions);
+}
+
+TEST_F(DeterminismContract, DeterministicModeRemovesImplNoiseOnGpu) {
+  TrainJob j = job(NoiseVariant::kImpl, hw::p100());
+  // Force deterministic kernels while keeping the IMPL toggle structure:
+  ChannelToggles toggles = toggles_for(NoiseVariant::kImpl);
+  toggles.mode = hw::DeterminismMode::kDeterministic;
+  toggles.scheduler_varies = false;
+  j.toggles_override = toggles;
+  const auto results = run_replicates(j, 2, 1);
+  EXPECT_EQ(results[0].final_weights, results[1].final_weights);
+}
+
+TEST_F(DeterminismContract, TensorCoresStillNondeterministic) {
+  // Paper §3.3: Tensor-Core training remains noisy due to CUDA-core
+  // fallback reductions.
+  const auto results = run_replicates(
+      job(NoiseVariant::kImpl, hw::rtx5000_tensor_cores()), 2, 1);
+  EXPECT_NE(results[0].final_weights, results[1].final_weights);
+}
+
+}  // namespace
+}  // namespace nnr::core

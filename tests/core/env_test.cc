@@ -1,0 +1,124 @@
+// Environment scale-knob resolution (env_int / quick_mode / resolve_scale).
+// Tests mutate this process's environment; each test restores what it sets.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/env.h"
+
+namespace nnr::core {
+namespace {
+
+/// Sets an env var for the duration of a scope, restoring the prior value.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    const char* old = std::getenv(name_.c_str());
+    if (old != nullptr) previous_ = old;
+    ::setenv(name_.c_str(), value.c_str(), /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (previous_.has_value()) {
+      ::setenv(name_.c_str(), previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
+
+TEST(EnvInt, ReturnsFallbackWhenUnset) {
+  ::unsetenv("NNR_TEST_UNSET_KNOB");
+  EXPECT_EQ(env_int("NNR_TEST_UNSET_KNOB", 42), 42);
+}
+
+TEST(EnvInt, ParsesInteger) {
+  ScopedEnv knob("NNR_TEST_KNOB", "17");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 0), 17);
+}
+
+TEST(EnvInt, NegativeValuesParse) {
+  ScopedEnv knob("NNR_TEST_KNOB", "-3");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 0), -3);
+}
+
+TEST(EnvInt, GarbageFallsBack) {
+  ScopedEnv knob("NNR_TEST_KNOB", "not-a-number");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 7), 7);
+}
+
+TEST(EnvInt, EmptyStringFallsBack) {
+  ScopedEnv knob("NNR_TEST_KNOB", "");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 9), 9);
+}
+
+TEST(QuickMode, OffByDefaultAndOnWhenSet) {
+  ::unsetenv("NNR_QUICK");
+  EXPECT_FALSE(quick_mode());
+  ScopedEnv quick("NNR_QUICK", "1");
+  EXPECT_TRUE(quick_mode());
+}
+
+TEST(QuickMode, ZeroMeansOff) {
+  ScopedEnv quick("NNR_QUICK", "0");
+  EXPECT_FALSE(quick_mode());
+}
+
+TEST(ResolveScale, DefaultsPassThroughWithoutEnv) {
+  ::unsetenv("NNR_QUICK");
+  ::unsetenv("NNR_REPLICATES");
+  ::unsetenv("NNR_EPOCHS");
+  ::unsetenv("NNR_TRAIN_N");
+  ::unsetenv("NNR_TEST_N");
+  const Scale scale = resolve_scale(10, 40, 512, 256);
+  EXPECT_EQ(scale.replicates, 10);
+  EXPECT_EQ(scale.epochs, 40);
+  EXPECT_EQ(scale.train_n, 512);
+  EXPECT_EQ(scale.test_n, 256);
+}
+
+TEST(ResolveScale, ExplicitKnobsOverrideDefaults) {
+  ScopedEnv replicates("NNR_REPLICATES", "3");
+  ScopedEnv epochs("NNR_EPOCHS", "5");
+  const Scale scale = resolve_scale(10, 40, 512, 256);
+  EXPECT_EQ(scale.replicates, 3);
+  EXPECT_EQ(scale.epochs, 5);
+  EXPECT_EQ(scale.train_n, 512);  // untouched knob keeps its default
+}
+
+TEST(ResolveScale, QuickModeShrinksDefaults) {
+  ScopedEnv quick("NNR_QUICK", "1");
+  ::unsetenv("NNR_REPLICATES");
+  ::unsetenv("NNR_EPOCHS");
+  ::unsetenv("NNR_TRAIN_N");
+  ::unsetenv("NNR_TEST_N");
+  const Scale scale = resolve_scale(10, 40, 512, 256);
+  EXPECT_EQ(scale.replicates, 2);
+  EXPECT_EQ(scale.epochs, 2);
+  EXPECT_EQ(scale.train_n, 128);
+  EXPECT_EQ(scale.test_n, 64);
+}
+
+TEST(ResolveScale, QuickModeKeepsAFloorOnDataSize) {
+  ScopedEnv quick("NNR_QUICK", "1");
+  ::unsetenv("NNR_TRAIN_N");
+  ::unsetenv("NNR_TEST_N");
+  const Scale scale = resolve_scale(2, 2, 100, 100);
+  EXPECT_GE(scale.train_n, 64);
+  EXPECT_GE(scale.test_n, 64);
+}
+
+TEST(ResolveScale, ExplicitKnobBeatsQuickShrink) {
+  ScopedEnv quick("NNR_QUICK", "1");
+  ScopedEnv train_n("NNR_TRAIN_N", "999");
+  const Scale scale = resolve_scale(10, 40, 512, 256);
+  EXPECT_EQ(scale.train_n, 999);
+}
+
+}  // namespace
+}  // namespace nnr::core

@@ -1,0 +1,100 @@
+// Factorial (algo seed x impl seed) trainer contract: the two replicate
+// indices key independent channel bundles, the diagonal matches the legacy
+// single-index overload, and pinned channels ignore their index.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+#include "stats/anova.h"
+
+namespace nnr::core {
+namespace {
+
+class FactorialTrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ClassificationDataset(data::synth_cifar10(160, 80));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static TrainJob job(NoiseVariant variant) {
+    TrainJob j;
+    j.make_model = [] { return nn::small_cnn(10, /*with_batchnorm=*/true); };
+    j.dataset = dataset_;
+    j.recipe = cifar_recipe(/*epochs=*/3);
+    j.variant = variant;
+    j.device = hw::v100();
+    j.base_seed = 0xFAC70ull;
+    return j;
+  }
+
+  static data::ClassificationDataset* dataset_;
+};
+
+data::ClassificationDataset* FactorialTrainerTest::dataset_ = nullptr;
+
+TEST_F(FactorialTrainerTest, DiagonalMatchesSingleIndexOverload) {
+  const TrainJob j = job(NoiseVariant::kAlgoPlusImpl);
+  const RunResult single = train_replicate(j, 3);
+  const RunResult grid = train_replicate(j, ReplicateIds{3, 3});
+  EXPECT_EQ(single.final_weights, grid.final_weights);
+  EXPECT_EQ(single.test_predictions, grid.test_predictions);
+}
+
+TEST_F(FactorialTrainerTest, CellsAreReproducible) {
+  const TrainJob j = job(NoiseVariant::kAlgoPlusImpl);
+  const RunResult a = train_replicate(j, ReplicateIds{1, 2});
+  const RunResult b = train_replicate(j, ReplicateIds{1, 2});
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
+TEST_F(FactorialTrainerTest, AlgoIndexIgnoredWhenAlgoPinned) {
+  // IMPL variant pins the algo bundle: varying ids.algo must not matter.
+  const TrainJob j = job(NoiseVariant::kImpl);
+  const RunResult a = train_replicate(j, ReplicateIds{0, 5});
+  const RunResult b = train_replicate(j, ReplicateIds{9, 5});
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
+TEST_F(FactorialTrainerTest, ImplIndexIgnoredWhenSchedulerPinned) {
+  // ALGO variant runs deterministic kernels: varying ids.impl must not
+  // matter.
+  const TrainJob j = job(NoiseVariant::kAlgo);
+  const RunResult a = train_replicate(j, ReplicateIds{4, 0});
+  const RunResult b = train_replicate(j, ReplicateIds{4, 7});
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
+TEST_F(FactorialTrainerTest, BothIndicesMatterUnderFullNoise) {
+  const TrainJob j = job(NoiseVariant::kAlgoPlusImpl);
+  const RunResult base = train_replicate(j, ReplicateIds{0, 0});
+  const RunResult other_algo = train_replicate(j, ReplicateIds{1, 0});
+  const RunResult other_impl = train_replicate(j, ReplicateIds{0, 1});
+  EXPECT_NE(base.final_weights, other_algo.final_weights);
+  EXPECT_NE(base.final_weights, other_impl.final_weights);
+}
+
+TEST_F(FactorialTrainerTest, GridFeedsAnovaWithFullPartition) {
+  // A 2x2 grid end to end: the ANOVA shares must partition (guards the
+  // bench wiring, not statistical conclusions — those need larger grids).
+  const TrainJob j = job(NoiseVariant::kAlgoPlusImpl);
+  std::vector<std::vector<double>> acc(2, std::vector<double>(2, 0.0));
+  for (std::uint64_t a = 0; a < 2; ++a) {
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      acc[a][i] = train_replicate(j, ReplicateIds{a, i}).test_accuracy;
+    }
+  }
+  const stats::TwoWayAnova anova = stats::two_way_anova(acc);
+  EXPECT_NEAR(anova.rows_share() + anova.cols_share() +
+                  anova.residual_share(),
+              anova.ss_total > 0.0 ? 1.0 : 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nnr::core

@@ -1,0 +1,50 @@
+#include "core/noise_variant.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::core {
+namespace {
+
+TEST(NoiseVariant, AlgoPlusImplVariesEverything) {
+  const ChannelToggles t = toggles_for(NoiseVariant::kAlgoPlusImpl);
+  EXPECT_TRUE(t.init_varies);
+  EXPECT_TRUE(t.shuffle_varies);
+  EXPECT_TRUE(t.augment_varies);
+  EXPECT_TRUE(t.dropout_varies);
+  EXPECT_TRUE(t.scheduler_varies);
+  EXPECT_EQ(t.mode, hw::DeterminismMode::kDefault);
+}
+
+TEST(NoiseVariant, AlgoControlsTooling) {
+  const ChannelToggles t = toggles_for(NoiseVariant::kAlgo);
+  EXPECT_TRUE(t.init_varies);
+  EXPECT_FALSE(t.scheduler_varies);
+  EXPECT_EQ(t.mode, hw::DeterminismMode::kDeterministic);
+}
+
+TEST(NoiseVariant, ImplPinsAlgorithmicSeeds) {
+  const ChannelToggles t = toggles_for(NoiseVariant::kImpl);
+  EXPECT_FALSE(t.init_varies);
+  EXPECT_FALSE(t.shuffle_varies);
+  EXPECT_FALSE(t.augment_varies);
+  EXPECT_FALSE(t.dropout_varies);
+  EXPECT_TRUE(t.scheduler_varies);
+  EXPECT_EQ(t.mode, hw::DeterminismMode::kDefault);
+}
+
+TEST(NoiseVariant, ControlPinsEverything) {
+  const ChannelToggles t = toggles_for(NoiseVariant::kControl);
+  EXPECT_FALSE(t.init_varies);
+  EXPECT_FALSE(t.scheduler_varies);
+  EXPECT_EQ(t.mode, hw::DeterminismMode::kDeterministic);
+}
+
+TEST(NoiseVariant, Names) {
+  EXPECT_EQ(variant_name(NoiseVariant::kAlgoPlusImpl), "ALGO+IMPL");
+  EXPECT_EQ(variant_name(NoiseVariant::kAlgo), "ALGO");
+  EXPECT_EQ(variant_name(NoiseVariant::kImpl), "IMPL");
+  EXPECT_EQ(variant_name(NoiseVariant::kControl), "CONTROL");
+}
+
+}  // namespace
+}  // namespace nnr::core

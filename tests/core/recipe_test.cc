@@ -1,0 +1,46 @@
+#include "core/recipe.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::core {
+namespace {
+
+TEST(Recipe, CifarStepDecaySchedule) {
+  const TrainRecipe recipe = cifar_recipe(8);
+  EXPECT_EQ(recipe.schedule, ScheduleKind::kStepDecay);
+  EXPECT_FLOAT_EQ(recipe.learning_rate(0), recipe.base_lr);
+  EXPECT_FLOAT_EQ(recipe.learning_rate(recipe.decay_every),
+                  recipe.base_lr * 0.1F);
+}
+
+TEST(Recipe, ImagenetWarmsUp) {
+  const TrainRecipe recipe = imagenet_recipe(10);
+  EXPECT_EQ(recipe.schedule, ScheduleKind::kWarmupCosine);
+  EXPECT_LT(recipe.learning_rate(0), recipe.base_lr);
+  EXPECT_FLOAT_EQ(recipe.learning_rate(1), recipe.base_lr);
+}
+
+TEST(Recipe, CelebaDisablesAugmentation) {
+  // Paper Appendix B: augmentation everywhere except CelebA.
+  EXPECT_TRUE(cifar_recipe(8).augment);
+  EXPECT_TRUE(imagenet_recipe(8).augment);
+  EXPECT_FALSE(celeba_recipe(8).augment);
+}
+
+TEST(Recipe, LearningRateNeverNegative) {
+  for (const TrainRecipe& recipe :
+       {cifar_recipe(8), imagenet_recipe(8), celeba_recipe(8)}) {
+    for (std::int64_t epoch = 0; epoch < recipe.epochs; ++epoch) {
+      EXPECT_GE(recipe.learning_rate(epoch), 0.0F);
+    }
+  }
+}
+
+TEST(Recipe, ShortRunsHaveValidDecayPeriod) {
+  const TrainRecipe recipe = cifar_recipe(1);
+  EXPECT_GE(recipe.decay_every, 1);
+  EXPECT_GT(recipe.learning_rate(0), 0.0F);
+}
+
+}  // namespace
+}  // namespace nnr::core

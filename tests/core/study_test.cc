@@ -1,0 +1,73 @@
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::core {
+namespace {
+
+RunResult make_result(std::vector<std::int32_t> preds,
+                      std::vector<float> weights, double accuracy) {
+  RunResult r;
+  r.test_predictions = std::move(preds);
+  r.final_weights = std::move(weights);
+  r.test_accuracy = accuracy;
+  return r;
+}
+
+TEST(Study, SummaryAggregatesAccuracy) {
+  const std::vector<RunResult> results = {
+      make_result({0, 1}, {1.0F, 0.0F}, 0.8),
+      make_result({0, 1}, {1.0F, 0.0F}, 0.9),
+  };
+  const VariantSummary s = summarize(results);
+  EXPECT_NEAR(s.accuracy.mean(), 0.85, 1e-12);
+  EXPECT_NEAR(s.accuracy_pct(), 85.0, 1e-9);
+  EXPECT_EQ(s.mean_churn, 0.0);  // identical predictions
+  EXPECT_NEAR(s.mean_l2, 0.0, 1e-9);
+}
+
+TEST(Study, SummaryChurnOverPairs) {
+  const std::vector<RunResult> results = {
+      make_result({0, 0}, {1.0F, 0.0F}, 0.5),
+      make_result({0, 1}, {0.0F, 1.0F}, 0.5),
+  };
+  const VariantSummary s = summarize(results);
+  EXPECT_DOUBLE_EQ(s.mean_churn, 0.5);
+  EXPECT_DOUBLE_EQ(s.churn_pct(), 50.0);
+  EXPECT_GT(s.mean_l2, 1.0);  // orthogonal unit weight vectors
+}
+
+TEST(Study, PerClassVarianceAmplification) {
+  data::LabeledImages test;
+  test.num_classes = 2;
+  test.labels = {0, 0, 1, 1};
+  // Class 1 predictions flip between runs; class 0 stable -> class-1 stddev
+  // exceeds overall stddev.
+  const std::vector<RunResult> results = {
+      make_result({0, 0, 1, 1}, {1.0F}, 1.0),
+      make_result({0, 0, 0, 0}, {1.0F}, 0.5),
+  };
+  const PerClassVariance pcv = per_class_variance(results, test);
+  ASSERT_EQ(pcv.per_class_stddev_pct.size(), 2u);
+  EXPECT_EQ(pcv.per_class_stddev_pct[0], 0.0);
+  EXPECT_GT(pcv.per_class_stddev_pct[1], pcv.overall_stddev_pct);
+  EXPECT_GT(pcv.amplification(), 1.0);
+  EXPECT_DOUBLE_EQ(pcv.max_per_class_stddev_pct(),
+                   pcv.per_class_stddev_pct[1]);
+}
+
+TEST(Study, SubgroupStabilityMaskedStats) {
+  const std::vector<std::uint8_t> labels = {1, 0, 1, 0};
+  const std::vector<std::uint8_t> mask = {1, 1, 0, 0};
+  const std::vector<RunResult> results = {
+      make_result({1, 0, 0, 0}, {1.0F}, 1.0),   // perfect on masked subset
+      make_result({0, 1, 0, 0}, {1.0F}, 0.25),  // fully wrong on masked
+  };
+  const SubgroupStability stats = subgroup_stability(results, labels, mask);
+  EXPECT_EQ(stats.accuracy.count(), 2);
+  EXPECT_NEAR(stats.accuracy.mean(), 0.5, 1e-12);
+  EXPECT_GT(stats.accuracy.stddev(), 0.5);
+}
+
+}  // namespace
+}  // namespace nnr::core

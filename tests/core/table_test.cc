@@ -1,0 +1,46 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::core {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table({"a", "b"});
+  table.add_row({"xxxxxx", "1"});
+  const std::string out = table.render();
+  // Header row must be padded to the widest cell plus separator.
+  const std::size_t header_end = out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_GE(header_end, std::string("xxxxxx  b").size());
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(Format, Pct) {
+  EXPECT_EQ(fmt_pct(93.336, 2), "93.34%");
+  EXPECT_EQ(fmt_pct(0.5, 1), "0.5%");
+}
+
+TEST(Format, Float) {
+  EXPECT_EQ(fmt_float(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt_float(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace nnr::core

@@ -1,0 +1,112 @@
+// Task presets: every preset must produce a consistent (dataset, model,
+// recipe) triple — the benches assume these invariants when fanning out
+// cells. No training here (convergence is covered by the integration tests);
+// these are cheap structural checks over the whole registry.
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tasks.h"
+#include "data/batcher.h"
+#include "hw/execution_context.h"
+#include "rng/generator.h"
+#include "tensor/tensor.h"
+
+namespace nnr::core {
+namespace {
+
+struct PresetCase {
+  std::string label;
+  std::function<Task()> make;
+  std::int64_t num_classes;
+};
+
+std::vector<PresetCase> presets() {
+  return {
+      {"small_cnn_cifar10", small_cnn_cifar10, 10},
+      {"small_cnn_bn_cifar10", small_cnn_bn_cifar10, 10},
+      {"resnet18_cifar10", resnet18_cifar10, 10},
+      {"resnet18_cifar100", resnet18_cifar100, 100},
+      {"resnet50_imagenet", resnet50_imagenet, 20},
+      {"vgg_cifar10", vgg_cifar10, 10},
+      {"mobilenet_cifar10", mobilenet_cifar10, 10},
+  };
+}
+
+class TaskPresetSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static PresetCase preset() { return presets()[GetParam()]; }
+};
+
+TEST_P(TaskPresetSweep, DatasetSplitsAreNonEmptyAndDisjointSized) {
+  const Task task = preset().make();
+  EXPECT_GT(task.dataset.train.size(), 0);
+  EXPECT_GT(task.dataset.test.size(), 0);
+  EXPECT_EQ(task.dataset.train.labels.size(),
+            static_cast<std::size_t>(task.dataset.train.size()));
+  EXPECT_EQ(task.dataset.test.labels.size(),
+            static_cast<std::size_t>(task.dataset.test.size()));
+}
+
+TEST_P(TaskPresetSweep, LabelsWithinModelClassRange) {
+  const PresetCase c = preset();
+  const Task task = c.make();
+  for (const std::int32_t label : task.dataset.train.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, c.num_classes);
+  }
+}
+
+TEST_P(TaskPresetSweep, ModelHeadMatchesClassCount) {
+  const PresetCase c = preset();
+  const Task task = c.make();
+  nn::Model model = task.make_model();
+  rng::Generator init(1);
+  model.init_weights(init);
+  hw::ExecutionContext hw_ctx(hw::v100(), hw::DeterminismMode::kDeterministic,
+                              rng::Generator(0));
+  nn::RunContext ctx{.hw = &hw_ctx, .training = false, .dropout = nullptr};
+  // One test image through the model: the head width is the contract.
+  const std::vector<std::uint32_t> first = {0u};
+  tensor::Tensor one = data::gather_images(task.dataset.test.images, first);
+  const tensor::Tensor logits = model.forward(one, ctx);
+  ASSERT_EQ(logits.shape().rank(), 2);
+  EXPECT_EQ(logits.shape()[1], c.num_classes);
+}
+
+TEST_P(TaskPresetSweep, RecipeIsSane) {
+  const Task task = preset().make();
+  EXPECT_GT(task.recipe.epochs, 0);
+  EXPECT_GT(task.recipe.batch_size, 0);
+  EXPECT_GT(task.recipe.base_lr, 0.0F);
+  EXPECT_GT(task.default_replicates, 0);
+  // The LR schedule must be non-increasing over epochs for every preset.
+  float prev = task.recipe.learning_rate(0);
+  for (std::int64_t e = 1; e < task.recipe.epochs; ++e) {
+    const float lr = task.recipe.learning_rate(e);
+    if (task.recipe.schedule == ScheduleKind::kStepDecay) {
+      EXPECT_LE(lr, prev + 1e-9F);
+    }
+    prev = lr;
+  }
+}
+
+TEST_P(TaskPresetSweep, JobInheritsTaskFields) {
+  const Task task = preset().make();
+  const TrainJob job = task.job(NoiseVariant::kImpl, hw::t4());
+  EXPECT_EQ(job.dataset, &task.dataset);
+  EXPECT_EQ(job.recipe.epochs, task.recipe.epochs);
+  EXPECT_EQ(job.variant, NoiseVariant::kImpl);
+  EXPECT_EQ(job.device.name, "T4");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, TaskPresetSweep,
+                         ::testing::Range<std::size_t>(0, 7),
+                         [](const auto& info) {
+                           return presets()[info.param].label;
+                         });
+
+}  // namespace
+}  // namespace nnr::core

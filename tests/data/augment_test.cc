@@ -1,0 +1,115 @@
+#include "data/augment.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::data {
+namespace {
+
+using rng::Generator;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor ramp_batch() {
+  Tensor x(Shape{2, 1, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = static_cast<float>(i);
+  }
+  return x;
+}
+
+TEST(Augment, PreservesShape) {
+  Generator gen(1);
+  const Tensor x = ramp_batch();
+  const Tensor y = augment_batch(x, AugmentConfig{}, gen);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Augment, PinnedGeneratorIsReproducible) {
+  const Tensor x = ramp_batch();
+  Generator a(2);
+  Generator b(2);
+  const Tensor ya = augment_batch(x, AugmentConfig{}, a);
+  const Tensor yb = augment_batch(x, AugmentConfig{}, b);
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_EQ(ya.at(i), yb.at(i));
+  }
+}
+
+TEST(Augment, DifferentSeedsGiveDifferentAugmentations) {
+  const Tensor x = ramp_batch();
+  Generator a(3);
+  Generator b(4);
+  const Tensor ya = augment_batch(x, AugmentConfig{}, a);
+  const Tensor yb = augment_batch(x, AugmentConfig{}, b);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < ya.numel() && !any_diff; ++i) {
+    any_diff = ya.at(i) != yb.at(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Augment, DisabledConfigIsIdentity) {
+  AugmentConfig cfg;
+  cfg.random_crop = false;
+  cfg.horizontal_flip = false;
+  Generator gen(5);
+  const Tensor x = ramp_batch();
+  const Tensor y = augment_batch(x, cfg, gen);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(y.at(i), x.at(i));
+  }
+}
+
+TEST(Augment, FlipOnlyReversesRows) {
+  AugmentConfig cfg;
+  cfg.random_crop = false;
+  cfg.horizontal_flip = true;
+  // Find a seed whose first Bernoulli(0.5) is true for example 0.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Generator probe(seed);
+    if (!probe.bernoulli(0.5F)) continue;
+    Generator gen(seed);
+    Tensor x(Shape{1, 1, 1, 4}, {1, 2, 3, 4});
+    const Tensor y = augment_batch(x, cfg, gen);
+    EXPECT_FLOAT_EQ(y.at(0), 4.0F);
+    EXPECT_FLOAT_EQ(y.at(3), 1.0F);
+    return;
+  }
+  FAIL() << "no seed with a flip found in 64 tries";
+}
+
+TEST(Augment, CropShiftsWithinPad) {
+  // With crop_pad=2 the content can shift at most 2 pixels; the center
+  // pixel of a large constant region must survive.
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.crop_pad = 2;
+  Generator gen(7);
+  Tensor x = Tensor::full(Shape{1, 1, 8, 8}, 3.0F);
+  const Tensor y = augment_batch(x, cfg, gen);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 4, 4), 3.0F);
+}
+
+TEST(Augment, OutOfBoundsReadsZero) {
+  AugmentConfig cfg;
+  cfg.horizontal_flip = false;
+  cfg.crop_pad = 3;
+  // Find a seed that shifts by the full +3 in both axes.
+  for (std::uint64_t seed = 0; seed < 512; ++seed) {
+    Generator probe(seed);
+    const auto dy = probe.uniform_int(7);
+    const auto dx = probe.uniform_int(7);
+    if (dy == 6 && dx == 6) {  // offset +3, +3
+      Generator gen(seed);
+      Tensor x = Tensor::full(Shape{1, 1, 4, 4}, 5.0F);
+      const Tensor y = augment_batch(x, cfg, gen);
+      // Bottom-right source pixels fall outside -> zeros appear.
+      EXPECT_FLOAT_EQ(y.at(0, 0, 3, 3), 0.0F);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no full-shift seed found (statistically unlikely)";
+}
+
+}  // namespace
+}  // namespace nnr::data

@@ -1,0 +1,64 @@
+#include "data/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nnr::data {
+namespace {
+
+using rng::Generator;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(EpochShuffler, OrdersArePermutations) {
+  EpochShuffler shuffler(100, Generator(1));
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    auto order = shuffler.next_epoch_order();
+    std::sort(order.begin(), order.end());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], i);
+    }
+  }
+}
+
+TEST(EpochShuffler, EpochsDiffer) {
+  EpochShuffler shuffler(64, Generator(2));
+  EXPECT_NE(shuffler.next_epoch_order(), shuffler.next_epoch_order());
+}
+
+TEST(EpochShuffler, PinnedSeedReplaysSameSequence) {
+  EpochShuffler a(64, Generator(3));
+  EpochShuffler b(64, Generator(3));
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    EXPECT_EQ(a.next_epoch_order(), b.next_epoch_order());
+  }
+}
+
+TEST(EpochShuffler, IdentityOrder) {
+  EpochShuffler shuffler(5, Generator(4));
+  const auto order = shuffler.identity_order();
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(GatherImages, PicksRows) {
+  Tensor images(Shape{3, 1, 2, 2});
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    images.at(i) = static_cast<float>(i);
+  }
+  const std::vector<std::uint32_t> indices = {2, 0};
+  const Tensor batch = gather_images(images, indices);
+  EXPECT_EQ(batch.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch.at(0), 8.0F);   // first pixel of example 2
+  EXPECT_FLOAT_EQ(batch.at(4), 0.0F);   // first pixel of example 0
+}
+
+TEST(GatherLabels, PicksEntries) {
+  const std::vector<std::int32_t> labels = {10, 20, 30};
+  const std::vector<std::uint32_t> indices = {1, 1, 2};
+  EXPECT_EQ(gather_labels(labels, indices),
+            (std::vector<std::int32_t>{20, 20, 30}));
+}
+
+}  // namespace
+}  // namespace nnr::data

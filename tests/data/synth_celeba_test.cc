@@ -1,0 +1,111 @@
+#include "data/synth_celeba.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/registry.h"
+
+namespace nnr::data {
+namespace {
+
+TEST(SynthCelebA, ShapesMatchConfig) {
+  SynthCelebAConfig cfg;
+  cfg.train_n = 400;
+  cfg.test_n = 200;
+  const auto ds = make_synth_celeba(cfg);
+  EXPECT_EQ(ds.train.size(), 400);
+  EXPECT_EQ(ds.test.size(), 200);
+  EXPECT_EQ(ds.train.images.shape(), (tensor::Shape{400, 3, 16, 16}));
+}
+
+TEST(SynthCelebA, Deterministic) {
+  SynthCelebAConfig cfg;
+  cfg.train_n = 100;
+  cfg.test_n = 50;
+  const auto a = make_synth_celeba(cfg);
+  const auto b = make_synth_celeba(cfg);
+  EXPECT_EQ(a.train.target, b.train.target);
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images.at(i), b.train.images.at(i));
+  }
+}
+
+TEST(SynthCelebA, ExpectedPositiveRatesMatchPaperTable3) {
+  const SynthCelebAConfig cfg;
+  // Male & Young cell: p(pos|male)*p(pos|young)/p(pos) ~ 2.2%.
+  EXPECT_NEAR(expected_positive_rate(cfg, true, true), 0.0217F, 0.005F);
+  // Female & Young: ~26%.
+  EXPECT_NEAR(expected_positive_rate(cfg, false, true), 0.259F, 0.02F);
+  // Male & Old: rarest cell.
+  EXPECT_LT(expected_positive_rate(cfg, true, false),
+            expected_positive_rate(cfg, false, false));
+}
+
+TEST(SynthCelebA, SubgroupImbalanceReproduced) {
+  SynthCelebAConfig cfg;
+  cfg.train_n = 20000;  // large sample to pin the rates
+  cfg.test_n = 100;
+  const auto ds = make_synth_celeba(cfg);
+  const SubgroupCounts counts = count_subgroups(ds.train);
+
+  // Paper Table 3 rates: Male positives ~2% of males; Female ~24%.
+  const double male_rate =
+      static_cast<double>(counts.male_pos) /
+      static_cast<double>(counts.male_pos + counts.male_neg);
+  const double female_rate =
+      static_cast<double>(counts.female_pos) /
+      static_cast<double>(counts.female_pos + counts.female_neg);
+  EXPECT_NEAR(male_rate, 0.0203, 0.01);
+  EXPECT_NEAR(female_rate, 0.2421, 0.02);
+
+  // Old is underrepresented overall (~22% of examples).
+  const double old_share =
+      static_cast<double>(counts.old_pos + counts.old_neg) /
+      static_cast<double>(counts.total);
+  EXPECT_NEAR(old_share, 0.221, 0.02);
+}
+
+TEST(SynthCelebA, TargetSignalIsPresent) {
+  // Mean image of positives must differ from mean of negatives along some
+  // direction — otherwise the task is unlearnable.
+  SynthCelebAConfig cfg;
+  cfg.train_n = 2000;
+  cfg.test_n = 100;
+  const auto ds = make_synth_celeba(cfg);
+  const std::int64_t chw = 3 * 16 * 16;
+  std::vector<double> pos_mean(static_cast<std::size_t>(chw), 0.0);
+  std::vector<double> neg_mean(static_cast<std::size_t>(chw), 0.0);
+  std::int64_t n_pos = 0;
+  std::int64_t n_neg = 0;
+  for (std::int64_t i = 0; i < ds.train.size(); ++i) {
+    const bool pos = ds.train.target[static_cast<std::size_t>(i)] != 0;
+    (pos ? n_pos : n_neg)++;
+    for (std::int64_t p = 0; p < chw; ++p) {
+      (pos ? pos_mean : neg_mean)[static_cast<std::size_t>(p)] +=
+          ds.train.images.at(i * chw + p);
+    }
+  }
+  ASSERT_GT(n_pos, 0);
+  ASSERT_GT(n_neg, 0);
+  double separation = 0.0;
+  for (std::int64_t p = 0; p < chw; ++p) {
+    const double d = pos_mean[static_cast<std::size_t>(p)] / n_pos -
+                     neg_mean[static_cast<std::size_t>(p)] / n_neg;
+    separation += d * d;
+  }
+  EXPECT_GT(std::sqrt(separation / chw), 0.1);
+}
+
+TEST(SynthCelebA, AttributeVectorsSameLengthAsImages) {
+  SynthCelebAConfig cfg;
+  cfg.train_n = 64;
+  cfg.test_n = 32;
+  const auto ds = make_synth_celeba(cfg);
+  EXPECT_EQ(ds.test.male.size(), 32u);
+  EXPECT_EQ(ds.test.young.size(), 32u);
+  EXPECT_EQ(ds.test.target.size(), 32u);
+}
+
+}  // namespace
+}  // namespace nnr::data

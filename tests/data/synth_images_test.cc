@@ -1,0 +1,141 @@
+#include "data/synth_images.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nnr::data {
+namespace {
+
+TEST(SynthImages, ShapesAndLabels) {
+  const auto ds = synth_cifar10(100, 50);
+  EXPECT_EQ(ds.train.size(), 100);
+  EXPECT_EQ(ds.test.size(), 50);
+  EXPECT_EQ(ds.train.num_classes, 10);
+  EXPECT_EQ(ds.train.images.shape(), (tensor::Shape{100, 3, 16, 16}));
+  for (std::int32_t label : ds.train.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(SynthImages, BalancedClasses) {
+  const auto ds = synth_cifar10(200, 100);
+  std::vector<int> counts(10, 0);
+  for (std::int32_t label : ds.train.labels) ++counts[static_cast<std::size_t>(label)];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(SynthImages, GenerationIsDeterministic) {
+  const auto a = synth_cifar10(60, 30);
+  const auto b = synth_cifar10(60, 30);
+  ASSERT_EQ(a.train.images.numel(), b.train.images.numel());
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images.at(i), b.train.images.at(i)) << "pixel " << i;
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SynthImages, TrainTestSplitsDiffer) {
+  const auto ds = synth_cifar10(60, 60);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < ds.train.images.numel() && !any_diff; ++i) {
+    any_diff = ds.train.images.at(i) != ds.test.images.at(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthImages, ClassesAreSeparable) {
+  // Same-class examples must be closer (on average) than cross-class ones;
+  // otherwise the datasets would be untrainable noise.
+  const auto ds = synth_cifar10(100, 50);
+  const std::int64_t chw = 3 * 16 * 16;
+  auto dist = [&](std::int64_t i, std::int64_t j) {
+    double acc = 0.0;
+    for (std::int64_t p = 0; p < chw; ++p) {
+      const double d = ds.train.images.at(i * chw + p) -
+                       ds.train.images.at(j * chw + p);
+      acc += d * d;
+    }
+    return acc;
+  };
+  double same = 0.0;
+  double cross = 0.0;
+  int n_same = 0;
+  int n_cross = 0;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    for (std::int64_t j = i + 1; j < 40; ++j) {
+      if (ds.train.labels[static_cast<std::size_t>(i)] ==
+          ds.train.labels[static_cast<std::size_t>(j)]) {
+        same += dist(i, j);
+        ++n_same;
+      } else {
+        cross += dist(i, j);
+        ++n_cross;
+      }
+    }
+  }
+  ASSERT_GT(n_same, 0);
+  ASSERT_GT(n_cross, 0);
+  EXPECT_LT(same / n_same, cross / n_cross);
+}
+
+TEST(SynthImages, HeterogeneousClassDifficulty) {
+  // Per-class noise sigmas must differ (the Fig. 4 mechanism): compare
+  // within-class variance across classes.
+  SynthImageConfig cfg;
+  cfg.num_classes = 10;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 2;
+  const auto ds = make_synth_classification(cfg, "probe");
+  const std::int64_t chw = 3 * 16 * 16;
+  std::vector<double> class_var(10, 0.0);
+  for (std::int64_t cls = 0; cls < 10; ++cls) {
+    // Mean image of the class.
+    std::vector<double> mean(static_cast<std::size_t>(chw), 0.0);
+    for (std::int64_t s = 0; s < 20; ++s) {
+      const std::int64_t idx = cls * 20 + s;
+      for (std::int64_t p = 0; p < chw; ++p) {
+        mean[static_cast<std::size_t>(p)] += ds.train.images.at(idx * chw + p);
+      }
+    }
+    for (double& m : mean) m /= 20.0;
+    double var = 0.0;
+    for (std::int64_t s = 0; s < 20; ++s) {
+      const std::int64_t idx = cls * 20 + s;
+      for (std::int64_t p = 0; p < chw; ++p) {
+        const double d =
+            ds.train.images.at(idx * chw + p) - mean[static_cast<std::size_t>(p)];
+        var += d * d;
+      }
+    }
+    class_var[static_cast<std::size_t>(cls)] = var / (20.0 * chw);
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(class_var.begin(), class_var.end());
+  EXPECT_GT(*max_it, *min_it * 1.5) << "class difficulties are too uniform";
+}
+
+TEST(SynthImages, Cifar100HasHundredClasses) {
+  const auto ds = synth_cifar100(200, 100);
+  EXPECT_EQ(ds.train.num_classes, 100);
+}
+
+TEST(SynthImages, ImagenetStandInHasTwentyClasses) {
+  const auto ds = synth_imagenet(40, 20);
+  EXPECT_EQ(ds.train.num_classes, 20);
+  EXPECT_EQ(ds.name, "ImageNet*");
+}
+
+TEST(SynthImages, DistinctDatasetsUseDistinctSeeds) {
+  const auto c10 = synth_cifar10(20, 10);
+  const auto inet = synth_imagenet(20, 10);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < c10.train.images.numel() && !any_diff; ++i) {
+    any_diff = c10.train.images.at(i) != inet.train.images.at(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace nnr::data

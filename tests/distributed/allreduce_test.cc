@@ -1,0 +1,132 @@
+#include "distributed/allreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/generator.h"
+
+namespace nnr::distributed {
+namespace {
+
+std::vector<std::vector<float>> make_worker_buffers(std::size_t workers,
+                                                    std::size_t n,
+                                                    std::uint64_t seed) {
+  rng::Generator gen(seed);
+  std::vector<std::vector<float>> buffers(workers);
+  for (auto& buffer : buffers) {
+    buffer.resize(n);
+    for (float& v : buffer) {
+      v = gen.normal() * std::pow(10.0F, gen.uniform(-2.0F, 2.0F));
+    }
+  }
+  return buffers;
+}
+
+std::vector<std::span<const float>> views(
+    const std::vector<std::vector<float>>& buffers) {
+  std::vector<std::span<const float>> spans;
+  spans.reserve(buffers.size());
+  for (const auto& buffer : buffers) spans.emplace_back(buffer);
+  return spans;
+}
+
+TEST(AllReduce, SingleWorkerIsCopy) {
+  const auto buffers = make_worker_buffers(1, 16, 1);
+  std::vector<float> out(16);
+  allreduce_sum(views(buffers), out, AllReduceAlgo::kTreeFixed, nullptr);
+  EXPECT_EQ(out, buffers[0]);
+}
+
+TEST(AllReduce, RingOrderedMatchesSequentialSum) {
+  const auto buffers = make_worker_buffers(4, 8, 2);
+  std::vector<float> out(8);
+  allreduce_sum(views(buffers), out, AllReduceAlgo::kRingOrdered, nullptr);
+  for (std::size_t i = 0; i < 8; ++i) {
+    float expected = buffers[0][i];
+    for (std::size_t w = 1; w < 4; ++w) expected += buffers[w][i];
+    EXPECT_EQ(out[i], expected);
+  }
+}
+
+TEST(AllReduce, TreeFixedIsBitwiseReproducible) {
+  const auto buffers = make_worker_buffers(7, 64, 3);
+  std::vector<float> a(64);
+  std::vector<float> b(64);
+  allreduce_sum(views(buffers), a, AllReduceAlgo::kTreeFixed, nullptr);
+  allreduce_sum(views(buffers), b, AllReduceAlgo::kTreeFixed, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AllReduce, AllAlgosAgreeToRounding) {
+  const auto buffers = make_worker_buffers(8, 256, 4);
+  rng::Generator entropy(5);
+  std::vector<double> exact(256, 0.0);
+  for (const auto& buffer : buffers) {
+    for (std::size_t i = 0; i < 256; ++i) exact[i] += buffer[i];
+  }
+  for (const AllReduceAlgo algo :
+       {AllReduceAlgo::kTreeFixed, AllReduceAlgo::kRingOrdered,
+        AllReduceAlgo::kRingShuffled}) {
+    std::vector<float> out(256);
+    allreduce_sum(views(buffers), out, algo, &entropy);
+    for (std::size_t i = 0; i < 256; ++i) {
+      EXPECT_NEAR(out[i], exact[i],
+                  1e-3 * std::max(1.0, std::fabs(exact[i])));
+    }
+  }
+}
+
+TEST(AllReduce, ShuffledOrderDivergesAcrossLaunches) {
+  // With enough workers and wide-dynamic-range addends, two arrival orders
+  // almost surely round differently for at least one element.
+  const auto buffers = make_worker_buffers(16, 512, 6);
+  rng::Generator entropy(7);
+  std::vector<float> first(512);
+  allreduce_sum(views(buffers), first, AllReduceAlgo::kRingShuffled, &entropy);
+  bool any_diff = false;
+  for (int launch = 0; launch < 16 && !any_diff; ++launch) {
+    std::vector<float> next(512);
+    allreduce_sum(views(buffers), next, AllReduceAlgo::kRingShuffled,
+                  &entropy);
+    any_diff = next != first;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AllReduce, RankPermutationChangesRingOrderedResult) {
+  // The distributed analogue of input-order sensitivity (paper Fig. 6):
+  // deterministic given rank layout, but a different placement of the same
+  // gradients rounds differently.
+  const auto buffers = make_worker_buffers(8, 512, 8);
+  std::vector<float> forward(512);
+  allreduce_sum(views(buffers), forward, AllReduceAlgo::kRingOrdered, nullptr);
+
+  auto reversed = buffers;
+  std::reverse(reversed.begin(), reversed.end());
+  std::vector<float> backward(512);
+  allreduce_sum(views(reversed), backward, AllReduceAlgo::kRingOrdered,
+                nullptr);
+  EXPECT_NE(forward, backward);
+}
+
+class AllReduceWorkerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllReduceWorkerSweep, TreeSumCloseToExact) {
+  const auto workers = static_cast<std::size_t>(GetParam());
+  const auto buffers = make_worker_buffers(workers, 128, 9);
+  std::vector<float> out(128);
+  allreduce_sum(views(buffers), out, AllReduceAlgo::kTreeFixed, nullptr);
+  for (std::size_t i = 0; i < 128; ++i) {
+    double exact = 0.0;
+    for (const auto& buffer : buffers) exact += buffer[i];
+    EXPECT_NEAR(out[i], exact, 1e-3 * std::max(1.0, std::fabs(exact)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, AllReduceWorkerSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace nnr::distributed

@@ -1,0 +1,106 @@
+#include "distributed/data_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/replicates.h"
+#include "core/study.h"
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+
+namespace nnr::distributed {
+namespace {
+
+class DataParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ClassificationDataset(data::synth_cifar10(160, 80));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static core::TrainJob job(core::NoiseVariant variant) {
+    core::TrainJob j;
+    j.make_model = [] { return nn::small_cnn(10, true); };
+    j.dataset = dataset_;
+    j.recipe = core::cifar_recipe(2);
+    j.variant = variant;
+    j.device = hw::v100();
+    j.base_seed = 0xD15Cull;
+    return j;
+  }
+
+  static data::ClassificationDataset* dataset_;
+};
+
+data::ClassificationDataset* DataParallelTest::dataset_ = nullptr;
+
+TEST_F(DataParallelTest, ProducesValidResults) {
+  const DistributedConfig config{.workers = 4};
+  const core::RunResult result =
+      train_replicate_distributed(job(core::NoiseVariant::kControl), config, 0);
+  EXPECT_EQ(result.test_predictions.size(), 80u);
+  EXPECT_FALSE(result.final_weights.empty());
+}
+
+TEST_F(DataParallelTest, DeterministicModeIsBitwiseReproducible) {
+  const DistributedConfig config{.workers = 4};
+  const core::RunResult a =
+      train_replicate_distributed(job(core::NoiseVariant::kControl), config, 0);
+  const core::RunResult b =
+      train_replicate_distributed(job(core::NoiseVariant::kControl), config, 0);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
+TEST_F(DataParallelTest, ControlReplicatesIdenticalAcrossReplicateIds) {
+  const DistributedConfig config{.workers = 3};
+  const core::RunResult a =
+      train_replicate_distributed(job(core::NoiseVariant::kControl), config, 0);
+  const core::RunResult b =
+      train_replicate_distributed(job(core::NoiseVariant::kControl), config, 1);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+}
+
+TEST_F(DataParallelTest, ImplReplicatesDiverge) {
+  const DistributedConfig config{.workers = 4};
+  const core::RunResult a =
+      train_replicate_distributed(job(core::NoiseVariant::kImpl), config, 0);
+  const core::RunResult b =
+      train_replicate_distributed(job(core::NoiseVariant::kImpl), config, 1);
+  EXPECT_NE(a.final_weights, b.final_weights);
+}
+
+TEST_F(DataParallelTest, WorkerCountChangesRoundingButNotLearning) {
+  // Different shardings reorder the same arithmetic: results differ bitwise
+  // but represent the same optimization trajectory (similar accuracy).
+  const core::RunResult one = train_replicate_distributed(
+      job(core::NoiseVariant::kControl), DistributedConfig{.workers = 1}, 0);
+  const core::RunResult four = train_replicate_distributed(
+      job(core::NoiseVariant::kControl), DistributedConfig{.workers = 4}, 0);
+  EXPECT_NE(one.final_weights, four.final_weights);
+  EXPECT_NEAR(one.test_accuracy, four.test_accuracy, 0.25);
+}
+
+TEST_F(DataParallelTest, MoreWorkersThanExamplesClamps) {
+  const DistributedConfig config{.workers = 64};  // batch is 32
+  const core::RunResult result =
+      train_replicate_distributed(job(core::NoiseVariant::kControl), config, 0);
+  EXPECT_FALSE(result.final_weights.empty());
+}
+
+TEST_F(DataParallelTest, SingleWorkerMatchesSingleDeviceSemantics) {
+  // workers=1 must follow the same noise-channel consumption as the
+  // single-device trainer: CONTROL mode gives a deterministic run whose
+  // accuracy tracks core::train_replicate closely.
+  const core::TrainJob j = job(core::NoiseVariant::kControl);
+  const core::RunResult single_device = core::train_replicate(j, 0);
+  const core::RunResult one_worker = train_replicate_distributed(
+      j, DistributedConfig{.workers = 1}, 0);
+  EXPECT_EQ(single_device.test_predictions.size(),
+            one_worker.test_predictions.size());
+  EXPECT_NEAR(single_device.test_accuracy, one_worker.test_accuracy, 0.25);
+}
+
+}  // namespace
+}  // namespace nnr::distributed

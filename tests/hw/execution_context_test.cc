@@ -1,0 +1,61 @@
+#include "hw/execution_context.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/generator.h"
+
+namespace nnr::hw {
+namespace {
+
+using tensor::AccumOrder;
+
+ExecutionContext make(DeviceSpec device, DeterminismMode mode) {
+  return ExecutionContext(std::move(device), mode, rng::Generator(1));
+}
+
+TEST(ExecutionContext, GpuDefaultModeIsShuffled) {
+  auto ctx = make(v100(), DeterminismMode::kDefault);
+  EXPECT_EQ(ctx.matmul_policy().order, AccumOrder::kShardedShuffled);
+  EXPECT_EQ(ctx.reduction_policy().order, AccumOrder::kShardedShuffled);
+  EXPECT_NE(ctx.matmul_policy().entropy, nullptr);
+  EXPECT_FALSE(ctx.fully_deterministic());
+}
+
+TEST(ExecutionContext, GpuDeterministicModeIsFixedTree) {
+  auto ctx = make(v100(), DeterminismMode::kDeterministic);
+  EXPECT_EQ(ctx.matmul_policy().order, AccumOrder::kPairwiseTree);
+  EXPECT_EQ(ctx.reduction_policy().order, AccumOrder::kPairwiseTree);
+  EXPECT_TRUE(ctx.fully_deterministic());
+}
+
+TEST(ExecutionContext, TensorCoreMatmulDeterministicButReductionsAreNot) {
+  // Paper §3.3: Tensor Cores use systolic tiling for GEMM but fall back to
+  // CUDA cores for unsupported ops, so training stays nondeterministic.
+  auto ctx = make(rtx5000_tensor_cores(), DeterminismMode::kDefault);
+  EXPECT_EQ(ctx.matmul_policy().order, AccumOrder::kPairwiseTree);
+  EXPECT_EQ(ctx.reduction_policy().order, AccumOrder::kShardedShuffled);
+  EXPECT_FALSE(ctx.fully_deterministic());
+}
+
+TEST(ExecutionContext, TpuAlwaysSequential) {
+  for (const auto mode :
+       {DeterminismMode::kDefault, DeterminismMode::kDeterministic}) {
+    auto ctx = make(tpu_v2(), mode);
+    EXPECT_EQ(ctx.matmul_policy().order, AccumOrder::kSequential);
+    EXPECT_EQ(ctx.reduction_policy().order, AccumOrder::kSequential);
+    EXPECT_TRUE(ctx.fully_deterministic());
+  }
+}
+
+TEST(ExecutionContext, PolicyCarriesCoreCount) {
+  auto ctx = make(p100(), DeterminismMode::kDefault);
+  EXPECT_EQ(ctx.matmul_policy().cuda_cores, 3584);
+}
+
+TEST(ExecutionContext, DeterministicModeNeedsNoEntropy) {
+  auto ctx = make(t4(), DeterminismMode::kDeterministic);
+  EXPECT_EQ(ctx.matmul_policy().entropy, nullptr);
+}
+
+}  // namespace
+}  // namespace nnr::hw

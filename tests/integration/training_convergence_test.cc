@@ -1,0 +1,106 @@
+// Convergence sanity: every model in the zoo must actually learn the
+// synthetic tasks (otherwise the stability study would be measuring noise of
+// untrained networks). Thresholds are deliberately loose — these are smoke
+// tests at reduced scale; the benches run the full-scale cells.
+#include <gtest/gtest.h>
+
+#include "core/replicates.h"
+#include "core/tasks.h"
+#include "core/trainer.h"
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+
+namespace nnr::core {
+namespace {
+
+double accuracy_of(ModelFactory factory, const data::ClassificationDataset& ds,
+                   TrainRecipe recipe) {
+  TrainJob job;
+  job.make_model = std::move(factory);
+  job.dataset = &ds;
+  job.recipe = recipe;
+  job.variant = NoiseVariant::kControl;
+  job.device = hw::v100();
+  return train_replicate(job, 0).test_accuracy;
+}
+
+TEST(TrainingConvergence, SmallCnnWithBnLearns) {
+  const auto ds = data::synth_cifar10(300, 150);
+  TrainRecipe recipe = cifar_recipe(12);
+  const double acc =
+      accuracy_of([] { return nn::small_cnn(10, true); }, ds, recipe);
+  EXPECT_GT(acc, 0.30) << "chance = 0.10";
+}
+
+TEST(TrainingConvergence, SmallCnnWithoutBnLearnsSlowly) {
+  // The unnormalized net is the paper's hardest training cell; at reduced
+  // epochs it must at least clear chance decisively.
+  const auto ds = data::synth_cifar10(300, 150);
+  TrainRecipe recipe = cifar_recipe(30);
+  const double acc =
+      accuracy_of([] { return nn::small_cnn(10, false); }, ds, recipe);
+  EXPECT_GT(acc, 0.20);
+}
+
+TEST(TrainingConvergence, ResNet18sLearns) {
+  const auto ds = data::synth_cifar10(300, 150);
+  TrainRecipe recipe = cifar_recipe(10);
+  recipe.base_lr = 0.02F;
+  const double acc = accuracy_of([] { return nn::resnet18s(10); }, ds, recipe);
+  EXPECT_GT(acc, 0.30);
+}
+
+TEST(TrainingConvergence, VggSLearns) {
+  const auto ds = data::synth_cifar10(300, 150);
+  TrainRecipe recipe = cifar_recipe(10);
+  recipe.base_lr = 0.02F;
+  const double acc = accuracy_of([] { return nn::vgg_s(10); }, ds, recipe);
+  EXPECT_GT(acc, 0.30);
+}
+
+TEST(TrainingConvergence, MobileNetSLearns) {
+  const auto ds = data::synth_cifar10(300, 150);
+  TrainRecipe recipe = cifar_recipe(10);
+  recipe.base_lr = 0.02F;
+  const double acc =
+      accuracy_of([] { return nn::mobilenet_s(10); }, ds, recipe);
+  EXPECT_GT(acc, 0.30);
+}
+
+TEST(TrainingConvergence, ResNet50sLearns) {
+  const auto ds = data::synth_imagenet(300, 150);
+  TrainRecipe recipe = imagenet_recipe(10);
+  recipe.base_lr = 0.05F;
+  const double acc = accuracy_of([] { return nn::resnet50s(20); }, ds, recipe);
+  EXPECT_GT(acc, 0.15) << "chance = 0.05";
+}
+
+TEST(TrainingConvergence, LossDecreasesOverTraining) {
+  const auto ds = data::synth_cifar10(200, 100);
+  TrainJob job;
+  job.make_model = [] { return nn::small_cnn(10, true); };
+  job.dataset = &ds;
+  job.variant = NoiseVariant::kControl;
+  job.device = hw::v100();
+  job.recipe = cifar_recipe(1);
+  const double loss_1_epoch = train_replicate(job, 0).final_train_loss;
+  job.recipe = cifar_recipe(8);
+  const double loss_8_epochs = train_replicate(job, 0).final_train_loss;
+  EXPECT_LT(loss_8_epochs, loss_1_epoch);
+}
+
+TEST(TrainingConvergence, TaskPresetsConstructAndTrain) {
+  // Every preset must produce a runnable job (quick 1-epoch smoke).
+  for (Task task : {small_cnn_cifar10(), small_cnn_bn_cifar10(),
+                    resnet18_cifar10()}) {
+    TrainJob job = task.job(NoiseVariant::kControl, hw::v100());
+    job.recipe.epochs = 1;
+    const RunResult result = train_replicate(job, 0);
+    EXPECT_EQ(static_cast<std::int64_t>(result.test_predictions.size()),
+              task.dataset.test.size())
+        << task.name;
+  }
+}
+
+}  // namespace
+}  // namespace nnr::core

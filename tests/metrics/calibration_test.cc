@@ -1,0 +1,130 @@
+// Calibration metrics: bin bookkeeping, closed-form ECE cases, and the
+// invariances the ablation bench relies on.
+#include "metrics/calibration.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/generator.h"
+
+namespace nnr::metrics {
+namespace {
+
+using Preds = std::vector<std::int32_t>;
+using Confs = std::vector<float>;
+
+TEST(ReliabilityDiagram, BinsPartitionExamples) {
+  const Confs c = {0.05F, 0.15F, 0.55F, 0.95F, 1.0F};
+  const Preds p = {0, 1, 0, 1, 0};
+  const Preds y = {0, 0, 0, 1, 0};
+  const auto bins = reliability_diagram(c, p, y, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  std::int64_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(bins[0].count, 1);  // 0.05
+  EXPECT_EQ(bins[1].count, 1);  // 0.15
+  EXPECT_EQ(bins[5].count, 1);  // 0.55
+  EXPECT_EQ(bins[9].count, 2);  // 0.95 and the c == 1.0 edge case
+}
+
+TEST(ReliabilityDiagram, BinAccuracyAndConfidence) {
+  const Confs c = {0.72F, 0.78F};
+  const Preds p = {0, 1};
+  const Preds y = {0, 0};  // first correct, second wrong
+  const auto bins = reliability_diagram(c, p, y, 10);
+  const ReliabilityBin& b = bins[7];
+  EXPECT_EQ(b.count, 2);
+  EXPECT_DOUBLE_EQ(b.accuracy(), 0.5);
+  EXPECT_NEAR(b.mean_confidence(), 0.75, 1e-7);
+}
+
+TEST(Ece, PerfectlyCalibaredBinIsZero) {
+  // 4 examples at confidence 0.75, exactly 3 of 4 correct -> |0.75-0.75|=0.
+  const Confs c = {0.75F, 0.75F, 0.75F, 0.75F};
+  const Preds p = {0, 0, 0, 0};
+  const Preds y = {0, 0, 0, 1};
+  EXPECT_NEAR(expected_calibration_error(c, p, y, 10), 0.0, 1e-7);
+}
+
+TEST(Ece, FullyOverconfidentIsOneMinusAccuracy) {
+  // All predictions at confidence ~1.0, all wrong: ECE -> 1.
+  const Confs c = {1.0F, 1.0F, 1.0F};
+  const Preds p = {0, 0, 0};
+  const Preds y = {1, 1, 1};
+  EXPECT_NEAR(expected_calibration_error(c, p, y, 15), 1.0, 1e-7);
+}
+
+TEST(Ece, HandComputedTwoBinCase) {
+  // Bin [0.5,1): two examples conf 0.9, one correct -> |0.5 - 0.9| = 0.4,
+  // weight 2/3. Bin [0,0.5): one example conf 0.3, correct -> |1 - 0.3| =
+  // 0.7, weight 1/3. ECE = 0.4*2/3 + 0.7/3 = 0.5.
+  const Confs c = {0.9F, 0.9F, 0.3F};
+  const Preds p = {0, 0, 0};
+  const Preds y = {0, 1, 0};
+  EXPECT_NEAR(expected_calibration_error(c, p, y, 2), 0.5, 1e-6);
+}
+
+TEST(Ece, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(expected_calibration_error({}, {}, {}, 15), 0.0);
+}
+
+TEST(Ece, BoundedInUnitInterval) {
+  rng::Generator gen(3);
+  Confs c;
+  Preds p;
+  Preds y;
+  for (int i = 0; i < 500; ++i) {
+    c.push_back(gen.uniform());
+    p.push_back(static_cast<std::int32_t>(gen.uniform_int(10)));
+    y.push_back(static_cast<std::int32_t>(gen.uniform_int(10)));
+  }
+  const double ece = expected_calibration_error(c, p, y, 15);
+  EXPECT_GE(ece, 0.0);
+  EXPECT_LE(ece, 1.0);
+}
+
+TEST(ConfidenceGap, SignedDirection) {
+  // Overconfident: conf 0.9, accuracy 0.5 -> gap +0.4.
+  const Confs c = {0.9F, 0.9F};
+  const Preds p = {0, 0};
+  const Preds y = {0, 1};
+  EXPECT_NEAR(confidence_gap(c, p, y), 0.4, 1e-7);
+  // Underconfident: conf 0.3, all correct -> gap -0.7.
+  const Confs c2 = {0.3F, 0.3F};
+  const Preds y2 = {0, 0};
+  EXPECT_NEAR(confidence_gap(c2, p, y2), -0.7, 1e-7);
+}
+
+TEST(ConfidenceDivergence, ZeroOnIdentical) {
+  const Confs a = {0.1F, 0.5F, 0.9F};
+  EXPECT_DOUBLE_EQ(confidence_divergence(a, a), 0.0);
+}
+
+TEST(ConfidenceDivergence, MeanAbsoluteDifference) {
+  const Confs a = {0.2F, 0.8F};
+  const Confs b = {0.4F, 0.5F};
+  EXPECT_NEAR(confidence_divergence(a, b), (0.2 + 0.3) / 2.0, 1e-6);
+}
+
+TEST(ConfidenceDivergence, Symmetric) {
+  const Confs a = {0.1F, 0.9F, 0.4F};
+  const Confs b = {0.3F, 0.2F, 0.6F};
+  EXPECT_DOUBLE_EQ(confidence_divergence(a, b), confidence_divergence(b, a));
+}
+
+class EceBinSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EceBinSweep, MoreBinsNeverHidesGrossMiscalibration) {
+  // A grossly overconfident model must register high ECE at any bin count.
+  Confs c(100, 0.99F);
+  Preds p(100, 0);
+  Preds y(100, 1);
+  EXPECT_GT(expected_calibration_error(c, p, y, GetParam()), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, EceBinSweep, ::testing::Values(1, 2, 5, 15, 50));
+
+}  // namespace
+}  // namespace nnr::metrics

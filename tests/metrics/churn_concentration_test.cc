@@ -1,0 +1,96 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/stability.h"
+
+namespace nnr::metrics {
+namespace {
+
+using Predictions = std::vector<std::vector<std::int32_t>>;
+
+TEST(PerExampleFlipRate, AllAgreeingModelsHaveZeroRates) {
+  const Predictions preds = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  const auto rates = per_example_flip_rate(preds);
+  for (const double r : rates) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(PerExampleFlipRate, SingleExampleDisagreement) {
+  // Example 0 agrees everywhere; example 1 differs in one of the three
+  // pairs (models 0-1 agree, 0-2 and 1-2 disagree).
+  const Predictions preds = {{5, 1}, {5, 1}, {5, 2}};
+  const auto rates = per_example_flip_rate(preds);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 2.0 / 3.0);
+}
+
+TEST(PerExampleFlipRate, MeanEqualsAggregateChurn) {
+  const Predictions preds = {{0, 1, 2, 3}, {0, 2, 2, 3}, {1, 1, 2, 0}};
+  const auto rates = per_example_flip_rate(preds);
+  double mean = 0.0;
+  for (const double r : rates) mean += r;
+  mean /= static_cast<double>(rates.size());
+
+  double pair_churn = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    for (std::size_t j = i + 1; j < preds.size(); ++j) {
+      pair_churn += churn(preds[i], preds[j]);
+      ++pairs;
+    }
+  }
+  pair_churn /= pairs;
+  EXPECT_NEAR(mean, pair_churn, 1e-12);
+}
+
+TEST(ChurnConcentration, UniformRatesHaveZeroGini) {
+  const std::vector<double> rates(100, 0.5);
+  const ChurnConcentration c = churn_concentration(rates);
+  EXPECT_NEAR(c.gini, 0.0, 1e-9);
+  EXPECT_NEAR(c.top_decile_share, 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(c.mean_flip_rate, 0.5);
+  EXPECT_DOUBLE_EQ(c.frac_never_flip, 0.0);
+}
+
+TEST(ChurnConcentration, FullyConcentratedChurn) {
+  // One example carries all the churn.
+  std::vector<double> rates(100, 0.0);
+  rates[42] = 1.0;
+  const ChurnConcentration c = churn_concentration(rates);
+  EXPECT_NEAR(c.top_decile_share, 1.0, 1e-9);
+  EXPECT_GT(c.gini, 0.95);
+  EXPECT_DOUBLE_EQ(c.frac_never_flip, 0.99);
+  EXPECT_DOUBLE_EQ(c.frac_always_flip, 0.01);
+}
+
+TEST(ChurnConcentration, AllZeroRatesAreWellDefined) {
+  const std::vector<double> rates(10, 0.0);
+  const ChurnConcentration c = churn_concentration(rates);
+  EXPECT_DOUBLE_EQ(c.mean_flip_rate, 0.0);
+  EXPECT_DOUBLE_EQ(c.gini, 0.0);
+  EXPECT_DOUBLE_EQ(c.top_decile_share, 0.0);
+  EXPECT_DOUBLE_EQ(c.frac_never_flip, 1.0);
+}
+
+TEST(ChurnConcentration, GiniOrdersDistributionsBySkew) {
+  // A long-tailed distribution must score a higher Gini than a mildly
+  // uneven one.
+  std::vector<double> mild(100);
+  std::vector<double> skewed(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    mild[i] = 0.4 + 0.2 * static_cast<double>(i) / 99.0;
+    skewed[i] = (i < 90) ? 0.01 : 0.9;
+  }
+  EXPECT_LT(churn_concentration(mild).gini,
+            churn_concentration(skewed).gini);
+}
+
+TEST(ChurnConcentration, GiniIsScaleInvariant) {
+  std::vector<double> base = {0.1, 0.2, 0.3, 0.4};
+  std::vector<double> scaled = {0.2, 0.4, 0.6, 0.8};
+  EXPECT_NEAR(churn_concentration(base).gini,
+              churn_concentration(scaled).gini, 1e-12);
+}
+
+}  // namespace
+}  // namespace nnr::metrics

@@ -1,0 +1,87 @@
+#include "metrics/classification.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::metrics {
+namespace {
+
+TEST(Accuracy, PerfectAndZero) {
+  const std::vector<std::int32_t> labels = {0, 1, 2};
+  EXPECT_EQ(accuracy(labels, labels), 1.0);
+  const std::vector<std::int32_t> wrong = {1, 2, 0};
+  EXPECT_EQ(accuracy(wrong, labels), 0.0);
+}
+
+TEST(Accuracy, Fraction) {
+  const std::vector<std::int32_t> preds = {0, 1, 0, 1};
+  const std::vector<std::int32_t> labels = {0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(preds, labels), 0.5);
+}
+
+TEST(PerClassAccuracy, SplitsByLabel) {
+  const std::vector<std::int32_t> preds = {0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> labels = {0, 1, 1, 1, 0};
+  const PerClassAccuracy pca = per_class_accuracy(preds, labels, 2);
+  EXPECT_EQ(pca.support[0], 2);
+  EXPECT_EQ(pca.support[1], 3);
+  EXPECT_DOUBLE_EQ(pca.accuracy[0], 0.5);
+  EXPECT_NEAR(pca.accuracy[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(PerClassAccuracy, EmptyClassReportsZero) {
+  const std::vector<std::int32_t> preds = {0};
+  const std::vector<std::int32_t> labels = {0};
+  const PerClassAccuracy pca = per_class_accuracy(preds, labels, 3);
+  EXPECT_EQ(pca.support[2], 0);
+  EXPECT_EQ(pca.accuracy[2], 0.0);
+}
+
+TEST(BinaryConfusion, CountsCells) {
+  const std::vector<std::int32_t> preds = {1, 1, 0, 0, 1};
+  const std::vector<std::uint8_t> labels = {1, 0, 1, 0, 1};
+  const BinaryConfusion c = binary_confusion(preds, labels);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.total(), 5);
+}
+
+TEST(BinaryConfusion, Rates) {
+  BinaryConfusion c;
+  c.tp = 8;
+  c.fn = 2;
+  c.fp = 3;
+  c.tn = 7;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.3);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.2);
+}
+
+TEST(BinaryConfusion, RatesGuardEmptyDenominators) {
+  BinaryConfusion all_pos;
+  all_pos.tp = 5;
+  EXPECT_EQ(all_pos.false_positive_rate(), 0.0);  // no negatives
+  BinaryConfusion all_neg;
+  all_neg.tn = 5;
+  EXPECT_EQ(all_neg.false_negative_rate(), 0.0);  // no positives
+}
+
+TEST(BinaryConfusion, MaskRestrictsExamples) {
+  const std::vector<std::int32_t> preds = {1, 0, 1, 0};
+  const std::vector<std::uint8_t> labels = {1, 1, 0, 0};
+  const std::vector<std::uint8_t> mask = {1, 1, 0, 0};  // first two only
+  const BinaryConfusion c = binary_confusion(preds, labels, mask);
+  EXPECT_EQ(c.total(), 2);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+}
+
+TEST(BinaryConfusion, EmptyMaskMeansAll) {
+  const std::vector<std::int32_t> preds = {1, 0};
+  const std::vector<std::uint8_t> labels = {1, 0};
+  EXPECT_EQ(binary_confusion(preds, labels).total(), 2);
+}
+
+}  // namespace
+}  // namespace nnr::metrics

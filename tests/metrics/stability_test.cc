@@ -1,0 +1,84 @@
+#include "metrics/stability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nnr::metrics {
+namespace {
+
+TEST(Churn, IdenticalPredictionsHaveZeroChurn) {
+  const std::vector<std::int32_t> preds = {1, 2, 3, 1};
+  EXPECT_EQ(churn(preds, preds), 0.0);
+}
+
+TEST(Churn, FullDisagreementIsOne) {
+  const std::vector<std::int32_t> a = {0, 0, 0};
+  const std::vector<std::int32_t> b = {1, 1, 1};
+  EXPECT_EQ(churn(a, b), 1.0);
+}
+
+TEST(Churn, FractionOfDisagreements) {
+  const std::vector<std::int32_t> a = {0, 1, 2, 3};
+  const std::vector<std::int32_t> b = {0, 9, 2, 9};
+  EXPECT_DOUBLE_EQ(churn(a, b), 0.5);
+}
+
+TEST(Churn, Symmetric) {
+  const std::vector<std::int32_t> a = {0, 1, 2, 3, 4};
+  const std::vector<std::int32_t> b = {0, 1, 9, 9, 4};
+  EXPECT_EQ(churn(a, b), churn(b, a));
+}
+
+TEST(NormalizedL2, IdenticalWeightsZeroDistance) {
+  const std::vector<float> w = {1.0F, 2.0F, 3.0F};
+  EXPECT_NEAR(normalized_l2_distance(w, w), 0.0, 1e-7);
+}
+
+TEST(NormalizedL2, ScaleInvariance) {
+  // Normalization to unit vectors makes the metric scale-invariant.
+  const std::vector<float> a = {1.0F, 2.0F, 3.0F};
+  const std::vector<float> b = {2.0F, 4.0F, 6.0F};
+  EXPECT_NEAR(normalized_l2_distance(a, b), 0.0, 1e-6);
+}
+
+TEST(NormalizedL2, OppositeUnitVectorsDistanceTwo) {
+  const std::vector<float> a = {1.0F, 0.0F};
+  const std::vector<float> b = {-1.0F, 0.0F};
+  EXPECT_NEAR(normalized_l2_distance(a, b), 2.0, 1e-6);
+}
+
+TEST(NormalizedL2, OrthogonalUnitVectors) {
+  const std::vector<float> a = {1.0F, 0.0F};
+  const std::vector<float> b = {0.0F, 1.0F};
+  EXPECT_NEAR(normalized_l2_distance(a, b), std::sqrt(2.0), 1e-6);
+}
+
+TEST(NormalizedL2, ZeroVectorGuard) {
+  const std::vector<float> a = {0.0F, 0.0F};
+  const std::vector<float> b = {1.0F, 1.0F};
+  EXPECT_EQ(normalized_l2_distance(a, b), 0.0);
+}
+
+TEST(PairwiseStability, CountsAllPairs) {
+  const std::vector<std::vector<std::int32_t>> preds = {
+      {0, 0}, {0, 1}, {1, 1}};
+  const std::vector<std::vector<float>> weights = {
+      {1.0F, 0.0F}, {0.0F, 1.0F}, {1.0F, 1.0F}};
+  const PairwiseStability stats = pairwise_stability(preds, weights);
+  EXPECT_EQ(stats.churn.count(), 3);  // C(3,2)
+  EXPECT_EQ(stats.l2.count(), 3);
+}
+
+TEST(PairwiseStability, MeanChurnValue) {
+  const std::vector<std::vector<std::int32_t>> preds = {
+      {0, 0}, {0, 1}, {1, 1}};
+  const std::vector<std::vector<float>> weights = {
+      {1.0F}, {1.0F}, {1.0F}};
+  const PairwiseStability stats = pairwise_stability(preds, weights);
+  // churn(0,1)=0.5, churn(0,2)=1.0, churn(1,2)=0.5.
+  EXPECT_NEAR(stats.churn.mean(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nnr::metrics

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "nn/pooling.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(AvgPool2x2, AveragesEachWindow) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  AvgPool2x2 pool;
+  Tensor x(Shape{1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1.0F;
+  x.at(0, 0, 0, 1) = 2.0F;
+  x.at(0, 0, 1, 0) = 3.0F;
+  x.at(0, 0, 1, 1) = 4.0F;
+  const Tensor y = pool.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 2.5F);
+}
+
+TEST(AvgPool2x2, HalvesSpatialDims) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  AvgPool2x2 pool;
+  Tensor x(Shape{2, 3, 8, 8});
+  fill_random(x, 3);
+  const Tensor y = pool.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 4, 4}));
+}
+
+TEST(AvgPool2x2, DropsOddTrailingRowsAndColumns) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  AvgPool2x2 pool;
+  Tensor x(Shape{1, 1, 5, 5});
+  x.fill(1.0F);
+  const Tensor y = pool.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), 1.0F);
+  }
+}
+
+TEST(AvgPool2x2, BackwardSpreadsGradientEvenly) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  AvgPool2x2 pool;
+  Tensor x(Shape{1, 1, 2, 2});
+  fill_random(x, 5);
+  (void)pool.forward(x, ctx);
+  Tensor dy(Shape{1, 1, 1, 1});
+  dy.at(0) = 4.0F;
+  const Tensor dx = pool.backward(dy, ctx);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(dx.at(i), 1.0F);  // 4.0 * 1/4 to each tap
+  }
+}
+
+TEST(AvgPool2x2, InputGradientMatchesNumerical) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  AvgPool2x2 pool;
+  Tensor x(Shape{2, 2, 4, 4});
+  fill_random(x, 9);
+
+  auto scalar = [&]() -> double {
+    const Tensor y = pool.forward(x, ctx);
+    double s = 0.0;
+    std::int64_t i = 0;
+    for (const float v : y.data()) s += v * static_cast<double>(++i % 3);
+    return s;
+  };
+
+  (void)pool.forward(x, ctx);
+  Tensor dy(Shape{2, 2, 2, 2});
+  std::int64_t i = 0;
+  for (float& v : dy.data()) v = static_cast<float>(++i % 3);
+  const Tensor dx = pool.backward(dy, ctx);
+
+  const auto numeric = testutil::numerical_gradient(x.data(), scalar, 1e-2F);
+  for (std::size_t j = 0; j < numeric.size(); ++j) {
+    EXPECT_TRUE(close(dx.at(static_cast<std::int64_t>(j)), numeric[j]))
+        << "element " << j;
+  }
+}
+
+TEST(AvgPool2x2, GradientZeroInDroppedRegion) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  AvgPool2x2 pool;
+  Tensor x(Shape{1, 1, 3, 3});
+  fill_random(x, 11);
+  (void)pool.forward(x, ctx);
+  Tensor dy(Shape{1, 1, 1, 1});
+  dy.fill(1.0F);
+  const Tensor dx = pool.backward(dy, ctx);
+  // Third row/column never entered any window.
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 2, 0), 0.0F);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 2, 2), 0.0F);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 2), 0.0F);
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,150 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(BatchNorm, TrainingOutputIsNormalizedPerChannel) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BatchNorm2D bn(3);
+  Tensor x(Shape{4, 3, 5, 5});
+  fill_random(x, 1);
+  // Skew channel 1 so normalization has work to do.
+  for (std::int64_t n = 0; n < 4; ++n) {
+    for (std::int64_t p = 0; p < 25; ++p) {
+      x.at((n * 3 + 1) * 25 + p) = x.at((n * 3 + 1) * 25 + p) * 5.0F + 10.0F;
+    }
+  }
+  const Tensor y = bn.forward(x, ctx);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t p = 0; p < 25; ++p) {
+        mean += y.at((n * 3 + c) * 25 + p);
+      }
+    }
+    mean /= 100.0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t p = 0; p < 25; ++p) {
+        const double d = y.at((n * 3 + c) * 25 + p) - mean;
+        var += d * d;
+      }
+    }
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApply) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BatchNorm2D bn(1);
+  auto params = bn.params();
+  params[0]->value.fill(2.0F);   // gamma
+  params[1]->value.fill(-1.0F);  // beta
+  Tensor x(Shape{2, 1, 2, 2});
+  fill_random(x, 2);
+  const Tensor y = bn.forward(x, ctx);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < 8; ++i) mean += y.at(i);
+  EXPECT_NEAR(mean / 8.0, -1.0, 1e-3);  // beta shifts the mean
+}
+
+TEST(BatchNorm, RunningStatsConvergeToBatchStats) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BatchNorm2D bn(1, /*momentum=*/0.5F);
+  Tensor x = Tensor::full(Shape{2, 1, 2, 2}, 3.0F);
+  for (int step = 0; step < 20; ++step) (void)bn.forward(x, ctx);
+  EXPECT_NEAR(bn.running_mean()[0], 3.0F, 1e-3);
+  EXPECT_NEAR(bn.running_var()[0], 0.0F, 1e-3);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  auto hw = deterministic_context();
+  RunContext train_ctx{.hw = &hw, .training = true};
+  RunContext eval_ctx{.hw = &hw, .training = false};
+  BatchNorm2D bn(1, 0.0F);  // momentum 0: running stats = last batch stats
+  Tensor x(Shape{4, 1, 3, 3});
+  fill_random(x, 3);
+  (void)bn.forward(x, train_ctx);
+
+  // At eval with the same input, output should match training-mode output
+  // up to the biased/unbiased variance detail (we use biased in both).
+  const Tensor y_eval = bn.forward(x, eval_ctx);
+  auto hw2 = deterministic_context();
+  RunContext train_ctx2{.hw = &hw2, .training = true};
+  BatchNorm2D bn2(1, 0.0F);
+  const Tensor y_train = bn2.forward(x, train_ctx2);
+  for (std::int64_t i = 0; i < y_eval.numel(); ++i) {
+    EXPECT_NEAR(y_eval.at(i), y_train.at(i), 1e-4);
+  }
+}
+
+TEST(BatchNorm, BackwardGradientCheck) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BatchNorm2D bn(2);
+  Tensor x(Shape{3, 2, 2, 2});
+  fill_random(x, 4);
+
+  auto scalar = [&]() -> double {
+    const Tensor y = bn.forward(x, ctx);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      // Asymmetric weights so the gradient is informative.
+      acc += (0.1 + 0.05 * static_cast<double>(i)) * y.at(i);
+    }
+    return acc;
+  };
+
+  for (Param* p : bn.params()) p->grad.fill(0.0F);
+  const Tensor y = bn.forward(x, ctx);
+  Tensor dy(y.shape());
+  for (std::int64_t i = 0; i < dy.numel(); ++i) {
+    dy.at(i) = 0.1F + 0.05F * static_cast<float>(i);
+  }
+  const Tensor dx = bn.backward(dy, ctx);
+
+  const auto numeric_x = testutil::numerical_gradient(x.data(), scalar, 1e-2F);
+  for (std::size_t i = 0; i < numeric_x.size(); ++i) {
+    EXPECT_TRUE(close(dx.at(static_cast<std::int64_t>(i)), numeric_x[i], 8e-2,
+                      5e-3))
+        << "dx[" << i << "]";
+  }
+  for (Param* p : bn.params()) {
+    const auto numeric =
+        testutil::numerical_gradient(p->value.data(), scalar, 1e-2F);
+    for (std::size_t i = 0; i < numeric.size(); ++i) {
+      EXPECT_TRUE(close(p->grad.at(static_cast<std::int64_t>(i)), numeric[i],
+                        8e-2, 5e-3))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(BatchNorm, EvalRequiresNoCache) {
+  auto hw = deterministic_context();
+  RunContext eval_ctx{.hw = &hw, .training = false};
+  BatchNorm2D bn(2);
+  Tensor x(Shape{1, 2, 2, 2});
+  fill_random(x, 5);
+  const Tensor y = bn.forward(x, eval_ctx);  // must not crash
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,186 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+/// Naive direct convolution reference (stride 1).
+Tensor naive_conv(const Tensor& x, const Tensor& w_flat, const Tensor& bias,
+                  std::int64_t cout, std::int64_t k, std::int64_t pad) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t cin = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t wdt = x.shape()[3];
+  Tensor y(Shape{n, cout, h, wdt});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t co = 0; co < cout; ++co) {
+      for (std::int64_t oy = 0; oy < h; ++oy) {
+        for (std::int64_t ox = 0; ox < wdt; ++ox) {
+          double acc = bias.at(co);
+          for (std::int64_t ci = 0; ci < cin; ++ci) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = oy + ky - pad;
+                const std::int64_t ix = ox + kx - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wdt) continue;
+                acc += static_cast<double>(x.at(ni, ci, iy, ix)) *
+                       w_flat.at(co, (ci * k + ky) * k + kx);
+              }
+            }
+          }
+          y.at(ni, co, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+TEST(Conv2D, ForwardMatchesNaiveReference) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Conv2D layer(2, 3, 3);
+  rng::Generator init(1);
+  layer.init_weights(init);
+  auto params = layer.params();
+  fill_random(params[1]->value, 7);  // non-zero bias
+
+  Tensor x(Shape{2, 2, 5, 5});
+  fill_random(x, 2);
+  const Tensor y = layer.forward(x, ctx);
+  const Tensor ref =
+      naive_conv(x, params[0]->value, params[1]->value, 3, 3, 1);
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.at(i), ref.at(i), 1e-4) << "at " << i;
+  }
+}
+
+TEST(Conv2D, OutputShapeWithStride) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Conv2D layer(3, 8, 3, /*stride=*/2);
+  rng::Generator init(2);
+  layer.init_weights(init);
+  Tensor x(Shape{4, 3, 8, 8});
+  const Tensor y = layer.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{4, 8, 4, 4}));
+}
+
+TEST(Conv2D, OneByOneConvIsChannelMix) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Conv2D layer(2, 1, 1, 1, 0);
+  auto params = layer.params();
+  params[0]->value = Tensor(Shape{1, 2}, {2.0F, 3.0F});
+  Tensor x(Shape{1, 2, 2, 2}, {1, 1, 1, 1, 2, 2, 2, 2});
+  const Tensor y = layer.forward(x, ctx);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), 8.0F);  // 2*1 + 3*2
+  }
+}
+
+TEST(Conv2D, WeightGradientCheck) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Conv2D layer(1, 2, 3);
+  rng::Generator init(3);
+  layer.init_weights(init);
+
+  Tensor x(Shape{2, 1, 4, 4});
+  fill_random(x, 4);
+  std::vector<std::int32_t> labels = {0, 1};
+
+  // Head: global sum per channel via flatten to logits by mean pooling —
+  // use a tiny loss: mean CE over per-pixel logits is complex, so instead sum
+  // activations into 2 logits via fixed weights (spatial mean).
+  auto logits_of = [&]() -> Tensor {
+    const Tensor y = layer.forward(x, ctx);  // [2, 2, 4, 4]
+    Tensor logits(Shape{2, 2});
+    for (std::int64_t n = 0; n < 2; ++n) {
+      for (std::int64_t c = 0; c < 2; ++c) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < 16; ++p) {
+          acc += y.at((n * 2 + c) * 16 + p);
+        }
+        logits.at(n, c) = static_cast<float>(acc / 16.0);
+      }
+    }
+    return logits;
+  };
+  auto loss_value = [&]() -> double {
+    const Tensor logits = logits_of();
+    return softmax_cross_entropy(logits, labels, ctx).loss;
+  };
+
+  for (Param* p : layer.params()) p->grad.fill(0.0F);
+  const Tensor logits = logits_of();
+  const LossResult loss = softmax_cross_entropy(logits, labels, ctx);
+  // Route d(loss)/d(logits) back through the spatial mean.
+  Tensor dy(Shape{2, 2, 4, 4});
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t c = 0; c < 2; ++c) {
+      for (std::int64_t p = 0; p < 16; ++p) {
+        dy.at((n * 2 + c) * 16 + p) = loss.grad_logits.at(n, c) / 16.0F;
+      }
+    }
+  }
+  (void)layer.backward(dy, ctx);
+
+  for (Param* p : layer.params()) {
+    const auto numeric =
+        testutil::numerical_gradient(p->value.data(), loss_value, 1e-2F);
+    for (std::size_t i = 0; i < numeric.size(); ++i) {
+      EXPECT_TRUE(close(p->grad.at(static_cast<std::int64_t>(i)), numeric[i]))
+          << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Conv2D, InputGradientCheck) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Conv2D layer(1, 1, 3);
+  rng::Generator init(5);
+  layer.init_weights(init);
+
+  Tensor x(Shape{1, 1, 3, 3});
+  fill_random(x, 6);
+
+  auto scalar = [&]() -> double {
+    const Tensor y = layer.forward(x, ctx);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      acc += 0.5 * static_cast<double>(y.at(i)) * y.at(i);
+    }
+    return acc;
+  };
+
+  const Tensor y = layer.forward(x, ctx);
+  Tensor dy = y;  // d(0.5*sum y^2)/dy = y
+  const Tensor dx = layer.backward(dy, ctx);
+
+  const auto numeric = testutil::numerical_gradient(x.data(), scalar, 1e-2F);
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    EXPECT_TRUE(close(dx.at(static_cast<std::int64_t>(i)), numeric[i], 5e-2,
+                      5e-3))
+        << "dx[" << i << "]";
+  }
+}
+
+TEST(Conv2D, KernelAccessor) {
+  EXPECT_EQ(Conv2D(3, 8, 5).kernel(), 5);
+}
+
+}  // namespace
+}  // namespace nnr::nn

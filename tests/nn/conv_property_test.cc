@@ -1,0 +1,148 @@
+// Property sweep: the im2col+GEMM convolution agrees with a naive direct
+// convolution reference over a grid of (channels, kernel, stride, batch)
+// configurations, and depthwise agrees with its own reference.
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "nn/depthwise_conv.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+/// Direct NCHW convolution with "same"-for-stride-1 padding semantics
+/// matching Conv2D (pad = k / 2 when pad < 0). Weight layout [out_c,
+/// in_c*k*k], bias [out_c].
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor& b,
+                  std::int64_t out_c, std::int64_t k, std::int64_t stride,
+                  std::int64_t pad) {
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t in_c = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t width = x.shape()[3];
+  const std::int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t ow = (width + 2 * pad - k) / stride + 1;
+  Tensor y(Shape{n, out_c, oh, ow});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t oc = 0; oc < out_c; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          // double accumulator: the reference answers "what is the exact
+          // sum", the kernel under test answers "what does float32 give".
+          double acc = b.at(oc);
+          for (std::int64_t ic = 0; ic < in_c; ++ic) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = oy * stride + ky - pad;
+                const std::int64_t ix = ox * stride + kx - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= width) continue;
+                acc += static_cast<double>(x.at(ni, ic, iy, ix)) *
+                       static_cast<double>(
+                           w.at(oc, (ic * k + ky) * k + kx));
+              }
+            }
+          }
+          y.at(ni, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+// (batch, in_c, out_c, kernel, stride)
+using ConvConfig = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                              std::int64_t, std::int64_t>;
+
+class ConvAgainstReference : public ::testing::TestWithParam<ConvConfig> {};
+
+TEST_P(ConvAgainstReference, ForwardMatchesNaiveConvolution) {
+  const auto [n, in_c, out_c, k, stride] = GetParam();
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+
+  Conv2D conv(in_c, out_c, k, stride);
+  rng::Generator init(static_cast<std::uint64_t>(
+      n * 1000 + in_c * 100 + out_c * 10 + k));
+  conv.init_weights(init);
+
+  Tensor x(Shape{n, in_c, 8, 8});
+  fill_random(x, 5);
+  const Tensor y = conv.forward(x, ctx);
+  const Tensor y_ref =
+      naive_conv(x, conv.params()[0]->value, conv.params()[1]->value, out_c,
+                 k, stride, k / 2);
+
+  ASSERT_EQ(y.shape(), y_ref.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.at(i), y_ref.at(i), 2e-4F) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, ConvAgainstReference,
+    ::testing::Values(ConvConfig{1, 1, 1, 1, 1},   // pointwise
+                      ConvConfig{2, 3, 4, 3, 1},   // the common case
+                      ConvConfig{1, 2, 2, 5, 1},   // wide kernel
+                      ConvConfig{1, 1, 3, 7, 1},   // widest paper kernel
+                      ConvConfig{2, 2, 2, 3, 2},   // strided
+                      ConvConfig{3, 4, 1, 1, 2},   // strided pointwise
+                      ConvConfig{1, 3, 5, 5, 2})); // strided wide
+
+class DepthwiseAgainstReference
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(DepthwiseAgainstReference, ForwardMatchesPerChannelNaiveConv) {
+  const auto [channels, k] = GetParam();
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+
+  DepthwiseConv2D conv(channels, k);
+  rng::Generator init(static_cast<std::uint64_t>(channels * 10 + k));
+  conv.init_weights(init);
+
+  Tensor x(Shape{2, channels, 6, 6});
+  fill_random(x, 9);
+  const Tensor y = conv.forward(x, ctx);
+
+  // Reference: each channel is an independent 1->1 convolution.
+  const Tensor& w = conv.params()[0]->value;
+  const Tensor& b = conv.params()[1]->value;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    Tensor xc(Shape{2, 1, 6, 6});
+    for (std::int64_t ni = 0; ni < 2; ++ni) {
+      for (std::int64_t p = 0; p < 36; ++p) {
+        xc.at(ni, 0, p / 6, p % 6) = x.at(ni, c, p / 6, p % 6);
+      }
+    }
+    Tensor wc(Shape{1, k * k});
+    for (std::int64_t t = 0; t < k * k; ++t) wc.at(0, t) = w.at(c, t);
+    Tensor bc(Shape{1});
+    bc.at(0) = b.at(c);
+    const Tensor yc = naive_conv(xc, wc, bc, 1, k, 1, k / 2);
+    for (std::int64_t ni = 0; ni < 2; ++ni) {
+      for (std::int64_t p = 0; p < 36; ++p) {
+        EXPECT_NEAR(y.at(ni, c, p / 6, p % 6), yc.at(ni, 0, p / 6, p % 6),
+                    2e-4F)
+            << "channel " << c << " element " << p;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChannelKernelGrid, DepthwiseAgainstReference,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 5)));
+
+}  // namespace
+}  // namespace nnr::nn

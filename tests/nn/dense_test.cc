@@ -1,0 +1,118 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(Dense, ForwardKnownValues) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Dense layer(2, 3);
+  // W = [[1,0],[0,1],[1,1]], b = [0.5, -0.5, 0].
+  auto params = layer.params();
+  params[0]->value = Tensor(Shape{3, 2}, {1, 0, 0, 1, 1, 1});
+  params[1]->value = Tensor(Shape{3}, {0.5F, -0.5F, 0.0F});
+  const Tensor x(Shape{1, 2}, {2.0F, 3.0F});
+  const Tensor y = layer.forward(x, ctx);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 5.0F);
+}
+
+TEST(Dense, BackwardGradientCheck) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Dense layer(4, 3);
+  rng::Generator init(1);
+  layer.init_weights(init);
+
+  Tensor x(Shape{5, 4});
+  fill_random(x, 2);
+  std::vector<std::int32_t> labels = {0, 1, 2, 0, 1};
+
+  auto loss_value = [&]() -> double {
+    const Tensor logits = layer.forward(x, ctx);
+    return softmax_cross_entropy(logits, labels, ctx).loss;
+  };
+
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->grad.fill(0.0F);
+  const Tensor logits = layer.forward(x, ctx);
+  const LossResult loss = softmax_cross_entropy(logits, labels, ctx);
+  (void)layer.backward(loss.grad_logits, ctx);
+
+  for (Param* p : layer.params()) {
+    const auto numeric = testutil::numerical_gradient(
+        p->value.data(), loss_value, 1e-2F);
+    for (std::size_t i = 0; i < numeric.size(); ++i) {
+      EXPECT_TRUE(close(p->grad.at(static_cast<std::int64_t>(i)), numeric[i]))
+          << p->name << "[" << i << "]: analytic "
+          << p->grad.at(static_cast<std::int64_t>(i)) << " vs numeric "
+          << numeric[i];
+    }
+  }
+}
+
+TEST(Dense, InputGradientCheck) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Dense layer(3, 2);
+  rng::Generator init(3);
+  layer.init_weights(init);
+
+  Tensor x(Shape{2, 3});
+  fill_random(x, 4);
+  std::vector<std::int32_t> labels = {0, 1};
+
+  auto loss_value = [&]() -> double {
+    const Tensor logits = layer.forward(x, ctx);
+    return softmax_cross_entropy(logits, labels, ctx).loss;
+  };
+
+  layer.params()[0]->grad.fill(0.0F);
+  layer.params()[1]->grad.fill(0.0F);
+  const Tensor logits = layer.forward(x, ctx);
+  const LossResult loss = softmax_cross_entropy(logits, labels, ctx);
+  const Tensor dx = layer.backward(loss.grad_logits, ctx);
+
+  const auto numeric =
+      testutil::numerical_gradient(x.data(), loss_value, 1e-2F);
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    EXPECT_TRUE(close(dx.at(static_cast<std::int64_t>(i)), numeric[i]))
+        << "dx[" << i << "]";
+  }
+}
+
+TEST(Dense, GradAccumulatesAcrossBackwards) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Dense layer(2, 2);
+  rng::Generator init(5);
+  layer.init_weights(init);
+  Tensor x(Shape{1, 2}, {1.0F, 1.0F});
+  Tensor dy(Shape{1, 2}, {1.0F, 0.0F});
+
+  (void)layer.forward(x, ctx);
+  (void)layer.backward(dy, ctx);
+  const float once = layer.params()[0]->grad.at(0);
+  (void)layer.forward(x, ctx);
+  (void)layer.backward(dy, ctx);
+  EXPECT_FLOAT_EQ(layer.params()[0]->grad.at(0), 2.0F * once);
+}
+
+TEST(Dense, NameMentionsDims) {
+  EXPECT_EQ(Dense(128, 32).name(), "Dense(128->32)");
+}
+
+}  // namespace
+}  // namespace nnr::nn

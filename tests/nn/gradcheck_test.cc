@@ -1,0 +1,123 @@
+// End-to-end gradient check of a complete (tiny) network: the strongest
+// correctness statement about the backprop stack, covering layer composition
+// (conv -> BN -> relu -> pool -> flatten -> dense -> loss).
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/pooling.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+Model tiny_net(bool with_bn) {
+  Model m;
+  m.emplace<Conv2D>(2, 3, 3);
+  if (with_bn) m.emplace<BatchNorm2D>(3);
+  m.emplace<ReLU>();
+  m.emplace<MaxPool2x2>();
+  m.emplace<Flatten>();
+  m.emplace<Dense>(3 * 2 * 2, 2);
+  return m;
+}
+
+class EndToEndGradCheck : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EndToEndGradCheck, AllParameterGradientsMatchNumerical) {
+  const bool with_bn = GetParam();
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Model m = tiny_net(with_bn);
+  rng::Generator init(11);
+  m.init_weights(init);
+
+  Tensor x(Shape{3, 2, 4, 4});
+  fill_random(x, 12);
+  std::vector<std::int32_t> labels = {0, 1, 0};
+
+  auto scalar = [&]() -> double {
+    const Tensor logits = m.forward(x, ctx);
+    return softmax_cross_entropy(logits, labels, ctx).loss;
+  };
+
+  m.zero_grads();
+  const Tensor logits = m.forward(x, ctx);
+  const LossResult loss = softmax_cross_entropy(logits, labels, ctx);
+  (void)m.backward(loss.grad_logits, ctx);
+
+  // Max-pool argmax ties and ReLU kinks flip under finite-difference
+  // perturbation, so a handful of elements may disagree; require a large
+  // majority to match tightly and no element to be wildly off.
+  std::size_t checked = 0;
+  std::size_t matching = 0;
+  for (Param* p : m.params()) {
+    const auto numeric =
+        testutil::numerical_gradient(p->value.data(), scalar, 1e-2F);
+    for (std::size_t i = 0; i < numeric.size(); ++i) {
+      ++checked;
+      if (close(p->grad.at(static_cast<std::int64_t>(i)), numeric[i], 8e-2,
+                2e-3)) {
+        ++matching;
+      }
+      EXPECT_TRUE(close(p->grad.at(static_cast<std::int64_t>(i)), numeric[i],
+                        1.0, 0.05))
+          << p->name << "[" << i << "] wildly off: analytic "
+          << p->grad.at(static_cast<std::int64_t>(i)) << " numeric "
+          << numeric[i];
+    }
+  }
+  EXPECT_GT(checked, 50u);  // sanity: the sweep actually covered parameters
+  EXPECT_GE(matching, checked * 9 / 10)
+      << matching << "/" << checked << " gradients matched";
+}
+
+INSTANTIATE_TEST_SUITE_P(WithAndWithoutBn, EndToEndGradCheck,
+                         ::testing::Values(false, true));
+
+TEST(EndToEndGradCheck, InputGradientMatchesNumerical) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Model m = tiny_net(false);
+  rng::Generator init(13);
+  m.init_weights(init);
+
+  Tensor x(Shape{2, 2, 4, 4});
+  fill_random(x, 14);
+  std::vector<std::int32_t> labels = {1, 0};
+
+  auto scalar = [&]() -> double {
+    const Tensor logits = m.forward(x, ctx);
+    return softmax_cross_entropy(logits, labels, ctx).loss;
+  };
+
+  m.zero_grads();
+  const Tensor logits = m.forward(x, ctx);
+  const LossResult loss = softmax_cross_entropy(logits, labels, ctx);
+  const Tensor dx = m.backward(loss.grad_logits, ctx);
+
+  // Max-pool argmax ties flip under finite differences; check a large
+  // majority rather than every element.
+  const auto numeric = testutil::numerical_gradient(x.data(), scalar, 1e-2F);
+  std::size_t matching = 0;
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    if (close(dx.at(static_cast<std::int64_t>(i)), numeric[i], 8e-2, 2e-3)) {
+      ++matching;
+    }
+  }
+  EXPECT_GT(matching, numeric.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/groupnorm.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(GroupNorm, NormalizesEachGroupToZeroMeanUnitVar) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GroupNorm gn(4, 2);
+  Tensor x(Shape{2, 4, 3, 3});
+  fill_random(x, 3);
+  for (float& v : x.data()) v = v * 5.0F + 2.0F;  // nontrivial mean/scale
+  const Tensor y = gn.forward(x, ctx);
+
+  const std::int64_t hw_sz = 9;
+  const std::int64_t cg = 2;
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t g = 0; g < 2; ++g) {
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (std::int64_t ci = 0; ci < cg; ++ci) {
+        for (std::int64_t p = 0; p < hw_sz; ++p) {
+          const float v = y.at(n, g * cg + ci, p / 3, p % 3);
+          sum += v;
+          sum_sq += static_cast<double>(v) * v;
+        }
+      }
+      const double m = static_cast<double>(cg * hw_sz);
+      EXPECT_NEAR(sum / m, 0.0, 1e-5);
+      EXPECT_NEAR(sum_sq / m, 1.0, 1e-3);
+    }
+  }
+}
+
+TEST(GroupNorm, GammaBetaScaleAndShift) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GroupNorm gn(2, 1);
+  gn.params()[0]->value.fill(3.0F);  // gamma
+  gn.params()[1]->value.fill(-1.0F);  // beta
+  Tensor x(Shape{1, 2, 2, 2});
+  fill_random(x, 5);
+  const Tensor y = gn.forward(x, ctx);
+  // Output mean must be beta, stddev |gamma| (per the whole group).
+  double sum = 0.0;
+  for (const float v : y.data()) sum += v;
+  EXPECT_NEAR(sum / 8.0, -1.0, 1e-5);
+}
+
+TEST(GroupNorm, PerSampleStatisticsAreBatchCompositionInvariant) {
+  // The key contrast with BatchNorm: sample 0's output must not change when
+  // a different sample 1 joins the batch. This is why GN cannot transmit
+  // data-order noise through its statistics.
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GroupNorm gn(2, 2);
+
+  Tensor sample0(Shape{1, 2, 2, 2});
+  fill_random(sample0, 7);
+
+  Tensor batch_a(Shape{2, 2, 2, 2});
+  Tensor batch_b(Shape{2, 2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) {
+    batch_a.at(i) = sample0.at(i);
+    batch_b.at(i) = sample0.at(i);
+  }
+  // Different companions.
+  for (std::int64_t i = 8; i < 16; ++i) {
+    batch_a.at(i) = 10.0F;
+    batch_b.at(i) = -42.0F;
+  }
+  const Tensor ya = gn.forward(batch_a, ctx);
+  const Tensor yb = gn.forward(batch_b, ctx);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ya.at(i), yb.at(i)) << "element " << i;
+  }
+}
+
+TEST(GroupNorm, GroupsEqualChannelsIsInstanceNorm) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GroupNorm gn(3, 3);
+  Tensor x(Shape{1, 3, 4, 4});
+  fill_random(x, 9);
+  const Tensor y = gn.forward(x, ctx);
+  // Every channel is its own group: per-channel mean 0.
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    for (std::int64_t h = 0; h < 4; ++h) {
+      for (std::int64_t w = 0; w < 4; ++w) sum += y.at(0, c, h, w);
+    }
+    EXPECT_NEAR(sum / 16.0, 0.0, 1e-5);
+  }
+}
+
+TEST(GroupNorm, GradientsMatchNumerical) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GroupNorm gn(4, 2);
+  Tensor x(Shape{2, 4, 2, 2});
+  fill_random(x, 13);
+  Tensor dy_fixed(Shape{2, 4, 2, 2});
+  fill_random(dy_fixed, 17);
+
+  auto scalar = [&]() -> double {
+    const Tensor y = gn.forward(x, ctx);
+    double s = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      s += static_cast<double>(y.at(i)) * static_cast<double>(dy_fixed.at(i));
+    }
+    return s;
+  };
+
+  for (Param* p : gn.params()) p->grad.fill(0.0F);
+  (void)gn.forward(x, ctx);
+  const Tensor dx = gn.backward(dy_fixed, ctx);
+
+  for (Param* p : gn.params()) {
+    const auto numeric =
+        testutil::numerical_gradient(p->value.data(), scalar, 1e-2F);
+    for (std::size_t i = 0; i < numeric.size(); ++i) {
+      EXPECT_TRUE(close(p->grad.at(static_cast<std::int64_t>(i)), numeric[i]))
+          << p->name << "[" << i << "]";
+    }
+  }
+  const auto numeric_x = testutil::numerical_gradient(x.data(), scalar, 1e-2F);
+  for (std::size_t i = 0; i < numeric_x.size(); ++i) {
+    EXPECT_TRUE(close(dx.at(static_cast<std::int64_t>(i)), numeric_x[i]))
+        << "input[" << i << "]";
+  }
+}
+
+TEST(GroupNorm, RejectsIndivisibleGroupCountInDebug) {
+  // Contract documented on the constructor; enforced by assert in debug.
+  // In release builds constructing is UB-free but unsupported; we only
+  // verify the valid path here.
+  GroupNorm gn(6, 3);
+  EXPECT_EQ(gn.groups(), 3);
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,71 @@
+#include "nn/init.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace nnr::nn {
+namespace {
+
+TEST(Init, GlorotUniformBounds) {
+  rng::Generator gen(1);
+  tensor::Tensor w(tensor::Shape{64, 32});
+  glorot_uniform(gen, w, 32, 64);
+  const float limit = std::sqrt(6.0F / (32 + 64));
+  for (float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Init, GlorotUniformNotDegenerate) {
+  rng::Generator gen(2);
+  tensor::Tensor w(tensor::Shape{64, 64});
+  glorot_uniform(gen, w, 64, 64);
+  double mean = 0.0;
+  for (float v : w.data()) mean += v;
+  mean /= static_cast<double>(w.numel());
+  EXPECT_NEAR(mean, 0.0, 0.01);
+}
+
+TEST(Init, HeNormalVariance) {
+  rng::Generator gen(3);
+  tensor::Tensor w(tensor::Shape{256, 128});
+  const std::int64_t fan_in = 128;
+  he_normal(gen, w, fan_in);
+  double sum_sq = 0.0;
+  for (float v : w.data()) sum_sq += static_cast<double>(v) * v;
+  const double var = sum_sq / static_cast<double>(w.numel());
+  EXPECT_NEAR(var, 2.0 / fan_in, 0.1 * 2.0 / fan_in);
+}
+
+TEST(Init, SameSeedSameWeights) {
+  rng::Generator a(4);
+  rng::Generator b(4);
+  tensor::Tensor wa(tensor::Shape{8, 8});
+  tensor::Tensor wb(tensor::Shape{8, 8});
+  he_normal(a, wa, 8);
+  he_normal(b, wb, 8);
+  for (std::int64_t i = 0; i < wa.numel(); ++i) {
+    EXPECT_EQ(wa.at(i), wb.at(i));
+  }
+}
+
+TEST(Init, DifferentSeedDifferentWeights) {
+  rng::Generator a(5);
+  rng::Generator b(6);
+  tensor::Tensor wa(tensor::Shape{8, 8});
+  tensor::Tensor wb(tensor::Shape{8, 8});
+  he_normal(a, wa, 8);
+  he_normal(b, wb, 8);
+  int differing = 0;
+  for (std::int64_t i = 0; i < wa.numel(); ++i) {
+    if (wa.at(i) != wb.at(i)) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+}  // namespace
+}  // namespace nnr::nn

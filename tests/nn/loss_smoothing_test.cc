@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::close;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(LabelSmoothing, ZeroSmoothingMatchesPlainCrossEntropy) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Tensor logits(Shape{3, 4});
+  fill_random(logits, 3);
+  std::vector<std::int32_t> labels = {1, 3, 0};
+  const LossResult plain = softmax_cross_entropy(logits, labels, ctx);
+  const LossResult smoothed =
+      softmax_cross_entropy_smoothed(logits, labels, 0.0F, ctx);
+  EXPECT_EQ(plain.loss, smoothed.loss);
+  for (std::int64_t i = 0; i < plain.grad_logits.numel(); ++i) {
+    EXPECT_EQ(plain.grad_logits.at(i), smoothed.grad_logits.at(i));
+  }
+}
+
+TEST(LabelSmoothing, UniformLogitsGiveLogCLoss) {
+  // With uniform probabilities p_j = 1/c, the cross-entropy against any
+  // target distribution is log(c) regardless of smoothing.
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Tensor logits(Shape{2, 5});
+  logits.fill(0.0F);
+  std::vector<std::int32_t> labels = {0, 4};
+  const LossResult r =
+      softmax_cross_entropy_smoothed(logits, labels, 0.1F, ctx);
+  EXPECT_NEAR(r.loss, std::log(5.0F), 1e-5F);
+}
+
+TEST(LabelSmoothing, SmoothingIncreasesLossOnConfidentCorrectPrediction) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Tensor logits(Shape{1, 3});
+  logits.at(0, 0) = 10.0F;  // confidently class 0
+  logits.at(0, 1) = 0.0F;
+  logits.at(0, 2) = 0.0F;
+  std::vector<std::int32_t> labels = {0};
+  const LossResult plain = softmax_cross_entropy(logits, labels, ctx);
+  const LossResult smoothed =
+      softmax_cross_entropy_smoothed(logits, labels, 0.2F, ctx);
+  EXPECT_GT(smoothed.loss, plain.loss);
+}
+
+TEST(LabelSmoothing, GradientRowsSumToZero) {
+  // grad = (p - q)/n and both p and q are distributions, so each row of the
+  // gradient sums to zero.
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Tensor logits(Shape{4, 6});
+  fill_random(logits, 7);
+  std::vector<std::int32_t> labels = {5, 0, 2, 3};
+  const LossResult r =
+      softmax_cross_entropy_smoothed(logits, labels, 0.1F, ctx);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    double row_sum = 0.0;
+    for (std::int64_t j = 0; j < 6; ++j) row_sum += r.grad_logits.at(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(LabelSmoothing, GradientMatchesNumerical) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Tensor logits(Shape{2, 3});
+  fill_random(logits, 11);
+  std::vector<std::int32_t> labels = {2, 1};
+  const float s = 0.15F;
+
+  auto scalar = [&]() -> double {
+    return softmax_cross_entropy_smoothed(logits, labels, s, ctx).loss;
+  };
+
+  const LossResult r = softmax_cross_entropy_smoothed(logits, labels, s, ctx);
+  const auto numeric =
+      testutil::numerical_gradient(logits.data(), scalar, 1e-3F);
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    EXPECT_TRUE(
+        close(r.grad_logits.at(static_cast<std::int64_t>(i)), numeric[i]))
+        << "element " << i;
+  }
+}
+
+TEST(LabelSmoothing, PullsGradientTowardUniformTarget) {
+  // On a perfectly predicted example the plain gradient is ~0 at the label,
+  // while the smoothed gradient still pushes probability mass off the label.
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Tensor logits(Shape{1, 2});
+  logits.at(0, 0) = 20.0F;
+  logits.at(0, 1) = -20.0F;
+  std::vector<std::int32_t> labels = {0};
+  const LossResult smoothed =
+      softmax_cross_entropy_smoothed(logits, labels, 0.2F, ctx);
+  // q_0 = 0.9, p_0 ~= 1 -> grad_0 ~= +0.1 (pushes logit 0 down).
+  EXPECT_NEAR(smoothed.grad_logits.at(0, 0), 0.1F, 1e-3F);
+  EXPECT_NEAR(smoothed.grad_logits.at(0, 1), -0.1F, 1e-3F);
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,113 @@
+#include "nn/residual.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(BasicBlock, IdentitySkipPreservesShape) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BasicBlock block(8, 8, 1);
+  rng::Generator init(1);
+  block.init_weights(init);
+  Tensor x(Shape{2, 8, 4, 4});
+  fill_random(x, 2);
+  EXPECT_EQ(block.forward(x, ctx).shape(), x.shape());
+}
+
+TEST(BasicBlock, StridedBlockDownsamples) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BasicBlock block(8, 16, 2);
+  rng::Generator init(3);
+  block.init_weights(init);
+  Tensor x(Shape{2, 8, 8, 8});
+  fill_random(x, 4);
+  EXPECT_EQ(block.forward(x, ctx).shape(), (Shape{2, 16, 4, 4}));
+}
+
+TEST(BasicBlock, IdentityBlockHasNoProjectionParams) {
+  BasicBlock identity(8, 8, 1);
+  BasicBlock projected(8, 16, 2);
+  // conv1(w,b) + bn1(g,b) + conv2(w,b) + bn2(g,b) = 8 params; projection
+  // adds conv(w,b) + bn(g,b) = 4 more.
+  EXPECT_EQ(identity.params().size(), 8u);
+  EXPECT_EQ(projected.params().size(), 12u);
+}
+
+TEST(BasicBlock, BackwardShapesMatchInput) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BasicBlock block(4, 8, 2);
+  rng::Generator init(5);
+  block.init_weights(init);
+  Tensor x(Shape{2, 4, 8, 8});
+  fill_random(x, 6);
+  const Tensor y = block.forward(x, ctx);
+  Tensor dy(y.shape());
+  fill_random(dy, 7);
+  EXPECT_EQ(block.backward(dy, ctx).shape(), x.shape());
+}
+
+TEST(BasicBlock, SkipPathCarriesGradient) {
+  // Zero all conv weights: the main path is dead (convs output only bias=0,
+  // BN maps to beta=0 ... ), so gradient must still reach the input through
+  // the identity skip.
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BasicBlock block(2, 2, 1);
+  for (Param* p : block.params()) p->value.fill(0.0F);
+  Tensor x = Tensor::full(Shape{1, 2, 2, 2}, 1.0F);
+  const Tensor y = block.forward(x, ctx);
+  Tensor dy = Tensor::full(y.shape(), 1.0F);
+  const Tensor dx = block.backward(dy, ctx);
+  double grad_mass = 0.0;
+  for (std::int64_t i = 0; i < dx.numel(); ++i) {
+    grad_mass += std::abs(dx.at(i));
+  }
+  EXPECT_GT(grad_mass, 0.0);
+}
+
+TEST(BottleneckBlock, ExpansionControlsWidth) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BottleneckBlock block(8, 8, 2, 1);
+  rng::Generator init(8);
+  block.init_weights(init);
+  Tensor x(Shape{1, 8, 4, 4});
+  fill_random(x, 9);
+  EXPECT_EQ(block.forward(x, ctx).shape(), (Shape{1, 16, 4, 4}));
+}
+
+TEST(BottleneckBlock, BackwardShapesMatchInput) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  BottleneckBlock block(8, 4, 2, 2);
+  rng::Generator init(10);
+  block.init_weights(init);
+  Tensor x(Shape{2, 8, 8, 8});
+  fill_random(x, 11);
+  const Tensor y = block.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 4, 4}));
+  Tensor dy(y.shape());
+  fill_random(dy, 12);
+  EXPECT_EQ(block.backward(dy, ctx).shape(), x.shape());
+}
+
+TEST(BottleneckBlock, ParamCount) {
+  BottleneckBlock same(16, 8, 2, 1);  // in 16 == out 8*2: identity skip
+  EXPECT_EQ(same.params().size(), 12u);  // 3 convs + 3 bns
+  BottleneckBlock proj(8, 8, 2, 1);  // in 8 != out 16: projection
+  EXPECT_EQ(proj.params().size(), 16u);
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "test_util.h"
+
+namespace nnr::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using testutil::deterministic_context;
+using testutil::fill_random;
+
+TEST(ReLU, ForwardClampsNegatives) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  ReLU relu;
+  Tensor x(Shape{1, 1, 2, 2}, {-1.0F, 2.0F, 0.0F, -3.0F});
+  const Tensor y = relu.forward(x, ctx);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(1), 2.0F);
+  EXPECT_FLOAT_EQ(y.at(2), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(3), 0.0F);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  ReLU relu;
+  Tensor x(Shape{1, 1, 1, 4}, {-1.0F, 2.0F, 0.0F, 3.0F});
+  (void)relu.forward(x, ctx);
+  Tensor dy = Tensor::full(Shape{1, 1, 1, 4}, 1.0F);
+  const Tensor dx = relu.backward(dy, ctx);
+  EXPECT_FLOAT_EQ(dx.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(dx.at(1), 1.0F);
+  EXPECT_FLOAT_EQ(dx.at(2), 0.0F);  // exact zero is not "positive"
+  EXPECT_FLOAT_EQ(dx.at(3), 1.0F);
+}
+
+TEST(MaxPool, SelectsMaximum) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  MaxPool2x2 pool;
+  Tensor x(Shape{1, 1, 2, 2}, {1.0F, 4.0F, 3.0F, 2.0F});
+  const Tensor y = pool.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 4.0F);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  MaxPool2x2 pool;
+  Tensor x(Shape{1, 1, 2, 2}, {1.0F, 4.0F, 3.0F, 2.0F});
+  (void)pool.forward(x, ctx);
+  Tensor dy = Tensor::full(Shape{1, 1, 1, 1}, 5.0F);
+  const Tensor dx = pool.backward(dy, ctx);
+  EXPECT_FLOAT_EQ(dx.at(0), 0.0F);
+  EXPECT_FLOAT_EQ(dx.at(1), 5.0F);
+  EXPECT_FLOAT_EQ(dx.at(2), 0.0F);
+  EXPECT_FLOAT_EQ(dx.at(3), 0.0F);
+}
+
+TEST(MaxPool, HalvesSpatialDims) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  MaxPool2x2 pool;
+  Tensor x(Shape{2, 3, 8, 8});
+  const Tensor y = pool.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 4, 4}));
+}
+
+TEST(GlobalAvgPool, AveragesPlane) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GlobalAvgPool gap;
+  Tensor x(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = gap.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 25.0F);
+}
+
+TEST(GlobalAvgPool, BackwardSpreadsUniformly) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  GlobalAvgPool gap;
+  Tensor x(Shape{1, 1, 2, 2});
+  (void)gap.forward(x, ctx);
+  Tensor dy(Shape{1, 1}, {8.0F});
+  const Tensor dx = gap.backward(dy, ctx);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx.at(i), 2.0F);
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = false};
+  Dropout drop(0.5F);
+  Tensor x(Shape{1, 1, 2, 2});
+  fill_random(x, 1);
+  const Tensor y = drop.forward(x, ctx);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(y.at(i), x.at(i));
+}
+
+TEST(Dropout, TrainingDropsApproximatelyRate) {
+  auto hw = deterministic_context();
+  rng::Generator dropout_gen(2);
+  RunContext ctx{.hw = &hw, .training = true, .dropout = &dropout_gen};
+  Dropout drop(0.25F);
+  Tensor x = Tensor::full(Shape{1, 1, 64, 64}, 1.0F);
+  const Tensor y = drop.forward(x, ctx);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y.at(i) == 0.0F) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()),
+              0.25, 0.03);
+}
+
+TEST(Dropout, SurvivorsAreScaled) {
+  auto hw = deterministic_context();
+  rng::Generator dropout_gen(3);
+  RunContext ctx{.hw = &hw, .training = true, .dropout = &dropout_gen};
+  Dropout drop(0.5F);
+  Tensor x = Tensor::full(Shape{1, 1, 8, 8}, 1.0F);
+  const Tensor y = drop.forward(x, ctx);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y.at(i) == 0.0F || y.at(i) == 2.0F);
+  }
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  auto hw = deterministic_context();
+  rng::Generator dropout_gen(4);
+  RunContext ctx{.hw = &hw, .training = true, .dropout = &dropout_gen};
+  Dropout drop(0.5F);
+  Tensor x = Tensor::full(Shape{1, 1, 4, 4}, 1.0F);
+  const Tensor y = drop.forward(x, ctx);
+  Tensor dy = Tensor::full(Shape{1, 1, 4, 4}, 1.0F);
+  const Tensor dx = drop.backward(dy, ctx);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(dx.at(i), y.at(i));  // same 0-or-2 pattern
+  }
+}
+
+TEST(Flatten, CollapsesToMatrix) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Flatten flatten;
+  Tensor x(Shape{2, 3, 4, 4});
+  const Tensor y = flatten.forward(x, ctx);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  auto hw = deterministic_context();
+  RunContext ctx{.hw = &hw, .training = true};
+  Flatten flatten;
+  Tensor x(Shape{2, 3, 2, 2});
+  (void)flatten.forward(x, ctx);
+  Tensor dy(Shape{2, 12});
+  const Tensor dx = flatten.backward(dy, ctx);
+  EXPECT_EQ(dx.shape(), (Shape{2, 3, 2, 2}));
+}
+
+}  // namespace
+}  // namespace nnr::nn

@@ -1,0 +1,130 @@
+#include "opt/adam.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nnr::opt {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+
+TEST(Adam, FirstStepMatchesHandComputation) {
+  // With constant gradient g, step 1: m_hat = g, v_hat = g^2, so the update
+  // is lr * g / (|g| + eps) ~= lr * sign(g) regardless of magnitude.
+  Param p("w", Shape{1});
+  p.value.fill(1.0F);
+  p.grad.fill(0.5F);
+  AdamConfig cfg;
+  Adam adam({&p}, cfg);
+  adam.step(0.1F);
+  const float expected =
+      1.0F - 0.1F * (0.5F / (std::sqrt(0.25F) + cfg.epsilon));
+  EXPECT_FLOAT_EQ(p.value.at(0), expected);
+}
+
+TEST(Adam, UpdateMagnitudeIsScaleInvariant) {
+  // Adam's signature property: equal-sign gradients of different magnitude
+  // produce (nearly) the same first-step update.
+  Param small("s", Shape{1});
+  Param large("l", Shape{1});
+  small.grad.fill(1e-3F);
+  large.grad.fill(1e3F);
+  Adam a({&small});
+  Adam b({&large});
+  a.step(0.1F);
+  b.step(0.1F);
+  EXPECT_NEAR(small.value.at(0), large.value.at(0), 1e-4F);
+}
+
+TEST(Adam, SecondStepUsesBiasCorrection) {
+  Param p("w", Shape{1});
+  p.grad.fill(1.0F);
+  AdamConfig cfg;
+  cfg.epsilon = 0.0F;
+  Adam adam({&p}, cfg);
+  adam.step(1.0F);
+  adam.step(1.0F);
+  // Constant gradient: m_hat = v_hat = 1 exactly at every step (the moving
+  // averages and their corrections cancel), so each update is exactly -lr.
+  EXPECT_NEAR(p.value.at(0), -2.0F, 1e-5F);
+  EXPECT_EQ(adam.steps_taken(), 2);
+}
+
+TEST(Adam, CoupledWeightDecayAddsToGradient) {
+  Param decayed("d", Shape{1});
+  Param plain("p", Shape{1});
+  decayed.value.fill(2.0F);
+  plain.value.fill(2.0F);
+  decayed.grad.fill(0.0F);
+  plain.grad.fill(0.0F);
+  AdamConfig cfg;
+  cfg.weight_decay = 0.1F;
+  Adam with_decay({&decayed}, cfg);
+  Adam without({&plain});
+  with_decay.step(0.01F);
+  without.step(0.01F);
+  EXPECT_LT(decayed.value.at(0), 2.0F);       // pulled toward zero
+  EXPECT_FLOAT_EQ(plain.value.at(0), 2.0F);   // zero grad, zero decay: no-op
+}
+
+TEST(Adam, DecoupledDecayShrinksWeightsProportionally) {
+  // AdamW with zero gradient reduces to pure exponential shrink:
+  // w <- w * (1 - lr * wd) each step.
+  Param p("w", Shape{1});
+  p.value.fill(4.0F);
+  p.grad.fill(0.0F);
+  AdamConfig cfg;
+  cfg.decoupled_weight_decay = 0.5F;
+  Adam adam({&p}, cfg);
+  adam.step(0.1F);
+  EXPECT_NEAR(p.value.at(0), 4.0F * (1.0F - 0.1F * 0.5F), 1e-6F);
+  adam.step(0.1F);
+  EXPECT_NEAR(p.value.at(0), 4.0F * 0.95F * 0.95F, 1e-6F);
+}
+
+TEST(Adam, BitwiseDeterministicAcrossInstances) {
+  // Two optimizers fed identical gradient sequences must produce bitwise
+  // identical weights — optimizers are on the deterministic side of the
+  // noise contract.
+  Param a("a", Shape{4});
+  Param b("b", Shape{4});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    a.value.at(i) = b.value.at(i) = 0.3F * static_cast<float>(i);
+  }
+  Adam opt_a({&a});
+  Adam opt_b({&b});
+  for (int step = 0; step < 17; ++step) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      const float g = 0.01F * static_cast<float>((step + 1) * (i - 2));
+      a.grad.at(i) = g;
+      b.grad.at(i) = g;
+    }
+    opt_a.step(0.05F);
+    opt_b.step(0.05F);
+  }
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.value.at(i), b.value.at(i)) << "element " << i;
+  }
+}
+
+TEST(Adam, ConvergesOnQuadraticBowl) {
+  // Minimize f(w) = 0.5 * sum(w^2); gradient is w itself.
+  Param p("w", Shape{3});
+  p.value.at(0) = 5.0F;
+  p.value.at(1) = -3.0F;
+  p.value.at(2) = 0.7F;
+  Adam adam({&p});
+  for (int step = 0; step < 500; ++step) {
+    for (std::int64_t i = 0; i < 3; ++i) p.grad.at(i) = p.value.at(i);
+    adam.step(0.05F);
+  }
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p.value.at(i), 0.0F, 0.05F) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nnr::opt

@@ -1,0 +1,101 @@
+#include "opt/clip.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nnr::opt {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+
+TEST(GlobalGradNorm, MatchesHandComputedNorm) {
+  Param a("a", Shape{2});
+  Param b("b", Shape{1});
+  a.grad.at(0) = 3.0F;
+  a.grad.at(1) = 0.0F;
+  b.grad.at(0) = 4.0F;
+  EXPECT_DOUBLE_EQ(global_grad_norm({&a, &b}), 5.0);
+}
+
+TEST(GlobalGradNorm, EmptyParamListIsZero) {
+  EXPECT_DOUBLE_EQ(global_grad_norm({}), 0.0);
+}
+
+TEST(ClipGradNorm, BelowThresholdIsUntouched) {
+  Param p("w", Shape{2});
+  p.grad.at(0) = 0.3F;
+  p.grad.at(1) = 0.4F;  // norm 0.5
+  const double norm = clip_grad_norm({&p}, 1.0F);
+  EXPECT_NEAR(norm, 0.5, 1e-7);  // 0.3F/0.4F are not exactly representable
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.3F);
+  EXPECT_FLOAT_EQ(p.grad.at(1), 0.4F);
+}
+
+TEST(ClipGradNorm, AboveThresholdRescalesToMaxNorm) {
+  Param p("w", Shape{2});
+  p.grad.at(0) = 30.0F;
+  p.grad.at(1) = 40.0F;  // norm 50
+  const double pre = clip_grad_norm({&p}, 5.0F);
+  EXPECT_DOUBLE_EQ(pre, 50.0);
+  EXPECT_NEAR(p.grad.at(0), 3.0F, 1e-5F);
+  EXPECT_NEAR(p.grad.at(1), 4.0F, 1e-5F);
+  // Post-clip norm equals the cap.
+  EXPECT_NEAR(global_grad_norm({&p}), 5.0, 1e-5);
+}
+
+TEST(ClipGradNorm, PreservesGradientDirection) {
+  Param p("w", Shape{3});
+  p.grad.at(0) = 6.0F;
+  p.grad.at(1) = -8.0F;
+  p.grad.at(2) = 0.0F;
+  clip_grad_norm({&p}, 1.0F);
+  // Direction (0.6, -0.8, 0) survives.
+  EXPECT_NEAR(p.grad.at(0), 0.6F, 1e-5F);
+  EXPECT_NEAR(p.grad.at(1), -0.8F, 1e-5F);
+  EXPECT_FLOAT_EQ(p.grad.at(2), 0.0F);
+}
+
+TEST(ClipGradNorm, SpansMultipleParams) {
+  Param a("a", Shape{1});
+  Param b("b", Shape{1});
+  a.grad.at(0) = 3.0F;
+  b.grad.at(0) = 4.0F;
+  clip_grad_norm({&a, &b}, 1.0F);
+  EXPECT_NEAR(a.grad.at(0), 0.6F, 1e-5F);
+  EXPECT_NEAR(b.grad.at(0), 0.8F, 1e-5F);
+}
+
+TEST(ClipGradValue, ClampsSymmetrically) {
+  Param p("w", Shape{4});
+  p.grad.at(0) = 10.0F;
+  p.grad.at(1) = -10.0F;
+  p.grad.at(2) = 0.5F;
+  p.grad.at(3) = -0.5F;
+  clip_grad_value({&p}, 1.0F);
+  EXPECT_FLOAT_EQ(p.grad.at(0), 1.0F);
+  EXPECT_FLOAT_EQ(p.grad.at(1), -1.0F);
+  EXPECT_FLOAT_EQ(p.grad.at(2), 0.5F);
+  EXPECT_FLOAT_EQ(p.grad.at(3), -0.5F);
+}
+
+TEST(ClipGradNorm, DeterministicAcrossRepeatedCalls) {
+  // The clipping reduction runs in fixed parameter order: two identical
+  // gradient sets clip to bitwise identical results.
+  Param a("a", Shape{5});
+  Param b("b", Shape{5});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const float g = std::cos(static_cast<float>(i)) * 7.0F;
+    a.grad.at(i) = g;
+    b.grad.at(i) = g;
+  }
+  clip_grad_norm({&a}, 2.0F);
+  clip_grad_norm({&b}, 2.0F);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.grad.at(i), b.grad.at(i)) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nnr::opt

@@ -1,0 +1,52 @@
+#include "opt/lr_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::opt {
+namespace {
+
+TEST(StepDecay, DecaysByFactorEveryPeriod) {
+  const StepDecay sched(1.0F, 50, 0.1F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(0), 1.0F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(49), 1.0F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(50), 0.1F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(100), 0.01F);
+  EXPECT_NEAR(sched.at_epoch(199), 0.001F, 1e-9F);
+}
+
+TEST(StepDecay, CustomFactor) {
+  const StepDecay sched(0.8F, 2, 0.5F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(3), 0.4F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(4), 0.2F);
+}
+
+TEST(WarmupCosine, WarmupRampsLinearly) {
+  const WarmupCosine sched(1.0F, 4, 100);
+  EXPECT_FLOAT_EQ(sched.at_epoch(0), 0.125F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(1), 0.375F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(3), 0.875F);
+  EXPECT_FLOAT_EQ(sched.at_epoch(4), 1.0F);  // cosine peak after warmup
+}
+
+TEST(WarmupCosine, PeaksAfterWarmup) {
+  const WarmupCosine sched(0.1F, 1, 90);
+  EXPECT_FLOAT_EQ(sched.at_epoch(1), 0.1F);
+}
+
+TEST(WarmupCosine, DecaysToZeroAtEnd) {
+  const WarmupCosine sched(0.1F, 1, 90);
+  EXPECT_NEAR(sched.at_epoch(90), 0.0F, 1e-6F);
+}
+
+TEST(WarmupCosine, MonotoneDecreasingAfterWarmup) {
+  const WarmupCosine sched(0.1F, 1, 90);
+  float prev = sched.at_epoch(1);
+  for (int epoch = 2; epoch <= 90; ++epoch) {
+    const float lr = sched.at_epoch(epoch);
+    EXPECT_LE(lr, prev);
+    prev = lr;
+  }
+}
+
+}  // namespace
+}  // namespace nnr::opt

@@ -1,0 +1,154 @@
+// Properties every optimizer must share: convergence on a convex bowl,
+// elementwise independence, step counting, and bitwise determinism.
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "opt/adam.h"
+#include "opt/rmsprop.h"
+#include "opt/sgd.h"
+
+namespace nnr::opt {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+
+struct OptimizerCase {
+  std::string name;
+  std::function<std::unique_ptr<Optimizer>(std::vector<Param*>)> make;
+  float learning_rate;
+};
+
+std::vector<OptimizerCase> optimizer_cases() {
+  return {
+      {"sgd", [](auto p) { return std::make_unique<Sgd>(std::move(p)); },
+       0.1F},
+      {"sgd_momentum",
+       [](auto p) { return std::make_unique<Sgd>(std::move(p), 0.9F); },
+       0.02F},
+      {"sgd_weight_decay",
+       [](auto p) {
+         return std::make_unique<Sgd>(std::move(p), 0.0F, 1e-3F);
+       },
+       0.1F},
+      {"adam", [](auto p) { return std::make_unique<Adam>(std::move(p)); },
+       0.05F},
+      {"adamw",
+       [](auto p) {
+         AdamConfig cfg;
+         cfg.decoupled_weight_decay = 1e-3F;
+         return std::make_unique<Adam>(std::move(p), cfg);
+       },
+       0.05F},
+      {"rmsprop",
+       [](auto p) { return std::make_unique<RmsProp>(std::move(p)); }, 0.02F},
+      {"rmsprop_momentum",
+       [](auto p) {
+         RmsPropConfig cfg;
+         cfg.momentum = 0.9F;
+         return std::make_unique<RmsProp>(std::move(p), cfg);
+       },
+       0.005F},
+  };
+}
+
+class OptimizerProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  [[nodiscard]] static OptimizerCase current() {
+    return optimizer_cases()[GetParam()];
+  }
+};
+
+TEST_P(OptimizerProperty, ConvergesOnAnisotropicQuadratic) {
+  // f(w) = 0.5 (4 w0^2 + w1^2 + 0.25 w2^2): condition number 16.
+  const OptimizerCase test_case = current();
+  Param p("w", Shape{3});
+  p.value.at(0) = 2.0F;
+  p.value.at(1) = -4.0F;
+  p.value.at(2) = 8.0F;
+  auto opt = test_case.make({&p});
+  const float curvature[3] = {4.0F, 1.0F, 0.25F};
+  for (int step = 0; step < 2000; ++step) {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      p.grad.at(i) = curvature[i] * p.value.at(i);
+    }
+    opt->step(test_case.learning_rate);
+  }
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p.value.at(i), 0.0F, 0.1F)
+        << test_case.name << " element " << i;
+  }
+}
+
+TEST_P(OptimizerProperty, UpdatesAreElementwiseIndependent) {
+  // Changing one gradient element must not change any other element's
+  // update — the "optimizers inject no reduction noise" contract.
+  const OptimizerCase test_case = current();
+  Param a("a", Shape{4});
+  Param b("b", Shape{4});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    a.value.at(i) = b.value.at(i) = 1.0F + 0.1F * static_cast<float>(i);
+  }
+  auto opt_a = test_case.make({&a});
+  auto opt_b = test_case.make({&b});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    a.grad.at(i) = 0.3F;
+    b.grad.at(i) = 0.3F;
+  }
+  b.grad.at(2) = -5.0F;  // perturb a single element
+  opt_a->step(test_case.learning_rate);
+  opt_b->step(test_case.learning_rate);
+  for (const std::int64_t i : {0LL, 1LL, 3LL}) {
+    EXPECT_EQ(a.value.at(i), b.value.at(i))
+        << test_case.name << " element " << i
+        << " changed when only element 2's gradient differed";
+  }
+  EXPECT_NE(a.value.at(2), b.value.at(2));
+}
+
+TEST_P(OptimizerProperty, CountsSteps) {
+  const OptimizerCase test_case = current();
+  Param p("w", Shape{1});
+  auto opt = test_case.make({&p});
+  EXPECT_EQ(opt->steps_taken(), 0);
+  p.grad.at(0) = 1.0F;
+  opt->step(0.01F);
+  opt->step(0.01F);
+  opt->step(0.01F);
+  EXPECT_EQ(opt->steps_taken(), 3);
+}
+
+TEST_P(OptimizerProperty, IdenticalHistoriesGiveBitwiseIdenticalWeights) {
+  const OptimizerCase test_case = current();
+  Param a("a", Shape{8});
+  Param b("b", Shape{8});
+  auto opt_a = test_case.make({&a});
+  auto opt_b = test_case.make({&b});
+  for (int step = 0; step < 40; ++step) {
+    for (std::int64_t i = 0; i < 8; ++i) {
+      const float g =
+          std::sin(0.37F * static_cast<float>(step) + static_cast<float>(i));
+      a.grad.at(i) = g;
+      b.grad.at(i) = g;
+    }
+    opt_a->step(test_case.learning_rate);
+    opt_b->step(test_case.learning_rate);
+  }
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.value.at(i), b.value.at(i)) << test_case.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptimizers, OptimizerProperty,
+    ::testing::Range<std::size_t>(0, optimizer_cases().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return optimizer_cases()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace nnr::opt

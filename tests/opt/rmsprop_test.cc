@@ -1,0 +1,105 @@
+#include "opt/rmsprop.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nnr::opt {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+
+TEST(RmsProp, FirstStepMatchesHandComputation) {
+  // Step 1 with grad g: ms = (1-rho) g^2, update = lr g / (sqrt(ms) + eps).
+  Param p("w", Shape{1});
+  p.value.fill(1.0F);
+  p.grad.fill(2.0F);
+  RmsPropConfig cfg;
+  RmsProp opt({&p}, cfg);
+  opt.step(0.1F);
+  const float ms = (1.0F - cfg.rho) * 4.0F;
+  const float expected = 1.0F - 0.1F * 2.0F / (std::sqrt(ms) + cfg.epsilon);
+  EXPECT_FLOAT_EQ(p.value.at(0), expected);
+}
+
+TEST(RmsProp, MeanSquareDecaysTowardSquaredGradient) {
+  // Under a constant gradient the normalized update approaches lr * sign(g)
+  // as the moving average converges to g^2.
+  Param p("w", Shape{1});
+  p.grad.fill(3.0F);
+  RmsProp opt({&p});
+  float prev = 0.0F;
+  float step_size = 0.0F;
+  for (int i = 0; i < 200; ++i) {
+    prev = p.value.at(0);
+    opt.step(0.01F);
+    step_size = prev - p.value.at(0);
+  }
+  EXPECT_NEAR(step_size, 0.01F, 1e-4F);
+}
+
+TEST(RmsProp, MomentumAcceleratesConstantGradient) {
+  Param plain("p", Shape{1});
+  Param heavy("h", Shape{1});
+  plain.grad.fill(1.0F);
+  heavy.grad.fill(1.0F);
+  RmsPropConfig with_momentum;
+  with_momentum.momentum = 0.9F;
+  RmsProp a({&plain});
+  RmsProp b({&heavy}, with_momentum);
+  for (int i = 0; i < 50; ++i) {
+    a.step(0.01F);
+    b.step(0.01F);
+  }
+  EXPECT_LT(heavy.value.at(0), plain.value.at(0));
+}
+
+TEST(RmsProp, WeightDecayPullsTowardZero) {
+  Param p("w", Shape{1});
+  p.value.fill(5.0F);
+  p.grad.fill(0.0F);
+  RmsPropConfig cfg;
+  cfg.weight_decay = 0.1F;
+  RmsProp opt({&p}, cfg);
+  for (int i = 0; i < 100; ++i) opt.step(0.05F);
+  EXPECT_LT(p.value.at(0), 5.0F);
+  EXPECT_GT(p.value.at(0), 0.0F - 1.0F);
+}
+
+TEST(RmsProp, ConvergesOnQuadraticBowl) {
+  Param p("w", Shape{2});
+  p.value.at(0) = 4.0F;
+  p.value.at(1) = -2.0F;
+  RmsProp opt({&p});
+  for (int step = 0; step < 800; ++step) {
+    for (std::int64_t i = 0; i < 2; ++i) p.grad.at(i) = p.value.at(i);
+    opt.step(0.02F);
+  }
+  EXPECT_NEAR(p.value.at(0), 0.0F, 0.05F);
+  EXPECT_NEAR(p.value.at(1), 0.0F, 0.05F);
+}
+
+TEST(RmsProp, BitwiseDeterministicAcrossInstances) {
+  Param a("a", Shape{3});
+  Param b("b", Shape{3});
+  RmsPropConfig cfg;
+  cfg.momentum = 0.5F;
+  RmsProp opt_a({&a}, cfg);
+  RmsProp opt_b({&b}, cfg);
+  for (int step = 0; step < 23; ++step) {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      const float g = std::sin(0.1F * static_cast<float>(step + i));
+      a.grad.at(i) = g;
+      b.grad.at(i) = g;
+    }
+    opt_a.step(0.03F);
+    opt_b.step(0.03F);
+  }
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.value.at(i), b.value.at(i)) << "element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nnr::opt

@@ -1,0 +1,66 @@
+#include "opt/sgd.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::opt {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Param p("w", Shape{2});
+  p.value.fill(1.0F);
+  p.grad.fill(0.5F);
+  Sgd sgd({&p}, 0.0F);
+  sgd.step(0.1F);
+  EXPECT_FLOAT_EQ(p.value.at(0), 0.95F);
+}
+
+TEST(Sgd, ZeroLearningRateIsNoop) {
+  Param p("w", Shape{2});
+  p.value.fill(1.0F);
+  p.grad.fill(3.0F);
+  Sgd sgd({&p}, 0.9F);
+  sgd.step(0.0F);
+  EXPECT_FLOAT_EQ(p.value.at(0), 1.0F);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Param p("w", Shape{1});
+  p.value.fill(0.0F);
+  p.grad.fill(1.0F);
+  Sgd sgd({&p}, 0.9F);
+  sgd.step(1.0F);  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0F);
+  sgd.step(1.0F);  // v=0.9*1+1=1.9, w=-2.9
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.9F);
+}
+
+TEST(Sgd, MomentumZeroMatchesPlainSgd) {
+  Param a("a", Shape{1});
+  Param b("b", Shape{1});
+  a.value.fill(2.0F);
+  b.value.fill(2.0F);
+  a.grad.fill(0.25F);
+  b.grad.fill(0.25F);
+  Sgd plain({&a}, 0.0F);
+  Sgd with_momentum({&b}, 0.9F);
+  plain.step(0.1F);
+  with_momentum.step(0.1F);  // first step identical (v starts at 0)
+  EXPECT_FLOAT_EQ(a.value.at(0), b.value.at(0));
+}
+
+TEST(Sgd, MultipleParams) {
+  Param a("a", Shape{1});
+  Param b("b", Shape{1});
+  a.grad.fill(1.0F);
+  b.grad.fill(2.0F);
+  Sgd sgd({&a, &b}, 0.0F);
+  sgd.step(1.0F);
+  EXPECT_FLOAT_EQ(a.value.at(0), -1.0F);
+  EXPECT_FLOAT_EQ(b.value.at(0), -2.0F);
+}
+
+}  // namespace
+}  // namespace nnr::opt

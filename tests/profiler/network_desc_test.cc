@@ -1,0 +1,98 @@
+#include "profiler/network_desc.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::profiler {
+namespace {
+
+TEST(LayerDesc, ConvMacs) {
+  const LayerDesc conv{.kind = LayerKind::kConv,
+                       .kernel = 3,
+                       .in_channels = 64,
+                       .out_channels = 128,
+                       .out_h = 56,
+                       .out_w = 56};
+  EXPECT_DOUBLE_EQ(conv.macs(), 56.0 * 56 * 9 * 64 * 128);
+}
+
+TEST(LayerDesc, DepthwiseMacsScaleWithChannelsNotProduct) {
+  const LayerDesc dw{.kind = LayerKind::kDepthwiseConv,
+                     .kernel = 3,
+                     .in_channels = 128,
+                     .out_channels = 128,
+                     .out_h = 14,
+                     .out_w = 14};
+  EXPECT_DOUBLE_EQ(dw.macs(), 14.0 * 14 * 9 * 128);
+}
+
+TEST(LayerDesc, MemoryBoundLayersHaveZeroMacs) {
+  const LayerDesc bn{.kind = LayerKind::kBatchNorm,
+                     .out_channels = 64,
+                     .out_h = 56,
+                     .out_w = 56};
+  EXPECT_EQ(bn.macs(), 0.0);
+  EXPECT_GT(bn.activation_bytes(), 0.0);
+}
+
+TEST(NetworkDesc, SuiteHasTenNetworks) {
+  EXPECT_EQ(profiled_networks().size(), 10u);
+}
+
+TEST(NetworkDesc, Vgg19DeeperThanVgg16) {
+  EXPECT_GT(vgg19_desc().total_macs(), vgg16_desc().total_macs());
+}
+
+TEST(NetworkDesc, ResNet152DeeperThanResNet50) {
+  EXPECT_GT(resnet152_desc().total_macs(), resnet50_desc().total_macs());
+}
+
+TEST(NetworkDesc, MacScaleSanity) {
+  // Published per-image MAC counts (approximate, 224x224): VGG16 ~15.5G,
+  // ResNet50 ~4.1G, MobileNet ~0.57G. Our descriptors must land in range.
+  EXPECT_NEAR(vgg16_desc().total_macs() / 1e9, 15.5, 3.0);
+  EXPECT_NEAR(resnet50_desc().total_macs() / 1e9, 4.1, 1.5);
+  EXPECT_NEAR(mobilenet_desc().total_macs() / 1e9, 0.57, 0.25);
+}
+
+TEST(NetworkDesc, MobileNetIsMostlyPointwiseGemm) {
+  double gemm_macs = 0.0;
+  double conv_macs = 0.0;
+  for (const LayerDesc& l : mobilenet_desc().layers) {
+    if (l.kind == LayerKind::kConv) {
+      (l.gemm_lowered ? gemm_macs : conv_macs) += l.macs();
+    }
+  }
+  EXPECT_GT(gemm_macs, 5.0 * conv_macs);
+}
+
+TEST(NetworkDesc, VggHasNoDepthwiseLayers) {
+  for (const LayerDesc& l : vgg19_desc().layers) {
+    EXPECT_NE(l.kind, LayerKind::kDepthwiseConv);
+  }
+}
+
+class MediumCnnDescTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MediumCnnDescTest, SixConvStagesWithRequestedKernel) {
+  const NetworkDesc net = medium_cnn_desc(GetParam());
+  int convs = 0;
+  for (const LayerDesc& l : net.layers) {
+    if (l.kind == LayerKind::kConv) {
+      ++convs;
+      EXPECT_EQ(l.kernel, GetParam());
+    }
+  }
+  EXPECT_EQ(convs, 6);
+}
+
+TEST_P(MediumCnnDescTest, MacsGrowWithKernel) {
+  if (GetParam() == 1) return;
+  EXPECT_GT(medium_cnn_desc(GetParam()).total_macs(),
+            medium_cnn_desc(1).total_macs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, MediumCnnDescTest,
+                         ::testing::Values(1, 3, 5, 7));
+
+}  // namespace
+}  // namespace nnr::profiler

@@ -1,0 +1,48 @@
+#include "profiler/report.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::profiler {
+namespace {
+
+std::vector<KernelLaunch> sample_launches() {
+  return {{"winograd_fwd_3x3", 2.0},
+          {"winograd_fwd_3x3", 3.0},
+          {"atomic_wgrad", 4.0},
+          {"relu_fwd", 0.5}};
+}
+
+TEST(Report, AggregatesByType) {
+  const auto agg = aggregate_by_type(sample_launches());
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_EQ(agg[0].kernel_type, "winograd_fwd_3x3");
+  EXPECT_DOUBLE_EQ(agg[0].total_ms, 5.0);
+  EXPECT_EQ(agg[0].launches, 2);
+}
+
+TEST(Report, SortedDescending) {
+  const auto agg = aggregate_by_type(sample_launches());
+  for (std::size_t i = 1; i < agg.size(); ++i) {
+    EXPECT_GE(agg[i - 1].total_ms, agg[i].total_ms);
+  }
+}
+
+TEST(Report, TopKClamps) {
+  const auto agg = aggregate_by_type(sample_launches());
+  EXPECT_EQ(top_k(agg, 2).size(), 2u);
+  EXPECT_EQ(top_k(agg, 100).size(), 3u);
+}
+
+TEST(Report, Top1Share) {
+  const auto agg = aggregate_by_type(sample_launches());
+  EXPECT_NEAR(top1_share(agg), 5.0 / 9.5, 1e-12);
+}
+
+TEST(Report, EmptyInput) {
+  const auto agg = aggregate_by_type({});
+  EXPECT_TRUE(agg.empty());
+  EXPECT_EQ(top1_share(agg), 0.0);
+}
+
+}  // namespace
+}  // namespace nnr::profiler

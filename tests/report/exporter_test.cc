@@ -1,0 +1,141 @@
+// Exporter: rendering formats, file emission, disabled-mode no-op.
+#include "report/exporter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/table.h"
+
+namespace nnr::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::TextTable sample_table() {
+  core::TextTable t({"Variant", "Churn %"});
+  t.add_row({"ALGO+IMPL", "25.3"});
+  t.add_row({"IMPL", "14.7"});
+  return t;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class ExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nnr_exporter_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(RenderMarkdown, PipeTableShape) {
+  const std::string md = render_markdown(sample_table());
+  EXPECT_NE(md.find("| Variant | Churn % |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| ALGO+IMPL | 25.3 |"), std::string::npos);
+}
+
+TEST(RenderJson, ContainsHeadersAndRows) {
+  const std::string js = render_json(sample_table());
+  EXPECT_NE(js.find("\"headers\": [\"Variant\", \"Churn %\"]"),
+            std::string::npos);
+  EXPECT_NE(js.find("{\"Variant\": \"ALGO+IMPL\", \"Churn %\": \"25.3\"}"),
+            std::string::npos);
+}
+
+TEST(RenderJson, EmptyTable) {
+  const core::TextTable t({"A"});
+  const std::string js = render_json(t);
+  EXPECT_NE(js.find("\"rows\": [\n  ]"), std::string::npos);
+}
+
+TEST(RenderJson, EscapesCellContent) {
+  core::TextTable t({"K"});
+  t.add_row({"va\"lue"});
+  EXPECT_NE(render_json(t).find("va\\\"lue"), std::string::npos);
+}
+
+TEST_F(ExporterTest, DisabledExporterWritesNothing) {
+  Exporter e("");
+  EXPECT_FALSE(e.enabled());
+  EXPECT_FALSE(e.write(sample_table(), "fig1", "t1", "Title"));
+  EXPECT_TRUE(e.artifacts().empty());
+}
+
+TEST_F(ExporterTest, WritesAllThreeFormatsAndIndex) {
+  Exporter e(dir_.string());
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1", "Figure 1"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig1_t1.txt"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig1_t1.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig1_t1.json"));
+  EXPECT_TRUE(fs::exists(dir_ / "index.json"));
+  EXPECT_NE(slurp(dir_ / "fig1_t1.txt").find("Figure 1"), std::string::npos);
+  EXPECT_NE(slurp(dir_ / "fig1_t1.csv").find("ALGO+IMPL,25.3"),
+            std::string::npos);
+}
+
+TEST_F(ExporterTest, IndexAccumulatesAcrossWrites) {
+  Exporter e(dir_.string());
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1"));
+  ASSERT_TRUE(e.write(sample_table(), "fig2", "t1", "Second"));
+  EXPECT_EQ(e.artifacts().size(), 2u);
+  const std::string index = slurp(dir_ / "index.json");
+  EXPECT_NE(index.find("\"experiment\": \"fig1\""), std::string::npos);
+  EXPECT_NE(index.find("\"experiment\": \"fig2\""), std::string::npos);
+  EXPECT_NE(index.find("\"title\": \"Second\""), std::string::npos);
+}
+
+TEST_F(ExporterTest, CreatesNestedDirectory) {
+  const fs::path nested = dir_ / "a" / "b";
+  Exporter e(nested.string());
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1"));
+  EXPECT_TRUE(fs::exists(nested / "fig1_t1.txt"));
+}
+
+TEST_F(ExporterTest, ThrowsOnUnwritableDirectory) {
+  // Failure injection: a path that collides with an existing *file* cannot
+  // be created as a directory.
+  const fs::path blocker = dir_;
+  fs::create_directories(blocker.parent_path());
+  { std::ofstream out(blocker); out << "x"; }
+  Exporter e((blocker / "sub").string());
+  EXPECT_THROW(e.write(sample_table(), "fig1", "t1"), std::exception);
+}
+
+TEST_F(ExporterTest, OverwritesOnRepeatedWrite) {
+  Exporter e(dir_.string());
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1", "first"));
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1", "second"));
+  EXPECT_NE(slurp(dir_ / "fig1_t1.txt").find("second"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nnr::report

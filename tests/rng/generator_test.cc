@@ -1,0 +1,120 @@
+#include "rng/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace nnr::rng {
+namespace {
+
+TEST(Generator, UniformInUnitInterval) {
+  Generator gen(1);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = gen.uniform();
+    EXPECT_GE(u, 0.0F);
+    EXPECT_LT(u, 1.0F);
+  }
+}
+
+TEST(Generator, UniformMeanIsHalf) {
+  Generator gen(2);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += gen.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Generator, UniformRangeRespectsBounds) {
+  Generator gen(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = gen.uniform(-2.5F, 7.5F);
+    EXPECT_GE(u, -2.5F);
+    EXPECT_LT(u, 7.5F);
+  }
+}
+
+TEST(Generator, UniformIntIsInRange) {
+  Generator gen(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.uniform_int(13), 13u);
+  }
+}
+
+TEST(Generator, UniformIntCoversAllValues) {
+  Generator gen(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    ++counts[gen.uniform_int(7)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(Generator, NormalMomentsMatch) {
+  Generator gen(6);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = gen.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Generator, ScaledNormalMoments) {
+  Generator gen(7);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += gen.normal(3.0F, 0.5F);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.02);
+}
+
+TEST(Generator, BernoulliRate) {
+  Generator gen(8);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.bernoulli(0.3F)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Generator, PermutationIsAPermutation) {
+  Generator gen(9);
+  const auto perm = gen.permutation(257);
+  std::vector<bool> seen(257, false);
+  for (std::uint32_t v : perm) {
+    ASSERT_LT(v, 257u);
+    EXPECT_FALSE(seen[v]) << "duplicate index " << v;
+    seen[v] = true;
+  }
+}
+
+TEST(Generator, PermutationVariesWithSeed) {
+  Generator a(10);
+  Generator b(11);
+  EXPECT_NE(a.permutation(64), b.permutation(64));
+}
+
+TEST(Generator, PermutationReproducible) {
+  Generator a(12);
+  Generator b(12);
+  EXPECT_EQ(a.permutation(64), b.permutation(64));
+}
+
+TEST(Generator, ShuffleKeepsElements) {
+  Generator gen(13);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  gen.shuffle(std::span<int>(shuffled));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+}  // namespace
+}  // namespace nnr::rng

@@ -1,0 +1,171 @@
+// Statistical quality of the Philox-backed Generator: chi-square uniformity,
+// serial correlation, KS normality, permutation position uniformity, and
+// channel independence. These are the properties the noise study leans on —
+// a biased init stream or correlated channels would contaminate the
+// ALGO/IMPL decomposition.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/generator.h"
+#include "rng/seed_channels.h"
+
+namespace nnr::rng {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(GeneratorStatistics, UniformPassesChiSquare) {
+  Generator gen(1234);
+  constexpr int kBins = 64;
+  std::array<int, kBins> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    const float u = gen.uniform();
+    const int bin = std::min(kBins - 1, static_cast<int>(u * kBins));
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBins;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 degrees of freedom; p = 0.001 critical value is ~103.4.
+  EXPECT_LT(chi2, 103.4) << "uniform() fails chi-square uniformity";
+}
+
+TEST(GeneratorStatistics, UniformSerialCorrelationIsSmall) {
+  Generator gen(99);
+  double prev = gen.uniform();
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = prev;
+    const double y = gen.uniform();
+    sum_xy += x * y;
+    sum_x += x;
+    sum_x2 += x * x;
+    prev = y;
+  }
+  const double n = kSamples;
+  const double mean = sum_x / n;
+  const double var = sum_x2 / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  const double corr = cov / var;
+  // For i.i.d. samples, corr ~ N(0, 1/n): |corr| < 4/sqrt(n) at ~6 sigma.
+  EXPECT_LT(std::fabs(corr), 4.0 / std::sqrt(n));
+}
+
+TEST(GeneratorStatistics, NormalPassesKolmogorovSmirnov) {
+  Generator gen(777);
+  constexpr int kN = 20000;
+  std::vector<double> samples(kN);
+  for (double& s : samples) s = gen.normal();
+  std::sort(samples.begin(), samples.end());
+
+  auto phi = [](double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); };
+  double d_stat = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double cdf = phi(samples[static_cast<std::size_t>(i)]);
+    const double hi = (i + 1.0) / kN - cdf;
+    const double lo = cdf - static_cast<double>(i) / kN;
+    d_stat = std::max({d_stat, hi, lo});
+  }
+  // KS critical value at alpha = 0.001: ~1.95 / sqrt(n).
+  EXPECT_LT(d_stat, 1.95 / std::sqrt(static_cast<double>(kN)));
+}
+
+TEST(GeneratorStatistics, NormalTailMassIsPlausible) {
+  Generator gen(4242);
+  int beyond_2 = 0;
+  int beyond_3 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const float x = std::fabs(gen.normal());
+    if (x > 2.0F) ++beyond_2;
+    if (x > 3.0F) ++beyond_3;
+  }
+  const double rate2 = static_cast<double>(beyond_2) / kSamples;
+  const double rate3 = static_cast<double>(beyond_3) / kSamples;
+  EXPECT_NEAR(rate2, 0.0455, 0.004);   // P(|Z| > 2)
+  EXPECT_NEAR(rate3, 0.0027, 0.0012);  // P(|Z| > 3)
+}
+
+TEST(GeneratorStatistics, PermutationPositionsAreUniform) {
+  // Every value should land in every position with equal probability:
+  // chi-square over the (value 0's position) distribution.
+  constexpr int kLen = 16;
+  constexpr int kTrials = 32000;
+  Generator gen(31);
+  std::array<int, kLen> position_counts{};
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<std::uint32_t> perm =
+        gen.permutation(static_cast<std::size_t>(kLen));
+    for (int pos = 0; pos < kLen; ++pos) {
+      if (perm[static_cast<std::size_t>(pos)] == 0) {
+        ++position_counts[static_cast<std::size_t>(pos)];
+        break;
+      }
+    }
+  }
+  const double expected = static_cast<double>(kTrials) / kLen;
+  double chi2 = 0.0;
+  for (const int c : position_counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 degrees of freedom; p = 0.001 critical value is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(GeneratorStatistics, ChannelsAreUncorrelated) {
+  // Streams split from the same base seed must behave as independent
+  // sources; correlation between matched draws should vanish.
+  auto a = make_channel_generator(2024, Channel::kInit, 0, true);
+  auto b = make_channel_generator(2024, Channel::kShuffle, 0, true);
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_x2 = 0.0;
+  double sum_y2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sum_xy += x * y;
+    sum_x += x;
+    sum_y += y;
+    sum_x2 += x * x;
+    sum_y2 += y * y;
+  }
+  const double n = kN;
+  const double cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+  const double var_x = sum_x2 / n - (sum_x / n) * (sum_x / n);
+  const double var_y = sum_y2 / n - (sum_y / n) * (sum_y / n);
+  const double corr = cov / std::sqrt(var_x * var_y);
+  EXPECT_LT(std::fabs(corr), 4.0 / std::sqrt(n));
+}
+
+TEST(GeneratorStatistics, ReplicatesOfAVaryingChannelDiverge) {
+  auto r0 = make_channel_generator(7, Channel::kInit, 0, true);
+  auto r1 = make_channel_generator(7, Channel::kInit, 1, true);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (r0.uniform() == r1.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);  // float collisions are possible but must be rare
+}
+
+TEST(GeneratorStatistics, PinnedChannelIgnoresReplicateIndex) {
+  auto r0 = make_channel_generator(7, Channel::kInit, 0, false);
+  auto r1 = make_channel_generator(7, Channel::kInit, 1, false);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(r0.uniform(), r1.uniform());
+  }
+}
+
+}  // namespace
+}  // namespace nnr::rng

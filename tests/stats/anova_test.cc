@@ -1,0 +1,137 @@
+// Two-way ANOVA decomposition: partition identity, pure-effect matrices,
+// additivity, and randomized property sweeps.
+#include "stats/anova.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/generator.h"
+#include "stats/special.h"
+
+namespace nnr::stats {
+namespace {
+
+using Matrix = std::vector<std::vector<double>>;
+
+TEST(TwoWayAnova, ConstantMatrixIsAllZero) {
+  const Matrix y(3, std::vector<double>(4, 2.5));
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_DOUBLE_EQ(a.ss_total, 0.0);
+  EXPECT_DOUBLE_EQ(a.rows_share(), 0.0);
+  EXPECT_DOUBLE_EQ(a.cols_share(), 0.0);
+  EXPECT_DOUBLE_EQ(a.residual_share(), 0.0);
+  EXPECT_DOUBLE_EQ(a.grand_mean, 2.5);
+}
+
+TEST(TwoWayAnova, PureRowEffect) {
+  // y[i][j] = i: all variance is the row main effect.
+  Matrix y(4, std::vector<double>(3, 0.0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) y[i][j] = static_cast<double>(i);
+  }
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_NEAR(a.rows_share(), 1.0, 1e-12);
+  EXPECT_NEAR(a.cols_share(), 0.0, 1e-12);
+  EXPECT_NEAR(a.residual_share(), 0.0, 1e-12);
+}
+
+TEST(TwoWayAnova, PureColumnEffect) {
+  Matrix y(3, std::vector<double>(5, 0.0));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) y[i][j] = 10.0 * static_cast<double>(j);
+  }
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_NEAR(a.cols_share(), 1.0, 1e-12);
+  EXPECT_NEAR(a.rows_share(), 0.0, 1e-12);
+}
+
+TEST(TwoWayAnova, AdditiveEffectsHaveZeroResidual) {
+  // y[i][j] = r_i + c_j: no interaction, residual share must vanish.
+  const std::vector<double> r = {0.0, 1.5, -2.0};
+  const std::vector<double> c = {3.0, 0.5, 7.0, -1.0};
+  Matrix y(r.size(), std::vector<double>(c.size(), 0.0));
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    for (std::size_t j = 0; j < c.size(); ++j) y[i][j] = r[i] + c[j];
+  }
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_NEAR(a.residual_share(), 0.0, 1e-12);
+  EXPECT_NEAR(a.rows_share() + a.cols_share(), 1.0, 1e-12);
+}
+
+TEST(TwoWayAnova, PureInteraction) {
+  // XOR-like pattern: row and column means are all equal, every bit of
+  // variance is interaction.
+  const Matrix y = {{1.0, -1.0}, {-1.0, 1.0}};
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_NEAR(a.residual_share(), 1.0, 1e-12);
+  EXPECT_NEAR(a.rows_share(), 0.0, 1e-12);
+  EXPECT_NEAR(a.cols_share(), 0.0, 1e-12);
+}
+
+TEST(TwoWayAnova, DegreesOfFreedom) {
+  const Matrix y(5, std::vector<double>(7, 0.0));
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_DOUBLE_EQ(a.df_rows, 4.0);
+  EXPECT_DOUBLE_EQ(a.df_cols, 6.0);
+  EXPECT_DOUBLE_EQ(a.df_residual, 24.0);
+}
+
+TEST(TwoWayAnova, FStatisticAgainstKnownAnchor) {
+  // Textbook-style check: strong row effect over weak noise must produce a
+  // significant F for rows and a non-significant F for columns.
+  rng::Generator gen(5);
+  Matrix y(4, std::vector<double>(6, 0.0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      y[i][j] = 5.0 * static_cast<double>(i) + 0.1 * gen.normal();
+    }
+  }
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_LT(f_upper_tail_p(a.f_rows(), a.df_rows, a.df_residual), 1e-6);
+  EXPECT_GT(f_upper_tail_p(a.f_cols(), a.df_cols, a.df_residual), 0.05);
+}
+
+class AnovaPartitionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnovaPartitionSweep, SumsOfSquaresPartitionTotal) {
+  rng::Generator gen(GetParam());
+  const std::size_t rows = 2 + gen.uniform_int(6);
+  const std::size_t cols = 2 + gen.uniform_int(6);
+  Matrix y(rows, std::vector<double>(cols, 0.0));
+  for (auto& row : y) {
+    for (double& v : row) v = gen.normal(0.0F, 3.0F);
+  }
+  const TwoWayAnova a = two_way_anova(y);
+  EXPECT_NEAR(a.ss_rows + a.ss_cols + a.ss_residual, a.ss_total,
+              1e-9 * (1.0 + a.ss_total));
+  EXPECT_GE(a.ss_rows, 0.0);
+  EXPECT_GE(a.ss_cols, 0.0);
+  EXPECT_GE(a.ss_residual, 0.0);
+  EXPECT_NEAR(a.rows_share() + a.cols_share() + a.residual_share(), 1.0,
+              1e-9);
+}
+
+TEST_P(AnovaPartitionSweep, ShiftInvariance) {
+  rng::Generator gen(GetParam() + 1000);
+  Matrix y(3, std::vector<double>(4, 0.0));
+  for (auto& row : y) {
+    for (double& v : row) v = gen.normal();
+  }
+  Matrix shifted = y;
+  for (auto& row : shifted) {
+    for (double& v : row) v += 123.456;
+  }
+  const TwoWayAnova a = two_way_anova(y);
+  const TwoWayAnova b = two_way_anova(shifted);
+  EXPECT_NEAR(a.ss_total, b.ss_total, 1e-7 * (1.0 + a.ss_total));
+  EXPECT_NEAR(a.ss_rows, b.ss_rows, 1e-7 * (1.0 + a.ss_rows));
+  EXPECT_NEAR(a.grand_mean + 123.456, b.grand_mean, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnovaPartitionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace nnr::stats

@@ -1,0 +1,125 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/generator.h"
+
+namespace nnr::tensor {
+namespace {
+
+KernelPolicy sequential_policy() {
+  return {.order = AccumOrder::kSequential, .cuda_cores = 0, .entropy = nullptr};
+}
+
+TEST(GemmNt, SmallKnownResult) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]]; C = A * B^T.
+  const Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  const Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  Tensor c(Shape{2, 2});
+  gemm_nt(a, b, c, sequential_policy());
+  EXPECT_FLOAT_EQ(c.at(0, 0), 17.0F);  // 1*5+2*6
+  EXPECT_FLOAT_EQ(c.at(0, 1), 23.0F);  // 1*7+2*8
+  EXPECT_FLOAT_EQ(c.at(1, 0), 39.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 53.0F);
+}
+
+TEST(GemmNt, IdentityRight) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor eye(Shape{3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  Tensor c(Shape{2, 3});
+  gemm_nt(a, eye, c, sequential_policy());
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+}
+
+TEST(GemmNt, AgreesWithDoubleReference) {
+  rng::Generator gen(1);
+  Tensor a(Shape{7, 33});
+  Tensor b(Shape{5, 33});
+  for (float& v : a.data()) v = gen.uniform(-1.0F, 1.0F);
+  for (float& v : b.data()) v = gen.uniform(-1.0F, 1.0F);
+  Tensor c(Shape{7, 5});
+  gemm_nt(a, b, c, sequential_policy());
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      double ref = 0.0;
+      for (std::int64_t k = 0; k < 33; ++k) {
+        ref += static_cast<double>(a.at(i, k)) * b.at(j, k);
+      }
+      EXPECT_NEAR(c.at(i, j), ref, 1e-4);
+    }
+  }
+}
+
+TEST(GemmNt, DeterministicPolicyIsBitwiseStable) {
+  rng::Generator gen(2);
+  Tensor a(Shape{8, 256});
+  Tensor b(Shape{8, 256});
+  for (float& v : a.data()) v = gen.normal();
+  for (float& v : b.data()) v = gen.normal();
+  const KernelPolicy det{.order = AccumOrder::kPairwiseTree,
+                         .cuda_cores = 5120,
+                         .entropy = nullptr};
+  Tensor c1(Shape{8, 8});
+  Tensor c2(Shape{8, 8});
+  gemm_nt(a, b, c1, det);
+  gemm_nt(a, b, c2, det);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    EXPECT_EQ(c1.at(i), c2.at(i));
+  }
+}
+
+TEST(GemmNt, ShuffledPolicyDivergesAcrossLaunches) {
+  rng::Generator gen(3);
+  Tensor a(Shape{4, 4096});
+  Tensor b(Shape{4, 4096});
+  for (float& v : a.data()) v = gen.normal();
+  for (float& v : b.data()) v = gen.normal();
+  rng::Generator entropy(4);
+  const KernelPolicy noisy{.order = AccumOrder::kShardedShuffled,
+                           .cuda_cores = 5120,
+                           .entropy = &entropy};
+  Tensor c1(Shape{4, 4});
+  Tensor c2(Shape{4, 4});
+  gemm_nt(a, b, c1, noisy);
+  gemm_nt(a, b, c2, noisy);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    if (c1.at(i) != c2.at(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Transpose, RoundTrip) {
+  rng::Generator gen(5);
+  Tensor a(Shape{6, 9});
+  for (float& v : a.data()) v = gen.uniform(-1.0F, 1.0F);
+  Tensor t(Shape{9, 6});
+  transpose(a, t);
+  Tensor back(Shape{6, 9});
+  transpose(t, back);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(back.at(i), a.at(i));
+}
+
+TEST(Transpose, Values) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t(Shape{3, 2});
+  transpose(a, t);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.0F);
+  EXPECT_FLOAT_EQ(t.at(2, 0), 3.0F);
+}
+
+TEST(ReduceSum, MatchesLoop) {
+  std::vector<float> values = {1.5F, -2.0F, 3.25F, 0.25F};
+  EXPECT_FLOAT_EQ(reduce_sum(values, sequential_policy()), 3.0F);
+}
+
+TEST(ReduceRows, PerRowSums) {
+  const Tensor m(Shape{2, 3}, {1, 2, 3, 10, 20, 30});
+  std::vector<float> sums(2);
+  reduce_rows(m, sums, sequential_policy());
+  EXPECT_FLOAT_EQ(sums[0], 6.0F);
+  EXPECT_FLOAT_EQ(sums[1], 60.0F);
+}
+
+}  // namespace
+}  // namespace nnr::tensor

@@ -1,0 +1,101 @@
+// Kahan compensated summation: accuracy and order-insensitivity properties
+// (the "numerical mitigation" alternative to deterministic kernels).
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/generator.h"
+#include "tensor/precision.h"
+
+namespace nnr::tensor {
+namespace {
+
+TEST(Kahan, ExactOnRepresentableData) {
+  const std::vector<float> values = {1.0F, 2.0F, 3.0F, 4.0F};
+  EXPECT_FLOAT_EQ(reduce_sum_kahan(values), 10.0F);
+}
+
+TEST(Kahan, RecoversSmallAddendsLostByNaiveSum) {
+  // 1.0 followed by many tiny values that individually vanish against the
+  // accumulator: naive float32 drops them, Kahan keeps them.
+  std::vector<float> values(10001, 1e-8F);
+  values[0] = 1.0F;
+  const double exact = 1.0 + 1e-8 * 10000.0;
+
+  float naive = 0.0F;
+  for (const float v : values) naive += v;
+  const float kahan = reduce_sum_kahan(values);
+
+  EXPECT_LT(std::fabs(kahan - exact), std::fabs(naive - exact));
+  // Kahan is correct to ~1 float32 ULP of the exact sum (the float32 input
+  // 1e-8F itself carries representation error, so exact-to-double is out of
+  // reach by construction).
+  EXPECT_NEAR(kahan, exact, 1.2e-7);
+}
+
+TEST(Kahan, MoreAccurateThanNaiveOnGradientScaleData) {
+  rng::Generator gen(42);
+  std::vector<float> values(1 << 16);
+  for (float& v : values) v = 1e-3F * gen.normal();
+  double exact = 0.0;
+  for (const float v : values) exact += v;
+
+  float naive = 0.0F;
+  for (const float v : values) naive += v;
+  const float kahan = reduce_sum_kahan(values);
+
+  EXPECT_LE(std::fabs(kahan - exact), std::fabs(naive - exact));
+}
+
+TEST(Kahan, PermutedVariantsMatchSequentialOnIdentityOrder) {
+  rng::Generator gen(7);
+  std::vector<float> values(257);
+  for (float& v : values) v = gen.uniform(-1.0F, 1.0F);
+  std::vector<std::uint32_t> identity(values.size());
+  std::iota(identity.begin(), identity.end(), 0U);
+
+  float naive = 0.0F;
+  for (const float v : values) naive += v;
+  EXPECT_EQ(reduce_sum_permuted(values, identity), naive);
+  EXPECT_EQ(reduce_sum_kahan_permuted(values, identity),
+            reduce_sum_kahan(values));
+}
+
+TEST(Kahan, OrderSpreadCollapsesRelativeToNaiveSum) {
+  // The mitigation claim: across many visiting orders, Kahan produces far
+  // fewer distinct float32 results (usually exactly one) than the naive
+  // sum over the same orders.
+  rng::Generator gen(0xFEED);
+  std::vector<float> values(1 << 14);
+  for (float& v : values) v = 1e-3F * gen.normal();
+
+  rng::Generator shuffler(3);
+  std::set<float> naive_results;
+  std::set<float> kahan_results;
+  std::vector<std::uint32_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0U);
+  for (int trial = 0; trial < 32; ++trial) {
+    shuffler.shuffle(std::span<std::uint32_t>(order));
+    naive_results.insert(reduce_sum_permuted(values, order));
+    kahan_results.insert(reduce_sum_kahan_permuted(values, order));
+  }
+  EXPECT_GT(naive_results.size(), 1u)
+      << "naive float32 sum unexpectedly order-insensitive";
+  EXPECT_LT(kahan_results.size(), naive_results.size());
+  // Spread in value terms: Kahan's max-min is no larger than naive's.
+  const float naive_spread = *naive_results.rbegin() - *naive_results.begin();
+  const float kahan_spread = *kahan_results.rbegin() - *kahan_results.begin();
+  EXPECT_LE(kahan_spread, naive_spread);
+}
+
+TEST(Kahan, HandlesEmptyAndSingleton) {
+  EXPECT_EQ(reduce_sum_kahan({}), 0.0F);
+  const std::vector<float> one = {3.5F};
+  EXPECT_EQ(reduce_sum_kahan(one), 3.5F);
+}
+
+}  // namespace
+}  // namespace nnr::tensor

@@ -1,0 +1,97 @@
+#include "tensor/precision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/generator.h"
+
+namespace nnr::tensor {
+namespace {
+
+TEST(Precision, Float32IsIdentity) {
+  for (float v : {0.0F, 1.0F, -3.14159F, 1e-30F, 1e30F}) {
+    EXPECT_EQ(quantize(v, Precision::kFloat32), v);
+  }
+}
+
+TEST(Precision, Bfloat16KeepsSevenMantissaBits) {
+  // 1 + 2^-7 is representable in bfloat16; 1 + 2^-8 rounds to 1 or 1+2^-7.
+  const float exact = 1.0F + 0.0078125F;
+  EXPECT_EQ(quantize(exact, Precision::kBfloat16), exact);
+  const float off_grid = 1.0F + 0.00390625F;  // 1 + 2^-8: halfway, ties-even
+  EXPECT_EQ(quantize(off_grid, Precision::kBfloat16), 1.0F);
+}
+
+TEST(Precision, Float16KeepsTenMantissaBits) {
+  const float exact = 1.0F + 0.0009765625F;  // 1 + 2^-10
+  EXPECT_EQ(quantize(exact, Precision::kFloat16), exact);
+}
+
+TEST(Precision, Float16Clamps) {
+  EXPECT_TRUE(std::isinf(quantize(1e6F, Precision::kFloat16)));
+  EXPECT_TRUE(std::isinf(quantize(-1e6F, Precision::kFloat16)));
+  EXPECT_FALSE(std::isinf(quantize(60000.0F, Precision::kFloat16)));
+}
+
+TEST(Precision, QuantizationIsIdempotent) {
+  rng::Generator gen(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = gen.normal() * 10.0F;
+    for (const Precision p :
+         {Precision::kBfloat16, Precision::kFloat16}) {
+      const float once = quantize(v, p);
+      EXPECT_EQ(quantize(once, p), once);
+    }
+  }
+}
+
+TEST(Precision, SignSymmetry) {
+  rng::Generator gen(2);
+  for (int i = 0; i < 200; ++i) {
+    const float v = gen.normal();
+    for (const Precision p : {Precision::kBfloat16, Precision::kFloat16}) {
+      EXPECT_EQ(quantize(-v, p), -quantize(v, p));
+    }
+  }
+}
+
+TEST(Precision, UlpOrdering) {
+  EXPECT_LT(ulp_at_one(Precision::kFloat32),
+            ulp_at_one(Precision::kFloat16));
+  EXPECT_LT(ulp_at_one(Precision::kFloat16),
+            ulp_at_one(Precision::kBfloat16));
+}
+
+TEST(Precision, QuantizedSumErrorGrowsWithCoarserGrid) {
+  rng::Generator gen(3);
+  std::vector<float> values(4096);
+  for (float& v : values) v = gen.normal();
+  double exact = 0.0;
+  for (float v : values) exact += v;
+
+  const double err32 = std::fabs(
+      reduce_sum_quantized(values, Precision::kFloat32) - exact);
+  const double err16 = std::fabs(
+      reduce_sum_quantized(values, Precision::kFloat16) - exact);
+  const double err_bf = std::fabs(
+      reduce_sum_quantized(values, Precision::kBfloat16) - exact);
+  EXPECT_LE(err32, err16);
+  EXPECT_LE(err16, err_bf);
+}
+
+TEST(Precision, QuantizedSumIsOrderSensitive) {
+  // The tooling-noise story at low precision: reordering changes results by
+  // whole grid steps, not just float32 ulps.
+  rng::Generator gen(4);
+  std::vector<float> values(1024);
+  for (float& v : values) v = gen.normal();
+  const float forward = reduce_sum_quantized(values, Precision::kFloat16);
+  std::vector<float> reversed(values.rbegin(), values.rend());
+  const float backward = reduce_sum_quantized(reversed, Precision::kFloat16);
+  EXPECT_NE(forward, backward);
+}
+
+}  // namespace
+}  // namespace nnr::tensor

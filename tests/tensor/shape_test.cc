@@ -1,0 +1,43 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::tensor {
+namespace {
+
+TEST(Shape, DefaultIsScalarLike) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, RankAndDims) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[3], 5);
+}
+
+TEST(Shape, Numel) {
+  EXPECT_EQ((Shape{2, 3}).numel(), 6);
+  EXPECT_EQ((Shape{7}).numel(), 7);
+  EXPECT_EQ((Shape{4, 4, 4, 4}).numel(), 256);
+}
+
+TEST(Shape, ZeroDimGivesZeroNumel) {
+  EXPECT_EQ((Shape{0, 5}).numel(), 0);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_FALSE((Shape{2, 3}) == (Shape{3, 2}));
+  EXPECT_FALSE((Shape{2, 3}) == (Shape{2, 3, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{1, 2, 3}).to_string(), "[1, 2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace nnr::tensor

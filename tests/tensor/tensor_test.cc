@@ -1,0 +1,63 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace nnr::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{3, 4});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full(Shape{2, 2}, 1.5F);
+  for (float v : t.data()) EXPECT_EQ(v, 1.5F);
+}
+
+TEST(Tensor, Rank2Indexing) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0F;
+  EXPECT_EQ(t.at(1 * 3 + 2), 7.0F);
+}
+
+TEST(Tensor, Rank4IndexingRowMajorNchw) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0F;
+  EXPECT_EQ(t.at(((1 * 3 + 2) * 4 + 3) * 5 + 4), 9.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 6});
+  t.at(0, 5) = 3.0F;
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.at(1, 1), 3.0F);  // flat index 5
+  EXPECT_EQ(t.shape(), (Shape{3, 4}));
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a(Shape{4});
+  a.at(0) = 1.0F;
+  Tensor b = a;
+  b.at(0) = 2.0F;
+  EXPECT_EQ(a.at(0), 1.0F);
+}
+
+TEST(Tensor, EmptyDefault) {
+  const Tensor t;
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t = Tensor::full(Shape{5}, 2.0F);
+  t.fill(-1.0F);
+  for (float v : t.data()) EXPECT_EQ(v, -1.0F);
+}
+
+TEST(Tensor, ConstructFromVector) {
+  const Tensor t(Shape{2, 2}, {1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_EQ(t.at(1, 1), 4.0F);
+}
+
+}  // namespace
+}  // namespace nnr::tensor

@@ -1,0 +1,254 @@
+// nnr_run: command-line stability-study runner.
+//
+// The figure/table benches reproduce the paper's exact cells; this tool lets
+// a downstream user compose their own cell — task x device x noise variant x
+// replicate count — and get the paper's stability measures (accuracy
+// mean/stddev, predictive churn, normalized L2 weight distance) as an
+// aligned table or CSV.
+//
+// Usage:
+//   nnr_run --task smallcnn_bn --device V100 --variant impl --replicates 10
+//   nnr_run --list
+//   nnr_run --task resnet18_c100 --all-variants --csv
+//
+// Flags:
+//   --task NAME        smallcnn | smallcnn_bn | smallcnn_dropout |
+//                      resnet18_c10 | resnet18_c100 | resnet50_in |
+//                      vgg | mobilenet
+//   --device NAME      P100 | V100 | RTX5000 | "RTX5000 TC" | T4 | TPUv2
+//   --variant NAME     algo+impl | algo | impl | control
+//   --all-variants     run algo+impl, algo, and impl (overrides --variant)
+//   --optimizer NAME   sgd | sgd_momentum | adam | rmsprop
+//                      (default: the recipe's SGD setting)
+//   --replicates N     independent trainings per cell (default: task preset)
+//   --epochs N         override the task recipe's epoch count
+//   --threads N        host threads for replicate parallelism (0 = all)
+//   --csv              emit CSV instead of the aligned table
+//   --json             emit JSON instead of the aligned table
+//   --out DIR          also write the table as .txt/.csv/.json under DIR
+//   --list             print available tasks/devices/variants and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/replicates.h"
+#include "core/study.h"
+#include "core/table.h"
+#include "core/tasks.h"
+#include "hw/device.h"
+#include "nn/zoo.h"
+#include "report/exporter.h"
+#include "opt/adam.h"
+#include "opt/rmsprop.h"
+#include "opt/sgd.h"
+
+namespace {
+
+using namespace nnr;
+
+struct TaskEntry {
+  const char* flag_name;
+  const char* description;
+  std::function<core::Task()> make;
+};
+
+const std::vector<TaskEntry>& task_registry() {
+  static const std::vector<TaskEntry> registry = {
+      {"smallcnn", "SmallCNN (no BN) on the CIFAR-10 stand-in",
+       core::small_cnn_cifar10},
+      {"smallcnn_bn", "SmallCNN+BN on the CIFAR-10 stand-in",
+       core::small_cnn_bn_cifar10},
+      {"smallcnn_dropout",
+       "SmallCNN with a 0.3-dropout head (exercises the dropout channel)",
+       [] {
+         core::Task task = core::small_cnn_cifar10();
+         task.name = "SmallCNN+dropout CIFAR-10";
+         task.make_model = [] { return nn::small_cnn_dropout(10, 0.3F); };
+         return task;
+       }},
+      {"resnet18_c10", "Scaled ResNet-18 on the CIFAR-10 stand-in",
+       core::resnet18_cifar10},
+      {"resnet18_c100", "Scaled ResNet-18 on the CIFAR-100 stand-in",
+       core::resnet18_cifar100},
+      {"resnet50_in", "Scaled ResNet-50 on the ImageNet stand-in",
+       core::resnet50_imagenet},
+      {"vgg", "Scaled VGG (plain deep stack) on the CIFAR-10 stand-in",
+       core::vgg_cifar10},
+      {"mobilenet",
+       "Scaled MobileNet (depthwise-separable) on the CIFAR-10 stand-in",
+       core::mobilenet_cifar10},
+  };
+  return registry;
+}
+
+std::optional<core::NoiseVariant> parse_variant(const std::string& name) {
+  if (name == "algo+impl") return core::NoiseVariant::kAlgoPlusImpl;
+  if (name == "algo") return core::NoiseVariant::kAlgo;
+  if (name == "impl") return core::NoiseVariant::kImpl;
+  if (name == "control") return core::NoiseVariant::kControl;
+  return std::nullopt;
+}
+
+std::optional<core::OptimizerFactory> parse_optimizer(
+    const std::string& name) {
+  if (name == "sgd") {
+    return core::OptimizerFactory{[](std::vector<nn::Param*> p) {
+      return std::make_unique<opt::Sgd>(std::move(p));
+    }};
+  }
+  if (name == "sgd_momentum") {
+    return core::OptimizerFactory{[](std::vector<nn::Param*> p) {
+      return std::make_unique<opt::Sgd>(std::move(p), 0.9F);
+    }};
+  }
+  if (name == "adam") {
+    return core::OptimizerFactory{[](std::vector<nn::Param*> p) {
+      return std::make_unique<opt::Adam>(std::move(p));
+    }};
+  }
+  if (name == "rmsprop") {
+    return core::OptimizerFactory{[](std::vector<nn::Param*> p) {
+      return std::make_unique<opt::RmsProp>(std::move(p));
+    }};
+  }
+  return std::nullopt;
+}
+
+void print_catalog() {
+  std::printf("tasks:\n");
+  for (const TaskEntry& entry : task_registry()) {
+    std::printf("  %-18s %s\n", entry.flag_name, entry.description);
+  }
+  std::printf("devices:\n");
+  for (const hw::DeviceSpec& device : hw::all_devices()) {
+    std::printf("  %s\n", device.name.c_str());
+  }
+  std::printf("variants: algo+impl, algo, impl, control\n");
+  std::printf("optimizers: sgd, sgd_momentum, adam, rmsprop "
+              "(default: the recipe's SGD)\n");
+}
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr, "nnr_run: %s\n(run with --list for the catalog)\n",
+               message);
+  std::exit(2);
+}
+
+struct Options {
+  std::string task = "smallcnn_bn";
+  std::string device = "V100";
+  std::vector<core::NoiseVariant> variants = {
+      core::NoiseVariant::kAlgoPlusImpl};
+  core::OptimizerFactory optimizer;  // empty = recipe SGD
+  std::string optimizer_name = "recipe SGD";
+  std::int64_t replicates = 0;  // 0 = task preset
+  std::int64_t epochs = 0;      // 0 = recipe preset
+  int threads = 0;
+  bool csv = false;
+  bool json = false;
+  std::string out_dir;  // empty = no file export
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_error("flag needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      print_catalog();
+      std::exit(0);
+    } else if (arg == "--task") {
+      opts.task = next_value(i);
+    } else if (arg == "--device") {
+      opts.device = next_value(i);
+    } else if (arg == "--variant") {
+      const auto v = parse_variant(next_value(i));
+      if (!v) usage_error("unknown --variant");
+      opts.variants = {*v};
+    } else if (arg == "--optimizer") {
+      const std::string name = next_value(i);
+      const auto factory = parse_optimizer(name);
+      if (!factory) usage_error("unknown --optimizer");
+      opts.optimizer = *factory;
+      opts.optimizer_name = name;
+    } else if (arg == "--all-variants") {
+      opts.variants = {core::NoiseVariant::kAlgoPlusImpl,
+                       core::NoiseVariant::kAlgo, core::NoiseVariant::kImpl};
+    } else if (arg == "--replicates") {
+      opts.replicates = std::atoll(next_value(i));
+    } else if (arg == "--epochs") {
+      opts.epochs = std::atoll(next_value(i));
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(next_value(i));
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--out") {
+      opts.out_dir = next_value(i);
+    } else {
+      usage_error("unknown flag");
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+
+  const TaskEntry* entry = nullptr;
+  for (const TaskEntry& candidate : task_registry()) {
+    if (opts.task == candidate.flag_name) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) usage_error("unknown --task");
+
+  const std::optional<hw::DeviceSpec> device = hw::find_device(opts.device);
+  if (!device) usage_error("unknown --device");
+
+  core::Task task = entry->make();
+  if (opts.epochs > 0) task.recipe.epochs = opts.epochs;
+  const std::int64_t replicates =
+      opts.replicates > 0 ? opts.replicates : task.default_replicates;
+
+  core::TextTable table({"Task", "Device", "Variant", "Mean acc %",
+                         "STDDEV(Acc) %", "Churn %", "L2 Norm"});
+  for (const core::NoiseVariant variant : opts.variants) {
+    core::TrainJob job = task.job(variant, *device);
+    job.make_optimizer = opts.optimizer;
+    const auto results = core::run_replicates(job, replicates, opts.threads);
+    const core::VariantSummary summary = core::summarize(results);
+    table.add_row({task.name, device->name,
+                   std::string(core::variant_name(variant)),
+                   core::fmt_float(summary.accuracy_pct(), 2),
+                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                   core::fmt_float(summary.churn_pct(), 2),
+                   core::fmt_float(summary.mean_l2, 4)});
+  }
+
+  const std::string title = "nnr_run stability summary (" +
+                            std::to_string(replicates) + " replicates)";
+  if (opts.csv) {
+    std::printf("%s", table.render_csv().c_str());
+  } else if (opts.json) {
+    std::printf("%s", report::render_json(table).c_str());
+  } else {
+    std::printf("%s\n", table.render(title).c_str());
+  }
+  if (!opts.out_dir.empty()) {
+    report::Exporter exporter(opts.out_dir);
+    exporter.write(table, "nnr_run", opts.task, title);
+  }
+  return 0;
+}
