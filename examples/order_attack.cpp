@@ -110,7 +110,6 @@ std::vector<std::uint32_t> adversarial_order(
   nn::RunContext eval{.hw = &hw_ctx, .training = false};
   const data::LabeledImages& train = dataset.train;
   const tensor::Tensor logits = probe.forward(train.images, eval);
-  const std::int64_t classes = logits.shape()[1];
 
   std::vector<float> confidence(static_cast<std::size_t>(train.size()));
   for (std::int64_t i = 0; i < train.size(); ++i) {

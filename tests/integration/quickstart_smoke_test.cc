@@ -1,0 +1,82 @@
+// End-to-end smoke test of the quickstart flow (examples/quickstart.cpp):
+// a small synthetic task, 2 replicates, summarized via the Study machinery.
+// Asserts the churn numbers are finite and — under CONTROL, i.e.
+// DeterminismMode::kDeterministic with pinned seeds — exactly reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recipe.h"
+#include "core/replicates.h"
+#include "core/study.h"
+#include "core/trainer.h"
+#include "data/synth_images.h"
+#include "hw/device.h"
+#include "nn/zoo.h"
+
+namespace nnr::core {
+namespace {
+
+class QuickstartSmoke : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ClassificationDataset(data::synth_cifar10(96, 48));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static TrainJob job(NoiseVariant variant) {
+    TrainJob j;
+    j.make_model = [] { return nn::small_cnn(10, true); };
+    j.dataset = dataset_;
+    j.recipe = cifar_recipe(/*epochs=*/2);
+    j.variant = variant;
+    j.device = hw::v100();
+    return j;
+  }
+
+  static data::ClassificationDataset* dataset_;
+};
+
+data::ClassificationDataset* QuickstartSmoke::dataset_ = nullptr;
+
+TEST_F(QuickstartSmoke, ImplNoiseProducesFiniteSummary) {
+  const auto results = run_replicates(job(NoiseVariant::kImpl), 2, 1);
+  ASSERT_EQ(results.size(), 2U);
+  const VariantSummary summary = summarize(results);
+  EXPECT_TRUE(std::isfinite(summary.accuracy.mean()));
+  EXPECT_TRUE(std::isfinite(summary.accuracy.stddev()));
+  EXPECT_TRUE(std::isfinite(summary.mean_churn));
+  EXPECT_TRUE(std::isfinite(summary.mean_l2));
+  EXPECT_GE(summary.mean_churn, 0.0);
+  EXPECT_LE(summary.mean_churn, 1.0);
+}
+
+TEST_F(QuickstartSmoke, ControlIsBitwiseReproducible) {
+  const auto first = run_replicates(job(NoiseVariant::kControl), 2, 1);
+  ASSERT_EQ(first.size(), 2U);
+
+  // Under CONTROL the two replicates must be bitwise identical...
+  EXPECT_EQ(first[0].final_weights, first[1].final_weights);
+  EXPECT_EQ(first[0].test_predictions, first[1].test_predictions);
+
+  const VariantSummary summary = summarize(first);
+  EXPECT_TRUE(std::isfinite(summary.accuracy.mean()));
+  EXPECT_EQ(summary.mean_churn, 0.0);
+  EXPECT_EQ(summary.mean_l2, 0.0);
+
+  // ...and the whole study must reproduce run-to-run (host-thread schedule
+  // must not leak into results: rerun with a different thread count).
+  const auto second = run_replicates(job(NoiseVariant::kControl), 2, 2);
+  ASSERT_EQ(second.size(), 2U);
+  EXPECT_EQ(first[0].final_weights, second[0].final_weights);
+  EXPECT_EQ(first[0].test_predictions, second[0].test_predictions);
+  const VariantSummary resummary = summarize(second);
+  EXPECT_EQ(summary.accuracy.mean(), resummary.accuracy.mean());
+  EXPECT_EQ(summary.mean_churn, resummary.mean_churn);
+}
+
+}  // namespace
+}  // namespace nnr::core

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verify, matching ROADMAP.md exactly:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# Run from the repository root (or pass the repo root as $1).
+set -euo pipefail
+
+cd "${1:-$(dirname "$0")/..}"
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
