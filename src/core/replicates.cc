@@ -1,39 +1,28 @@
 #include "core/replicates.h"
 
-#include <atomic>
-#include <thread>
+#include "runtime/thread_pool.h"
 
 namespace nnr::core {
 
 std::vector<RunResult> run_replicates(const TrainJob& job, std::int64_t n,
                                       int threads) {
   std::vector<RunResult> results(static_cast<std::size_t>(n));
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  if (threads <= 1 || n <= 1) {
-    for (std::int64_t r = 0; r < n; ++r) {
-      results[static_cast<std::size_t>(r)] =
-          train_replicate(job, static_cast<std::uint64_t>(r));
-    }
-    return results;
-  }
-
-  std::atomic<std::int64_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::int64_t r = next.fetch_add(1);
-      if (r >= n) return;
-      results[static_cast<std::size_t>(r)] =
-          train_replicate(job, static_cast<std::uint64_t>(r));
-    }
-  };
-  std::vector<std::thread> pool;
-  const int n_workers = static_cast<int>(
-      std::min<std::int64_t>(threads, n));
-  pool.reserve(static_cast<std::size_t>(n_workers));
-  for (int t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  if (n <= 0) return results;
+  // Replicates fan out on the shared host pool (NNR_THREADS-sized) instead
+  // of spawning a fresh std::thread batch per call; `threads` caps the
+  // concurrency of this fan-out only. Kernel-level loops inside each
+  // replicate run inline on the worker that owns the replicate, so the
+  // pool is never oversubscribed by nesting.
+  const int max_workers = threads < 0 ? 1 : threads;  // < 0: serial, 0: pool
+  runtime::ThreadPool::global().parallel_for(
+      0, n, 1,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          results[static_cast<std::size_t>(r)] =
+              train_replicate(job, static_cast<std::uint64_t>(r));
+        }
+      },
+      max_workers);
   return results;
 }
 

@@ -12,8 +12,10 @@
 
 namespace nnr::core {
 
-/// Runs replicates [0, n) of `job`. `threads <= 1` runs serially;
-/// `threads == 0` uses the hardware concurrency.
+/// Runs replicates [0, n) of `job` on the shared host pool. `threads` < 0 or
+/// == 1 runs serially; `threads == 0` uses the pool's full width (NNR_THREADS,
+/// defaulting to the hardware concurrency); otherwise `threads` caps the
+/// fan-out of this call.
 [[nodiscard]] std::vector<RunResult> run_replicates(const TrainJob& job,
                                                     std::int64_t n,
                                                     int threads = 0);

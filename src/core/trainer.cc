@@ -10,6 +10,7 @@
 #include "opt/sgd.h"
 #include "rng/seed_channels.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace nnr::core {
 
@@ -23,7 +24,11 @@ using tensor::Tensor;
 EvalResult evaluate_full(nn::Model& model, const data::LabeledImages& split,
                          hw::ExecutionContext& hw_ctx,
                          std::int64_t batch_size) {
-  nn::RunContext ctx{.hw = &hw_ctx, .training = false, .dropout = nullptr};
+  tensor::Workspace workspace;
+  nn::RunContext ctx{.hw = &hw_ctx,
+                     .training = false,
+                     .dropout = nullptr,
+                     .workspace = &workspace};
   EvalResult result;
   result.predictions.reserve(static_cast<std::size_t>(split.size()));
   result.confidences.reserve(static_cast<std::size_t>(split.size()));
@@ -103,7 +108,13 @@ RunResult train_replicate(const TrainJob& job, ReplicateIds ids) {
           : std::make_unique<opt::Sgd>(model.params(), job.recipe.momentum);
 
   EpochShuffler shuffler(train.size(), std::move(shuffle_gen));
-  nn::RunContext ctx{.hw = &hw_ctx, .training = true, .dropout = &dropout_gen};
+  // One scratch arena per replicate: conv/dense reuse their im2col and
+  // transpose buffers across every step of the run.
+  tensor::Workspace workspace;
+  nn::RunContext ctx{.hw = &hw_ctx,
+                     .training = true,
+                     .dropout = &dropout_gen,
+                     .workspace = &workspace};
 
   double last_loss = 0.0;
   for (std::int64_t epoch = 0; epoch < job.recipe.epochs; ++epoch) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "nn/init.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/gemm.h"
 
@@ -11,6 +12,22 @@ namespace nnr::nn {
 using tensor::ConvGeometry;
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+// Workspace slot map for Conv2D (keyed by the layer pointer).
+enum ConvSlot : int {
+  kCols = 0,    // [P, K] patch matrix; written by forward, read by backward
+  kOutPc,       // [P, C] forward GEMM output
+  kDyPc,        // [P, C] grad repack
+  kDyCp,        // [C, P] grad repack (transposed)
+  kColsKp,      // [K, P] patch transpose for the weight-gradient GEMM
+  kDwStage,     // [C, K] weight-gradient staging
+  kWKc,         // [K, C] weight transpose for the data-gradient GEMM
+  kDCols,       // [P, K] patch-gradient matrix
+};
+
+}  // namespace
 
 Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad)
@@ -36,6 +53,8 @@ std::string Conv2D::name() const {
 
 Tensor Conv2D::forward(const Tensor& input, RunContext& ctx) {
   assert(input.shape().rank() == 4 && input.shape()[1] == in_channels_);
+  tensor::Workspace& ws = ctx.scratch_arena(fallback_ws_);
+  active_ws_ = &ws;
   geom_ = ConvGeometry{.batch = input.shape()[0],
                        .in_channels = in_channels_,
                        .in_h = input.shape()[2],
@@ -48,12 +67,12 @@ Tensor Conv2D::forward(const Tensor& input, RunContext& ctx) {
   const std::int64_t oh = geom_.out_h();
   const std::int64_t ow = geom_.out_w();
 
-  cols_ = Tensor(Shape{pixels, patch});
-  tensor::im2col(input, geom_, cols_);
+  Tensor& cols = ws.scratch(this, kCols, Shape{pixels, patch});
+  tensor::im2col(input, geom_, cols);
 
   // out_pc[p, c] = <patch p, filter c>
-  Tensor out_pc(Shape{pixels, out_channels_});
-  tensor::gemm_nt(cols_, weight_.value, out_pc, ctx.hw->matmul_policy());
+  Tensor& out_pc = ws.scratch(this, kOutPc, Shape{pixels, out_channels_});
+  tensor::gemm_nt(cols, weight_.value, out_pc, ctx.hw->matmul_policy());
 
   // Repack [P, C] -> NCHW and add bias (elementwise; no reduction).
   Tensor output(Shape{geom_.batch, out_channels_, oh, ow});
@@ -61,18 +80,26 @@ Tensor Conv2D::forward(const Tensor& input, RunContext& ctx) {
   const float* b = bias_.value.raw();
   float* dst = output.raw();
   const std::int64_t ohw = oh * ow;
-  for (std::int64_t n = 0; n < geom_.batch; ++n) {
-    for (std::int64_t p = 0; p < ohw; ++p) {
-      const float* row = src + (n * ohw + p) * out_channels_;
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        dst[(n * out_channels_ + c) * ohw + p] = row[c] + b[c];
-      }
-    }
-  }
+  const std::int64_t out_c = out_channels_;
+  runtime::ThreadPool::global().parallel_for(
+      0, geom_.batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+        for (std::int64_t n = n0; n < n1; ++n) {
+          for (std::int64_t p = 0; p < ohw; ++p) {
+            const float* row = src + (n * ohw + p) * out_c;
+            for (std::int64_t c = 0; c < out_c; ++c) {
+              dst[(n * out_c + c) * ohw + p] = row[c] + b[c];
+            }
+          }
+        }
+      });
   return output;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output, RunContext& ctx) {
+  assert(active_ws_ != nullptr && "backward() before forward()");
+  assert(active_ws_ == &ctx.scratch_arena(fallback_ws_) &&
+         "forward/backward must run under the same workspace");
+  tensor::Workspace& ws = *active_ws_;
   const std::int64_t oh = geom_.out_h();
   const std::int64_t ow = geom_.out_w();
   const std::int64_t ohw = oh * ow;
@@ -80,29 +107,35 @@ Tensor Conv2D::backward(const Tensor& grad_output, RunContext& ctx) {
   const std::int64_t patch = geom_.patch_size();
   assert(grad_output.shape() == (Shape{geom_.batch, out_channels_, oh, ow}));
 
+  Tensor& cols = ws.scratch(this, kCols, Shape{pixels, patch});
+
   // NCHW -> [P, C] (and its transpose [C, P]) for the two GEMMs below.
-  Tensor dy_pc(Shape{pixels, out_channels_});
-  Tensor dy_cp(Shape{out_channels_, pixels});
+  Tensor& dy_pc = ws.scratch(this, kDyPc, Shape{pixels, out_channels_});
+  Tensor& dy_cp = ws.scratch(this, kDyCp, Shape{out_channels_, pixels});
   {
     const float* src = grad_output.raw();
     float* pc = dy_pc.raw();
     float* cp = dy_cp.raw();
-    for (std::int64_t n = 0; n < geom_.batch; ++n) {
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        const float* plane = src + (n * out_channels_ + c) * ohw;
-        for (std::int64_t p = 0; p < ohw; ++p) {
-          pc[(n * ohw + p) * out_channels_ + c] = plane[p];
-          cp[c * pixels + n * ohw + p] = plane[p];
-        }
-      }
-    }
+    const std::int64_t out_c = out_channels_;
+    runtime::ThreadPool::global().parallel_for(
+        0, geom_.batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+          for (std::int64_t n = n0; n < n1; ++n) {
+            for (std::int64_t c = 0; c < out_c; ++c) {
+              const float* plane = src + (n * out_c + c) * ohw;
+              for (std::int64_t p = 0; p < ohw; ++p) {
+                pc[(n * ohw + p) * out_c + c] = plane[p];
+                cp[c * pixels + n * ohw + p] = plane[p];
+              }
+            }
+          }
+        });
   }
 
   // dW[c, k] = sum_p dy[p, c] * cols[p, k] — contraction over batch*pixels.
   {
-    Tensor cols_kp(Shape{patch, pixels});
-    tensor::transpose(cols_, cols_kp);
-    Tensor dw(Shape{out_channels_, patch});
+    Tensor& cols_kp = ws.scratch(this, kColsKp, Shape{patch, pixels});
+    tensor::transpose(cols, cols_kp);
+    Tensor& dw = ws.scratch(this, kDwStage, Shape{out_channels_, patch});
     tensor::gemm_nt(dy_cp, cols_kp, dw, ctx.hw->matmul_policy());
     tensor::axpy(1.0F, dw.data(), weight_.grad.data());
   }
@@ -115,9 +148,9 @@ Tensor Conv2D::backward(const Tensor& grad_output, RunContext& ctx) {
   }
 
   // dcols[p, k] = sum_c dy[p, c] * W[c, k]
-  Tensor w_kc(Shape{patch, out_channels_});
+  Tensor& w_kc = ws.scratch(this, kWKc, Shape{patch, out_channels_});
   tensor::transpose(weight_.value, w_kc);
-  Tensor dcols(Shape{pixels, patch});
+  Tensor& dcols = ws.scratch(this, kDCols, Shape{pixels, patch});
   tensor::gemm_nt(dy_pc, w_kc, dcols, ctx.hw->matmul_policy());
 
   Tensor grad_input(

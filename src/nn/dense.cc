@@ -45,16 +45,17 @@ Tensor Dense::forward(const Tensor& input, RunContext& ctx) {
 }
 
 Tensor Dense::backward(const Tensor& grad_output, RunContext& ctx) {
+  tensor::Workspace& ws = ctx.scratch_arena(fallback_ws_);
   const std::int64_t n = input_cache_.shape()[0];
   assert(grad_output.shape() == (Shape{n, out_features_}));
 
   // dW[o, i] = sum_n dy[n, o] * x[n, i] — contraction over the batch axis.
-  Tensor dy_t(Shape{out_features_, n});
+  Tensor& dy_t = ws.scratch(this, 0, Shape{out_features_, n});
   tensor::transpose(grad_output, dy_t);
   {
-    Tensor x_t(Shape{in_features_, n});
+    Tensor& x_t = ws.scratch(this, 1, Shape{in_features_, n});
     tensor::transpose(input_cache_, x_t);
-    Tensor dw(Shape{out_features_, in_features_});
+    Tensor& dw = ws.scratch(this, 2, Shape{out_features_, in_features_});
     tensor::gemm_nt(dy_t, x_t, dw, ctx.hw->matmul_policy());
     tensor::axpy(1.0F, dw.data(), weight_.grad.data());
   }
@@ -67,7 +68,7 @@ Tensor Dense::backward(const Tensor& grad_output, RunContext& ctx) {
   }
 
   // dx[n, i] = sum_o dy[n, o] * W[o, i]
-  Tensor w_t(Shape{in_features_, out_features_});
+  Tensor& w_t = ws.scratch(this, 3, Shape{in_features_, out_features_});
   tensor::transpose(weight_.value, w_t);
   Tensor grad_input(Shape{n, in_features_});
   tensor::gemm_nt(grad_output, w_t, grad_input, ctx.hw->matmul_policy());

@@ -29,6 +29,8 @@ class Dense final : public Layer {
   Param weight_;  // [out, in]
   Param bias_;    // [out]
   tensor::Tensor input_cache_;  // [N, in]
+  // Transpose / gradient-staging scratch when the context has no arena.
+  tensor::Workspace fallback_ws_;
 };
 
 }  // namespace nnr::nn

@@ -15,6 +15,7 @@
 #include "hw/execution_context.h"
 #include "rng/generator.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace nnr::nn {
 
@@ -40,6 +41,15 @@ struct RunContext {
   hw::ExecutionContext* hw = nullptr;  // never null during execution
   bool training = false;
   rng::Generator* dropout = nullptr;  // required by stochastic layers when training
+  tensor::Workspace* workspace = nullptr;  // scratch arena; optional
+
+  /// The run's scratch arena, or `fallback` when the caller did not supply
+  /// one (layers keep a private arena so scratch reuse never depends on
+  /// context plumbing).
+  [[nodiscard]] tensor::Workspace& scratch_arena(
+      tensor::Workspace& fallback) noexcept {
+    return workspace != nullptr ? *workspace : fallback;
+  }
 };
 
 class Layer {

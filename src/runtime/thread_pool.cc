@@ -1,0 +1,165 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nnr::runtime {
+
+namespace {
+
+// Set while a thread is executing chunks of some parallel_for; nested
+// parallel_for calls from such a thread run inline to keep the pool acyclic.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+int default_thread_count() noexcept {
+  if (const char* env = std::getenv("NNR_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> tasks;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  explicit Impl(int helper_count) {
+    workers.reserve(static_cast<std::size_t>(helper_count));
+    for (int t = 0; t < helper_count; ++t) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return stop || !tasks.empty(); });
+        if (stop && tasks.empty()) return;
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  // `threads` counts the caller, so spawn one fewer helper.
+  impl_ = new Impl(std::max(0, threads - 1));
+}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+int ThreadPool::size() const noexcept {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    int max_workers) {
+  const std::int64_t total = end - begin;
+  if (total <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t n_chunks = (total + grain - 1) / grain;
+  int width = size();
+  if (max_workers > 0) width = std::min(width, max_workers);
+  width = static_cast<int>(std::min<std::int64_t>(width, n_chunks));
+  if (t_in_parallel_region || width <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Shared chunk queue: caller + helpers claim chunks with fetch_add. The
+  // caller blocks until every helper it enqueued has drained, so capturing
+  // locals by reference below is safe.
+  struct State {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<int> helpers_left{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<State>();
+  const int helpers = width - 1;
+  state->helpers_left.store(helpers, std::memory_order_relaxed);
+
+  auto run_chunks = [state, begin, end, grain, n_chunks, &body] {
+    for (;;) {
+      const std::int64_t c =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= n_chunks) break;
+      const std::int64_t b = begin + c * grain;
+      body(b, std::min(end, b + grain));
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (int h = 0; h < helpers; ++h) {
+      impl_->tasks.emplace_back([state, run_chunks] {
+        t_in_parallel_region = true;
+        run_chunks();
+        t_in_parallel_region = false;
+        if (state->helpers_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(state->done_mu);
+          state->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  impl_->cv.notify_all();
+
+  t_in_parallel_region = true;
+  run_chunks();
+  t_in_parallel_region = false;
+
+  std::unique_lock<std::mutex> done_lock(state->done_mu);
+  state->done_cv.wait(done_lock, [&state] {
+    return state->helpers_left.load(std::memory_order_acquire) == 0;
+  });
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace nnr::runtime

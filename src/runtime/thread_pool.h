@@ -1,0 +1,61 @@
+// Persistent host thread pool for data-parallel kernel loops.
+//
+// The simulated-device kernels (GEMM, im2col, transpose) and the replicate
+// fan-out all share one process-wide pool instead of spawning std::threads
+// per call. Parallelism is only ever applied across *independent output
+// elements* — each output element's floating-point reduction is computed
+// start-to-finish by a single thread in a fixed order — so results are
+// bitwise identical for every worker count. That invariant is what lets the
+// fast path coexist with the paper's noise model: host threading is a pure
+// scheduling concern and contributes zero IMPL noise (enforced by the
+// thread-count-invariance tests).
+//
+// Sizing: NNR_THREADS env var; 0 or unset means one worker per hardware
+// thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace nnr::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency (callers participate in their own
+  /// parallel_for). 0 resolves NNR_THREADS, then hardware_concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum concurrency of a parallel_for (helper workers + the caller).
+  [[nodiscard]] int size() const noexcept;
+
+  /// Runs body(chunk_begin, chunk_end) over a partition of [begin, end) into
+  /// chunks of at most `grain` iterations. Chunks are claimed dynamically;
+  /// the calling thread participates and the call returns only after every
+  /// chunk has finished. Nested calls from inside a pool worker run inline
+  /// (serially) — callers never deadlock. `max_workers` (when > 0) caps the
+  /// concurrency of this call below the pool size.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body,
+                    int max_workers = 0);
+
+  /// The process-wide pool, created on first use from NNR_THREADS.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Rebuilds the global pool with `threads` total concurrency (0 = env /
+  /// hardware default). Test and bench knob; not safe concurrently with
+  /// parallel work in flight.
+  static void set_global_threads(int threads);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// NNR_THREADS resolved against hardware_concurrency (always >= 1).
+[[nodiscard]] int default_thread_count() noexcept;
+
+}  // namespace nnr::runtime

@@ -66,19 +66,6 @@ float ReductionPlan::combine(std::span<float> partials) const noexcept {
 
 namespace {
 
-// Lane l owns the contiguous chunk [l*chunk, min((l+1)*chunk, k)).
-struct LaneRange {
-  std::int64_t begin;
-  std::int64_t end;
-};
-
-inline LaneRange lane_range(int lane, int lanes, std::int64_t k) noexcept {
-  const std::int64_t chunk = (k + lanes - 1) / lanes;
-  const std::int64_t begin = std::min<std::int64_t>(lane * chunk, k);
-  const std::int64_t end = std::min<std::int64_t>(begin + chunk, k);
-  return {begin, end};
-}
-
 // Four-way unrolled partial sums. A lane models a thread's private register
 // accumulation; splitting it into four fixed interleaved sub-accumulators is
 // still a *fixed* order given the input layout (bitwise deterministic), it

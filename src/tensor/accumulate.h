@@ -27,6 +27,7 @@
 // genuine rounding divergence, not injected noise.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -72,6 +73,14 @@ class ReductionPlan {
     return combine_order_;
   }
 
+  /// Combines per-lane partial sums (size == lanes()) exactly as the full
+  /// reductions do — exposed so the blocked GEMM fast path can reproduce the
+  /// reference combine bit-for-bit from externally computed lane partials.
+  /// `partials` is clobbered for kPairwiseTree (in-place tree).
+  [[nodiscard]] float combine_partials(std::span<float> partials) const noexcept {
+    return combine(partials);
+  }
+
  private:
   [[nodiscard]] float combine(std::span<float> partials) const noexcept;
 
@@ -84,5 +93,22 @@ class ReductionPlan {
 /// Effective lane count for a device with `cuda_cores` cores reducing `k`
 /// addends: roughly one lane per 128 cores, clamped to [1, k].
 [[nodiscard]] int lanes_for_cores(int cuda_cores, std::int64_t k) noexcept;
+
+/// Lane `lane` of `lanes` owns the contiguous addend chunk [begin, end) of a
+/// k-element reduction. Shared by the reference reductions and the blocked
+/// GEMM fast path so both partition k identically (a bit-exactness
+/// precondition, not just a convention).
+struct LaneRange {
+  std::int64_t begin;
+  std::int64_t end;
+};
+
+[[nodiscard]] inline LaneRange lane_range(int lane, int lanes,
+                                          std::int64_t k) noexcept {
+  const std::int64_t chunk = (k + lanes - 1) / lanes;
+  const std::int64_t begin = std::min<std::int64_t>(lane * chunk, k);
+  const std::int64_t end = std::min<std::int64_t>(begin + chunk, k);
+  return {begin, end};
+}
 
 }  // namespace nnr::tensor

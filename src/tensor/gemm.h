@@ -35,10 +35,27 @@ struct KernelPolicy {
 };
 
 /// C[M, N] = A[M, K] · B[N, K]^T. C must be preallocated with shape {M, N}.
+///
+/// Dispatch: when the policy yields a fixed per-element reduction order
+/// (kSequential / kPairwiseTree), a register-blocked, B-panel-packed,
+/// host-threaded engine runs — bitwise identical to gemm_nt_reference by
+/// construction (same lane partition, same unrolled accumulator order, same
+/// lane combine; threading only distributes whole output elements). The
+/// kShardedShuffled order runs the reference loop unchanged so IMPL-noise
+/// semantics (one shuffle draw per launch applied to every element) are
+/// untouched.
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c,
              const KernelPolicy& policy);
 
+/// The seed triple loop: one reduce_dot_strided per output element. Kept as
+/// the semantic definition of gemm_nt — the determinism suite asserts the
+/// blocked engine matches it bit-for-bit, and the micro benches report the
+/// speedup against it.
+void gemm_nt_reference(const Tensor& a, const Tensor& b, Tensor& c,
+                       const KernelPolicy& policy);
+
 /// out[j, i] = in[i, j]. out must be preallocated with shape {cols, rows}.
+/// Cache-blocked (square tiles) and host-threaded; pure data movement.
 void transpose(const Tensor& in, Tensor& out);
 
 /// Sum of all elements of `values` under the policy (one launch).

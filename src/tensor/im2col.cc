@@ -1,8 +1,54 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "runtime/thread_pool.h"
 
 namespace nnr::tensor {
+
+namespace {
+
+// Writes one patch row (output pixel) of the cols matrix. The interior fast
+// path: when the whole receptive field is in-bounds (always true for
+// pad == 0), every kx run of `kernel` taps is a contiguous memcpy from the
+// input row — no per-tap bounds check. Border pixels keep the checked loop.
+inline void im2col_row(const float* pin, const ConvGeometry& geom,
+                       std::int64_t n, std::int64_t oy, std::int64_t ox,
+                       float* dst) noexcept {
+  const std::int64_t hw = geom.in_h * geom.in_w;
+  const std::int64_t chw = geom.in_channels * hw;
+  const std::int64_t iy0 = oy * geom.stride - geom.pad;
+  const std::int64_t ix0 = ox * geom.stride - geom.pad;
+  const bool interior = iy0 >= 0 && iy0 + geom.kernel <= geom.in_h &&
+                        ix0 >= 0 && ix0 + geom.kernel <= geom.in_w;
+  if (interior) {
+    const std::size_t run_bytes =
+        static_cast<std::size_t>(geom.kernel) * sizeof(float);
+    for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+      const float* src_c = pin + n * chw + c * hw;
+      for (std::int64_t ky = 0; ky < geom.kernel; ++ky, dst += geom.kernel) {
+        std::memcpy(dst, src_c + (iy0 + ky) * geom.in_w + ix0, run_bytes);
+      }
+    }
+    return;
+  }
+  for (std::int64_t c = 0; c < geom.in_channels; ++c) {
+    const float* src_c = pin + n * chw + c * hw;
+    for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+      const std::int64_t iy = iy0 + ky;
+      for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++dst) {
+        const std::int64_t ix = ix0 + kx;
+        const bool inside =
+            iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w;
+        *dst = inside ? src_c[iy * geom.in_w + ix] : 0.0F;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 void im2col(const Tensor& input, const ConvGeometry& geom, Tensor& cols) {
   assert(input.shape().rank() == 4);
@@ -15,29 +61,20 @@ void im2col(const Tensor& input, const ConvGeometry& geom, Tensor& cols) {
 
   const float* pin = input.raw();
   float* pcols = cols.raw();
-  const std::int64_t chw = geom.in_channels * geom.in_h * geom.in_w;
-  const std::int64_t hw = geom.in_h * geom.in_w;
+  const std::int64_t ohw = oh * ow;
 
-  std::int64_t row = 0;
-  for (std::int64_t n = 0; n < geom.batch; ++n) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
-        float* dst = pcols + row * patch;
-        for (std::int64_t c = 0; c < geom.in_channels; ++c) {
-          const float* src_c = pin + n * chw + c * hw;
-          for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
-            const std::int64_t iy = oy * geom.stride + ky - geom.pad;
-            for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++dst) {
-              const std::int64_t ix = ox * geom.stride + kx - geom.pad;
-              const bool inside =
-                  iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w;
-              *dst = inside ? src_c[iy * geom.in_w + ix] : 0.0F;
-            }
-          }
+  // Rows (output pixels) are independent writes — parallelize freely. No
+  // floating-point arithmetic happens here, so threading cannot perturb the
+  // noise model.
+  runtime::ThreadPool::global().parallel_for(
+      0, geom.out_pixels(), std::max<std::int64_t>(1, ohw / 4),
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t row = r0; row < r1; ++row) {
+          const std::int64_t n = row / ohw;
+          const std::int64_t p = row % ohw;
+          im2col_row(pin, geom, n, p / ow, p % ow, pcols + row * patch);
         }
-      }
-    }
-  }
+      });
 }
 
 void col2im(const Tensor& cols, const ConvGeometry& geom, Tensor& grad_input) {
@@ -52,27 +89,36 @@ void col2im(const Tensor& cols, const ConvGeometry& geom, Tensor& grad_input) {
   float* pout = grad_input.raw();
   const std::int64_t chw = geom.in_channels * geom.in_h * geom.in_w;
   const std::int64_t hw = geom.in_h * geom.in_w;
+  const std::int64_t kk = geom.kernel * geom.kernel;
 
-  std::int64_t row = 0;
-  for (std::int64_t n = 0; n < geom.batch; ++n) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
-        const float* src = pcols + row * patch;
-        for (std::int64_t c = 0; c < geom.in_channels; ++c) {
-          float* dst_c = pout + n * chw + c * hw;
-          for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
-            const std::int64_t iy = oy * geom.stride + ky - geom.pad;
-            for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++src) {
-              const std::int64_t ix = ox * geom.stride + kx - geom.pad;
-              if (iy >= 0 && iy < geom.in_h && ix >= 0 && ix < geom.in_w) {
-                dst_c[iy * geom.in_w + ix] += *src;
+  // Channel-major scatter: each channel writes a disjoint set of input
+  // planes, so channels parallelize safely. Every destination element still
+  // receives its addends in the seed's (n, oy, ox, ky, kx) order — the
+  // scatter-add ordering per element is part of the bit-exactness contract.
+  runtime::ThreadPool::global().parallel_for(
+      0, geom.in_channels, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          for (std::int64_t n = 0; n < geom.batch; ++n) {
+            float* dst_c = pout + n * chw + c * hw;
+            std::int64_t row = n * oh * ow;
+            for (std::int64_t oy = 0; oy < oh; ++oy) {
+              for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+                const float* src = pcols + row * patch + c * kk;
+                for (std::int64_t ky = 0; ky < geom.kernel; ++ky) {
+                  const std::int64_t iy = oy * geom.stride + ky - geom.pad;
+                  for (std::int64_t kx = 0; kx < geom.kernel; ++kx, ++src) {
+                    const std::int64_t ix = ox * geom.stride + kx - geom.pad;
+                    if (iy >= 0 && iy < geom.in_h && ix >= 0 &&
+                        ix < geom.in_w) {
+                      dst_c[iy * geom.in_w + ix] += *src;
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 }  // namespace nnr::tensor

@@ -1,0 +1,15 @@
+#include "tensor/workspace.h"
+
+namespace nnr::tensor {
+
+Tensor& Workspace::scratch(const void* owner, int slot, const Shape& shape) {
+  Tensor& t = slots_[{owner, slot}];
+  if (t.numel() == shape.numel() && t.shape().rank() > 0) {
+    if (!(t.shape() == shape)) t.reshape(shape);
+  } else {
+    t = Tensor(shape);
+  }
+  return t;
+}
+
+}  // namespace nnr::tensor

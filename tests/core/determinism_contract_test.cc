@@ -4,12 +4,16 @@
 //   2. ALGO on a deterministic device with pinned seeds is bitwise stable.
 //   3. IMPL replicates genuinely diverge on GPU devices.
 //   4. TPU removes IMPL noise entirely (inherently deterministic hardware).
+//   5. Host threading (NNR_THREADS) is invisible to the simulation: every
+//      run is bitwise identical for any worker count — the invariant that
+//      lets the blocked/threaded kernel engine coexist with the noise model.
 #include <gtest/gtest.h>
 
 #include "core/replicates.h"
 #include "core/trainer.h"
 #include "data/synth_images.h"
 #include "nn/zoo.h"
+#include "runtime/thread_pool.h"
 
 namespace nnr::core {
 namespace {
@@ -91,6 +95,37 @@ TEST_F(DeterminismContract, DeterministicModeRemovesImplNoiseOnGpu) {
   j.toggles_override = toggles;
   const auto results = run_replicates(j, 2, 1);
   EXPECT_EQ(results[0].final_weights, results[1].final_weights);
+}
+
+TEST_F(DeterminismContract, ControlIsInvariantToHostThreadCount) {
+  // CONTROL on a GPU goes through the deterministic (pairwise-tree) kernel
+  // menu — the blocked fast path. Training an entire replicate must be
+  // bitwise identical whether the host pool has 1 or 4 workers.
+  runtime::ThreadPool::set_global_threads(1);
+  const RunResult one = train_replicate(job(NoiseVariant::kControl,
+                                            hw::v100()), 0);
+  runtime::ThreadPool::set_global_threads(4);
+  const RunResult four = train_replicate(job(NoiseVariant::kControl,
+                                             hw::v100()), 0);
+  runtime::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(one.final_weights, four.final_weights)
+      << "host thread count leaked into CONTROL training";
+  EXPECT_EQ(one.test_predictions, four.test_predictions);
+}
+
+TEST_F(DeterminismContract, ImplNoiseIsInvariantToHostThreadCount) {
+  // Even with nondeterministic kernels, a given replicate id draws the same
+  // scheduler entropy sequence regardless of host threading: launches are
+  // issued in program order and the shuffled path runs the reference loop.
+  runtime::ThreadPool::set_global_threads(1);
+  const RunResult one =
+      train_replicate(job(NoiseVariant::kAlgoPlusImpl, hw::v100()), 3);
+  runtime::ThreadPool::set_global_threads(4);
+  const RunResult four =
+      train_replicate(job(NoiseVariant::kAlgoPlusImpl, hw::v100()), 3);
+  runtime::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(one.final_weights, four.final_weights)
+      << "host thread count leaked into the IMPL entropy stream";
 }
 
 TEST_F(DeterminismContract, TensorCoresStillNondeterministic) {

@@ -1,0 +1,254 @@
+// Determinism suite for the blocked GEMM engine and the lowering fast paths.
+//
+// The contract under test: for the fixed accumulation orders (kSequential,
+// kPairwiseTree) the blocked+packed+threaded engine must be *bitwise*
+// identical to the seed triple loop (gemm_nt_reference), for every shape —
+// including k = 0, k below the unroll width, and m/n that are not multiples
+// of the register tile — and for every host thread count. The shuffled order
+// must keep the seed loop's behaviour, including its entropy-stream
+// consumption (one shuffle draw per launch).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rng/generator.h"
+#include "runtime/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/workspace.h"
+
+namespace nnr::tensor {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  rng::Generator gen(seed);
+  Tensor t(shape);
+  for (float& v : t.data()) v = gen.normal();
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const char* what) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.at(i), b.at(i)) << what << " diverged at flat index " << i;
+  }
+}
+
+struct GemmCase {
+  std::int64_t m, n, k;
+};
+
+// Awkward shapes on purpose: k = 0, k below the 4-wide unroll, k with a
+// remainder, m/n off the 4x8 tile grid, and one comfortably blocked shape.
+const GemmCase kCases[] = {
+    {1, 1, 0},  {3, 5, 1},   {4, 8, 3},    {5, 7, 5},    {16, 24, 32},
+    {13, 17, 129}, {33, 9, 257}, {64, 64, 64}, {31, 130, 200},
+};
+
+TEST(GemmFastPath, BitwiseEqualToReferenceAllDeterministicOrders) {
+  const AccumOrder orders[] = {AccumOrder::kSequential,
+                               AccumOrder::kPairwiseTree};
+  const int core_counts[] = {0, 512, 5120, 100000};  // 1 .. many lanes
+  for (const GemmCase& c : kCases) {
+    const Tensor a = random_tensor(Shape{c.m, c.k}, 11 + c.m);
+    const Tensor b = random_tensor(Shape{c.n, c.k}, 23 + c.n);
+    for (AccumOrder order : orders) {
+      for (int cores : core_counts) {
+        const KernelPolicy policy{
+            .order = order, .cuda_cores = cores, .entropy = nullptr};
+        Tensor fast(Shape{c.m, c.n});
+        Tensor ref(Shape{c.m, c.n});
+        gemm_nt(a, b, fast, policy);
+        gemm_nt_reference(a, b, ref, policy);
+        expect_bitwise_equal(fast, ref, "gemm fast path");
+      }
+    }
+  }
+}
+
+TEST(GemmFastPath, ShuffledOrderKeepsSeedSemanticsAndEntropyStream) {
+  const Tensor a = random_tensor(Shape{12, 300}, 31);
+  const Tensor b = random_tensor(Shape{16, 300}, 37);
+  rng::Generator entropy_fast(99);
+  rng::Generator entropy_ref(99);
+  const KernelPolicy fast_policy{.order = AccumOrder::kShardedShuffled,
+                                 .cuda_cores = 5120,
+                                 .entropy = &entropy_fast};
+  const KernelPolicy ref_policy{.order = AccumOrder::kShardedShuffled,
+                                .cuda_cores = 5120,
+                                .entropy = &entropy_ref};
+  Tensor fast(Shape{12, 16});
+  Tensor ref(Shape{12, 16});
+  gemm_nt(a, b, fast, fast_policy);
+  gemm_nt_reference(a, b, ref, ref_policy);
+  expect_bitwise_equal(fast, ref, "shuffled gemm");
+  // Identical per-launch shuffle consumption: the streams must stay in
+  // lockstep after the launch (the IMPL noise model depends on it).
+  EXPECT_EQ(entropy_fast.next_u32(), entropy_ref.next_u32());
+}
+
+TEST(GemmFastPath, InvariantToHostThreadCount) {
+  const Tensor a = random_tensor(Shape{65, 200}, 41);
+  const Tensor b = random_tensor(Shape{130, 200}, 43);
+  const KernelPolicy policy{.order = AccumOrder::kPairwiseTree,
+                            .cuda_cores = 5120,
+                            .entropy = nullptr};
+  runtime::ThreadPool::set_global_threads(1);
+  Tensor c1(Shape{65, 130});
+  gemm_nt(a, b, c1, policy);
+  runtime::ThreadPool::set_global_threads(4);
+  Tensor c4(Shape{65, 130});
+  gemm_nt(a, b, c4, policy);
+  runtime::ThreadPool::set_global_threads(0);  // restore env default
+  expect_bitwise_equal(c1, c4, "gemm across NNR_THREADS");
+}
+
+TEST(TransposeTiled, MatchesNaiveOnOddShapes) {
+  const GemmCase shapes[] = {{1, 1, 0}, {7, 3, 0}, {33, 65, 0}, {129, 50, 0}};
+  for (const GemmCase& s : shapes) {
+    const Tensor in = random_tensor(Shape{s.m, s.n}, 53 + s.m);
+    Tensor out(Shape{s.n, s.m});
+    transpose(in, out);
+    for (std::int64_t i = 0; i < s.m; ++i) {
+      for (std::int64_t j = 0; j < s.n; ++j) {
+        ASSERT_EQ(out.at(j, i), in.at(i, j));
+      }
+    }
+  }
+}
+
+// Seed im2col semantics, restated element-by-element.
+void im2col_naive(const Tensor& input, const ConvGeometry& g, Tensor& cols) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  float* dst = cols.raw();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++dst) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              const bool inside =
+                  iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+              *dst = inside ? input.at(n, c, iy, ix) : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Seed col2im semantics: scatter-add in (n, oy, ox, c, ky, kx) order.
+void col2im_naive(const Tensor& cols, const ConvGeometry& g, Tensor& grad) {
+  grad.fill(0.0F);
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const float* src = cols.raw();
+  std::int64_t row = 0;
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++src) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                grad.at(n, c, iy, ix) += *src;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Im2colFastPath, BitwiseEqualToNaiveAcrossGeometries) {
+  const std::int64_t kernels[] = {1, 3, 5};
+  const std::int64_t strides[] = {1, 2};
+  const std::int64_t pads[] = {0, 1, 2};
+  for (std::int64_t kernel : kernels) {
+    for (std::int64_t stride : strides) {
+      for (std::int64_t pad : pads) {
+        const ConvGeometry g{.batch = 2,
+                             .in_channels = 3,
+                             .in_h = 11,
+                             .in_w = 9,
+                             .kernel = kernel,
+                             .stride = stride,
+                             .pad = pad};
+        if (g.out_h() <= 0 || g.out_w() <= 0) continue;
+        const Tensor input =
+            random_tensor(Shape{g.batch, g.in_channels, g.in_h, g.in_w},
+                          61 + static_cast<std::uint64_t>(kernel * 10 + pad));
+        Tensor cols(Shape{g.out_pixels(), g.patch_size()});
+        Tensor cols_naive(Shape{g.out_pixels(), g.patch_size()});
+        im2col(input, g, cols);
+        im2col_naive(input, g, cols_naive);
+        expect_bitwise_equal(cols, cols_naive, "im2col");
+
+        Tensor grad(Shape{g.batch, g.in_channels, g.in_h, g.in_w});
+        Tensor grad_naive(Shape{g.batch, g.in_channels, g.in_h, g.in_w});
+        col2im(cols, g, grad);
+        col2im_naive(cols, g, grad_naive);
+        expect_bitwise_equal(grad, grad_naive, "col2im");
+      }
+    }
+  }
+}
+
+TEST(Im2colFastPath, InvariantToHostThreadCount) {
+  const ConvGeometry g{.batch = 3,
+                       .in_channels = 4,
+                       .in_h = 16,
+                       .in_w = 16,
+                       .kernel = 3,
+                       .stride = 1,
+                       .pad = 1};
+  const Tensor input =
+      random_tensor(Shape{g.batch, g.in_channels, g.in_h, g.in_w}, 71);
+  runtime::ThreadPool::set_global_threads(1);
+  Tensor cols1(Shape{g.out_pixels(), g.patch_size()});
+  im2col(input, g, cols1);
+  Tensor grad1(Shape{g.batch, g.in_channels, g.in_h, g.in_w});
+  col2im(cols1, g, grad1);
+  runtime::ThreadPool::set_global_threads(4);
+  Tensor cols4(Shape{g.out_pixels(), g.patch_size()});
+  im2col(input, g, cols4);
+  Tensor grad4(Shape{g.batch, g.in_channels, g.in_h, g.in_w});
+  col2im(cols4, g, grad4);
+  runtime::ThreadPool::set_global_threads(0);
+  expect_bitwise_equal(cols1, cols4, "im2col across NNR_THREADS");
+  expect_bitwise_equal(grad1, grad4, "col2im across NNR_THREADS");
+}
+
+TEST(Workspace, ReusesStorageForEqualElementCounts) {
+  Workspace ws;
+  const int owner = 0;
+  Tensor& t1 = ws.scratch(&owner, 0, Shape{4, 8});
+  t1.fill(7.0F);
+  const float* data1 = t1.raw();
+  // Same element count, different shape: storage (and contents) persist.
+  Tensor& t2 = ws.scratch(&owner, 0, Shape{8, 4});
+  EXPECT_EQ(t2.raw(), data1);
+  EXPECT_EQ(t2.at(0), 7.0F);
+  EXPECT_EQ(t2.shape(), (Shape{8, 4}));
+  // Different element count: reallocated and zeroed.
+  Tensor& t3 = ws.scratch(&owner, 0, Shape{3, 3});
+  EXPECT_EQ(t3.numel(), 9);
+  EXPECT_EQ(t3.at(0), 0.0F);
+  // Distinct slots are distinct tensors.
+  Tensor& other = ws.scratch(&owner, 1, Shape{3, 3});
+  EXPECT_NE(other.raw(), t3.raw());
+  EXPECT_EQ(ws.slot_count(), 2U);
+}
+
+}  // namespace
+}  // namespace nnr::tensor

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the tree in Release and records the tensor perf trajectory to
+# BENCH_tensor.json at the repo root.
+#
+#   tools/run_bench.sh [build-dir]
+#
+# Env: NNR_QUICK=1 for smoke-test scale, NNR_THREADS to size the host pool.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-release}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+      -DNNR_BUILD_TESTS=OFF
+cmake --build "$build_dir" -j "$(nproc)" --target bench_micro_gemm
+
+"$build_dir/bench/bench_micro_gemm" "$repo_root/BENCH_tensor.json"
