@@ -7,58 +7,8 @@
 // algorithmic channel, so any divergence between replicates is attributable
 // to that channel alone. The ALL row is the paper's ALGO variant; NONE is
 // CONTROL (must be exactly zero on all measures).
-#include <optional>
-
 #include "bench_util.h"
 #include "core/table.h"
-#include "nn/zoo.h"
-
-namespace {
-
-using namespace nnr;
-
-struct ChannelCell {
-  const char* label;
-  core::ChannelToggles toggles;
-};
-
-std::vector<ChannelCell> channel_cells() {
-  using hw::DeterminismMode;
-  core::ChannelToggles base;  // all pinned
-  base.mode = DeterminismMode::kDeterministic;
-
-  std::vector<ChannelCell> cells;
-  {
-    core::ChannelToggles t = base;
-    t.init_varies = true;
-    cells.push_back({"init only", t});
-  }
-  {
-    core::ChannelToggles t = base;
-    t.shuffle_varies = true;
-    cells.push_back({"shuffle only", t});
-  }
-  {
-    core::ChannelToggles t = base;
-    t.augment_varies = true;
-    cells.push_back({"augment only", t});
-  }
-  {
-    core::ChannelToggles t = base;
-    t.dropout_varies = true;
-    cells.push_back({"dropout only", t});
-  }
-  {
-    core::ChannelToggles t = base;
-    t.init_varies = t.shuffle_varies = t.augment_varies = t.dropout_varies =
-        true;
-    cells.push_back({"ALL (= ALGO)", t});
-  }
-  cells.push_back({"NONE (= CONTROL)", base});
-  return cells;
-}
-
-}  // namespace
 
 int main() {
   using namespace nnr;
@@ -66,27 +16,20 @@ int main() {
                 "One varying algorithmic channel per cell, deterministic "
                 "kernels (V100); SmallCNN+dropout on the CIFAR-10 stand-in");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-  const auto replicates = core::env_int("NNR_REPLICATES", 10);
-
-  // The dropout channel needs a consumer: SmallCNN with a 0.3 dropout head.
-  core::Task task = core::small_cnn_cifar10();
-  task.name = "SmallCNN+dropout CIFAR-10";
-  task.make_model = [] { return nn::small_cnn_dropout(10, 0.3F); };
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_algo_channels")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
 
   core::TextTable table(
       {"Varying channel", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-  for (const ChannelCell& cell : channel_cells()) {
-    core::TrainJob job = task.job(core::NoiseVariant::kAlgo, hw::v100());
-    job.toggles_override = cell.toggles;
-    const auto results = core::run_replicates(job, replicates, threads);
-    const core::VariantSummary summary = core::summarize(results);
-    table.add_row({cell.label,
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const core::VariantSummary summary = core::summarize(result.cells[i]);
+    table.add_row({plan.cells()[i].task_name,
                    core::fmt_float(summary.accuracy_stddev_pct(), 3),
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 4)});
   }
-  nnr::bench::emit(table, "ablation_algo_channels", "t1",
+  bench::emit(table, "ablation_algo_channels", "t1",
               "ALGO channels in isolation");
   std::printf(
       "Expectations: every individual channel produces nonzero churn of the "

@@ -23,29 +23,17 @@ int main() {
                 "stddev(acc) / churn / L2 by architecture on the CIFAR-10 "
                 "stand-in (V100)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-
-  std::vector<core::Task> tasks;
-  tasks.push_back(core::small_cnn_cifar10());
-  tasks.push_back(core::small_cnn_bn_cifar10());
-  tasks.push_back(core::vgg_cifar10());
-  tasks.push_back(core::resnet18_cifar10());
-  tasks.push_back(core::mobilenet_cifar10());
-
-  std::vector<bench::CellSpec> cells;
-  for (const core::Task& task : tasks) {
-    for (const core::NoiseVariant v : bench::observed_variants()) {
-      cells.push_back({&task, v, hw::v100(), task.default_replicates});
-    }
-  }
-  const auto all_results = bench::run_cells(cells, threads);
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_architecture")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
 
   core::TextTable table(
       {"Architecture", "Variant", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto summary = core::summarize(all_results[i]);
-    table.add_row({cells[i].task->name,
-                   std::string(core::variant_name(cells[i].variant)),
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const sched::Cell& cell = plan.cells()[i];
+    const auto summary = core::summarize(result.cells[i]);
+    table.add_row({cell.task_name,
+                   std::string(core::variant_name(cell.job.variant)),
                    core::fmt_float(summary.accuracy_stddev_pct(), 3),
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 4)});

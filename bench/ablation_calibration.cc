@@ -30,26 +30,23 @@ int main() {
                 "ECE / confidence-gap spread over replicates per noise "
                 "variant (ResNet18 on the CIFAR-10 stand-in, V100)");
 
-  core::Task task = core::resnet18_cifar10();
-  const std::int64_t replicates = task.default_replicates;
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-
-  std::vector<bench::CellSpec> cells;
-  for (const core::NoiseVariant v : bench::observed_variants()) {
-    cells.push_back({&task, v, hw::v100(), replicates});
-  }
-  const auto results = bench::run_cells(cells, threads);
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_calibration")->make_plan();
+  const sched::StudyResult study = bench::run_study(plan);
 
   core::TextTable table({"Variant", "Mean ECE %", "STDDEV(ECE) %",
                          "Conf gap %", "Conf divergence %", "Churn %"});
-  for (std::size_t c = 0; c < cells.size(); ++c) {
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const sched::Cell& cell = plan.cells()[c];
+    const auto& results = study.cells;
+    const auto& labels = cell.job.dataset->test.labels;
     metrics::RunningStat ece;
     metrics::RunningStat gap;
     for (const core::RunResult& r : results[c]) {
       ece.add(metrics::expected_calibration_error(
-          r.test_confidences, r.test_predictions, task.dataset.test.labels));
+          r.test_confidences, r.test_predictions, labels));
       gap.add(metrics::confidence_gap(r.test_confidences, r.test_predictions,
-                                      task.dataset.test.labels));
+                                      labels));
     }
     metrics::RunningStat divergence;
     metrics::RunningStat churn;
@@ -61,7 +58,7 @@ int main() {
                                  results[c][j].test_predictions));
       }
     }
-    table.add_row({std::string(core::variant_name(cells[c].variant)),
+    table.add_row({std::string(core::variant_name(cell.job.variant)),
                    core::fmt_float(ece.mean() * 100.0, 2),
                    core::fmt_float(ece.stddev() * 100.0, 3),
                    core::fmt_float(gap.mean() * 100.0, 2),

@@ -18,25 +18,21 @@ int main() {
                 "Per-example flip-rate distribution (ResNet18 CIFAR-10, "
                 "V100)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-  const core::Task task = core::resnet18_cifar10();
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_churn_concentration")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
 
   core::TextTable table({"Variant", "Churn %", "Never flip %",
                          "Top-decile share %", "Gini"});
-  std::vector<bench::CellSpec> cells;
-  for (const core::NoiseVariant variant : bench::observed_variants()) {
-    cells.push_back({&task, variant, hw::v100(), task.default_replicates});
-  }
-  const auto all_results = bench::run_cells(cells, threads);
-  for (std::size_t i = 0; i < cells.size(); ++i) {
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
     std::vector<std::vector<std::int32_t>> predictions;
-    predictions.reserve(all_results[i].size());
-    for (const core::RunResult& r : all_results[i]) {
+    predictions.reserve(result.cells[i].size());
+    for (const core::RunResult& r : result.cells[i]) {
       predictions.push_back(r.test_predictions);
     }
     const auto rates = metrics::per_example_flip_rate(predictions);
     const auto conc = metrics::churn_concentration(rates);
-    table.add_row({std::string(core::variant_name(cells[i].variant)),
+    table.add_row({std::string(core::variant_name(plan.cells()[i].job.variant)),
                    core::fmt_float(conc.mean_flip_rate * 100.0, 2),
                    core::fmt_float(conc.frac_never_flip * 100.0, 1),
                    core::fmt_float(conc.top_decile_share * 100.0, 1),

@@ -46,21 +46,18 @@ int main() {
   const core::Scale scale = core::resolve_scale(
       /*replicates=*/10, /*epochs=*/10, /*train_n=*/1024, /*test_n=*/512);
 
-  core::Task task = core::small_cnn_bn_cifar10();
-  task.recipe.epochs = scale.epochs;
-
   // --- Part A: ensembling. ---
-  std::vector<bench::CellSpec> cells;
-  for (const core::NoiseVariant v : bench::observed_variants()) {
-    cells.push_back({&task, v, hw::v100(), scale.replicates});
-  }
-  const auto results = bench::run_cells(cells, scale.threads);
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_churn_reduction")->make_plan();
+  const sched::StudyResult study = bench::run_study(plan);
+  const auto& cells = plan.cells();
+  const auto& results = study.cells;
 
   core::TextTable ens({"Variant", "K=1 (baseline) %", "K=2 %", "K=3 %",
                        "K=5 %"});
   for (std::size_t c = 0; c < cells.size(); ++c) {
     std::vector<std::string> row{
-        std::string(core::variant_name(cells[c].variant)),
+        std::string(core::variant_name(cells[c].job.variant)),
         core::fmt_float(mean_pairwise_churn(results[c]) * 100.0, 2)};
     for (const std::size_t k : {std::size_t{2}, std::size_t{3},
                                 std::size_t{5}}) {
@@ -87,22 +84,29 @@ int main() {
                         "Parent->successor churn %"});
   const std::int64_t iterate_epochs = std::max<std::int64_t>(
       1, scale.epochs / 4);
+  // Successor retrains are themselves a plan: one warm-started cell per
+  // variant, replicate ids 1..3 (id 0 is the parent). The parent weights are
+  // part of the cache key, so a changed parent invalidates its successors.
+  sched::StudyPlan warm_plan("ablation_churn_reduction_warm");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    core::TrainJob job = cells[c].job;
+    job.recipe.epochs = iterate_epochs;
+    job.warm_start_weights = results[c][0].final_weights;
+    sched::Cell& cell = warm_plan.add_job("warm / " + cells[c].id,
+                                          cells[c].task_id, std::move(job), 3);
+    cell.explicit_ids = {{1, 1}, {2, 2}, {3, 3}};
+  }
+  const sched::StudyResult warm_study = bench::run_study(warm_plan);
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const double cold = mean_pairwise_churn(results[c]);
-    core::TrainJob job = task.job(cells[c].variant, cells[c].device);
-    job.recipe.epochs = iterate_epochs;
-    std::vector<core::RunResult> successors;
-    for (std::uint64_t r = 1; r <= 3; ++r) {
-      successors.push_back(core::train_warm_replicate(
-          job, r, results[c][0].final_weights));
-    }
+    const std::vector<core::RunResult>& successors = warm_study.cells[c];
     const double warm_pair = mean_pairwise_churn(successors);
     metrics::RunningStat drift;
     for (const core::RunResult& s : successors) {
       drift.add(metrics::churn(results[c][0].test_predictions,
                                s.test_predictions));
     }
-    warm.add_row({std::string(core::variant_name(cells[c].variant)),
+    warm.add_row({std::string(core::variant_name(cells[c].job.variant)),
                   core::fmt_float(cold * 100.0, 2),
                   core::fmt_float(warm_pair * 100.0, 2),
                   core::fmt_float(drift.mean() * 100.0, 2)});

@@ -9,6 +9,10 @@
 //     collective arrival order);
 //   - the deterministic tree collective + deterministic kernels restore
 //     bitwise reproducibility at any scale.
+//
+// Each (worker count, collective) configuration is one StudyPlan cell with a
+// custom runner; the runner id carries the configuration, so distributed
+// replicates are cacheable like any other cell.
 #include "bench_util.h"
 #include "core/table.h"
 #include "distributed/async_param_server.h"
@@ -22,54 +26,45 @@ int main() {
   const core::Scale scale = core::resolve_scale(8, 24, 512, 256);
   core::Task task = core::small_cnn_bn_cifar10();
   task.recipe.epochs = scale.epochs;
+  const std::string task_id = task.dataset.name + "|" + task.name;
+
+  // --- Part A: synchronous ring / tree collectives. ---
+  sched::StudyPlan plan("ablation_distributed");
+  struct RowSpec {
+    int workers;
+    const char* label;
+  };
+  std::vector<RowSpec> rows;
+  auto add_sync = [&](int workers, core::NoiseVariant variant,
+                      const char* label) {
+    sched::Cell& cell = plan.add_job(
+        "workers=" + std::to_string(workers) + " " + label, task_id,
+        task.job(variant, hw::v100()), scale.replicates);
+    cell.runner_id = "dist_ring_w" + std::to_string(workers);
+    cell.runner = [workers](const core::TrainJob& job,
+                            core::ReplicateIds ids) {
+      return distributed::train_replicate_distributed(
+          job, distributed::DistributedConfig{.workers = workers}, ids.algo);
+    };
+    rows.push_back({workers, label});
+  };
+  for (const int workers : {1, 2, 4, 8}) {
+    add_sync(workers, core::NoiseVariant::kImpl, "shuffled ring");
+  }
+  // Deterministic end-to-end at scale: IMPL toggles with deterministic mode.
+  add_sync(8, core::NoiseVariant::kControl, "fixed tree (control)");
+  const sched::StudyResult result = bench::run_study(plan);
 
   core::TextTable table(
       {"Workers", "Collective", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-
-  auto run_config = [&](int workers, core::NoiseVariant variant,
-                        const char* label) {
-    const core::TrainJob job = task.job(variant, hw::v100());
-    std::vector<core::RunResult> results(
-        static_cast<std::size_t>(scale.replicates));
-    // Replicates in parallel on the host (each replicate simulates its own
-    // worker pool).
-    std::vector<std::thread> pool;
-    std::atomic<std::int64_t> next{0};
-    auto worker_fn = [&]() {
-      for (;;) {
-        const std::int64_t r = next.fetch_add(1);
-        if (r >= scale.replicates) return;
-        results[static_cast<std::size_t>(r)] =
-            distributed::train_replicate_distributed(
-                job, distributed::DistributedConfig{.workers = workers},
-                static_cast<std::uint64_t>(r));
-      }
-    };
-    const int host_threads =
-        scale.threads > 0 ? scale.threads
-                          : static_cast<int>(std::thread::hardware_concurrency());
-    for (int t = 0; t < std::min<int>(host_threads,
-                                      static_cast<int>(scale.replicates));
-         ++t) {
-      pool.emplace_back(worker_fn);
-    }
-    for (std::thread& t : pool) t.join();
-
-    const auto summary = core::summarize(results);
-    table.add_row({std::to_string(workers), label,
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const auto summary = core::summarize(result.cells[c]);
+    table.add_row({std::to_string(rows[c].workers), rows[c].label,
                    core::fmt_float(summary.accuracy_stddev_pct(), 3),
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 4)});
-    std::fprintf(stderr, "  [dist] workers=%d %s done\n", workers, label);
-  };
-
-  for (const int workers : {1, 2, 4, 8}) {
-    run_config(workers, core::NoiseVariant::kImpl, "shuffled ring");
   }
-  // Deterministic end-to-end at scale: IMPL toggles with deterministic mode.
-  run_config(8, core::NoiseVariant::kControl, "fixed tree (control)");
-
-  nnr::bench::emit(table, "ablation_distributed", "t1",
+  bench::emit(table, "ablation_distributed", "t1",
               "Distributed ablation (IMPL noise only)");
   std::printf(
       "Expected shape: instability grows (or stays flat) with worker count "
@@ -78,54 +73,44 @@ int main() {
   // --- Part B: asynchronous parameter server (stale gradients) ---
   // Arrival-order noise here is algorithmic-scale (it permutes the SGD
   // update sequence), so it should dominate the synchronous rows above.
+  sched::StudyPlan async_plan("ablation_distributed_async");
+  std::vector<RowSpec> async_rows;
+  auto add_async = [&](int workers, bool shuffled, core::NoiseVariant variant,
+                       const char* label) {
+    sched::Cell& cell = async_plan.add_job(
+        "async workers=" + std::to_string(workers) + " " + label, task_id,
+        task.job(variant, hw::v100()), scale.replicates);
+    cell.runner_id = std::string("dist_async_w") + std::to_string(workers) +
+                     (shuffled ? "_shuffled" : "_roundrobin");
+    cell.runner = [workers, shuffled](const core::TrainJob& job,
+                                      core::ReplicateIds ids) {
+      return distributed::train_replicate_async(
+          job,
+          distributed::AsyncConfig{.workers = workers,
+                                   .shuffled_arrivals = shuffled},
+          ids.algo);
+    };
+    async_rows.push_back({workers, label});
+  };
+  for (const int workers : {2, 4, 8}) {
+    add_async(workers, /*shuffled=*/true, core::NoiseVariant::kImpl,
+              "shuffled");
+  }
+  add_async(8, /*shuffled=*/false, core::NoiseVariant::kControl,
+            "round-robin (control)");
+  const sched::StudyResult async_result = bench::run_study(async_plan);
+
   core::TextTable async_table(
       {"Workers", "Arrivals", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-  auto run_async = [&](int workers, bool shuffled,
-                       core::NoiseVariant variant, const char* label) {
-    const core::TrainJob job = task.job(variant, hw::v100());
-    std::vector<core::RunResult> results(
-        static_cast<std::size_t>(scale.replicates));
-    std::vector<std::thread> pool;
-    std::atomic<std::int64_t> next{0};
-    auto worker_fn = [&]() {
-      for (;;) {
-        const std::int64_t r = next.fetch_add(1);
-        if (r >= scale.replicates) return;
-        results[static_cast<std::size_t>(r)] =
-            distributed::train_replicate_async(
-                job,
-                distributed::AsyncConfig{.workers = workers,
-                                         .shuffled_arrivals = shuffled},
-                static_cast<std::uint64_t>(r));
-      }
-    };
-    const int host_threads =
-        scale.threads > 0
-            ? scale.threads
-            : static_cast<int>(std::thread::hardware_concurrency());
-    for (int t = 0;
-         t < std::min<int>(host_threads, static_cast<int>(scale.replicates));
-         ++t) {
-      pool.emplace_back(worker_fn);
-    }
-    for (std::thread& t : pool) t.join();
-
-    const auto summary = core::summarize(results);
-    async_table.add_row({std::to_string(workers), label,
+  for (std::size_t c = 0; c < async_plan.cells().size(); ++c) {
+    const auto summary = core::summarize(async_result.cells[c]);
+    async_table.add_row({std::to_string(async_rows[c].workers),
+                         async_rows[c].label,
                          core::fmt_float(summary.accuracy_stddev_pct(), 3),
                          core::fmt_float(summary.churn_pct(), 2),
                          core::fmt_float(summary.mean_l2, 4)});
-    std::fprintf(stderr, "  [async] workers=%d %s done\n", workers, label);
-  };
-
-  for (const int workers : {2, 4, 8}) {
-    run_async(workers, /*shuffled=*/true, core::NoiseVariant::kImpl,
-              "shuffled");
   }
-  run_async(8, /*shuffled=*/false, core::NoiseVariant::kControl,
-            "round-robin (control)");
-
-  nnr::bench::emit(async_table, "ablation_distributed", "t2",
+  bench::emit(async_table, "ablation_distributed", "t2",
               "Async parameter server (IMPL noise only)");
   std::printf(
       "Expected shape: async churn/L2 exceed the synchronous rows at every "

@@ -15,7 +15,6 @@
 // IMPL noise.
 #include "bench_util.h"
 #include "core/table.h"
-#include "nn/zoo.h"
 
 int main() {
   using namespace nnr;
@@ -23,46 +22,24 @@ int main() {
                 "Normalization kind and activation smoothness vs noise "
                 "(V100, CIFAR-10 stand-in)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-
   // Part A: normalization.
   {
-    struct NormCell {
-      const char* label;
-      nn::NormKind kind;
-    };
-    const NormCell norm_cells[] = {
-        {"none", nn::NormKind::kNone},
-        {"BatchNorm", nn::NormKind::kBatch},
-        {"GroupNorm", nn::NormKind::kGroup},
-    };
+    const sched::StudyPlan plan =
+        sched::find_study("ablation_model_design_norm")->make_plan();
+    const sched::StudyResult result = bench::run_study(plan);
     core::TextTable table(
         {"Normalization", "Variant", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-    std::vector<core::Task> tasks;
-    for (const NormCell& cell : norm_cells) {
-      core::Task task = core::small_cnn_cifar10();
-      task.name = cell.label;
-      const nn::NormKind kind = cell.kind;
-      task.make_model = [kind] { return nn::small_cnn_norm(10, kind); };
-      tasks.push_back(std::move(task));
-    }
-    std::vector<bench::CellSpec> cells;
-    for (const core::Task& task : tasks) {
-      for (const core::NoiseVariant variant : bench::observed_variants()) {
-        cells.push_back({&task, variant, hw::v100(), task.default_replicates});
-      }
-    }
-    const auto all_results = bench::run_cells(cells, threads);
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto summary = core::summarize(all_results[i]);
-      table.add_row({cells[i].task->name,
-                     std::string(core::variant_name(cells[i].variant)),
+    for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+      const sched::Cell& cell = plan.cells()[i];
+      const auto summary = core::summarize(result.cells[i]);
+      table.add_row({cell.task_name,
+                     std::string(core::variant_name(cell.job.variant)),
                      core::fmt_float(summary.accuracy_stddev_pct(), 3),
                      core::fmt_float(summary.churn_pct(), 2),
                      core::fmt_float(summary.mean_l2, 4)});
     }
-    nnr::bench::emit(table, "ablation_model_design", "t1",
-              "Part A: normalization kind");
+    bench::emit(table, "ablation_model_design", "t1",
+                "Part A: normalization kind");
     std::printf(
         "Expectation: both BN and GN damp instability relative to no "
         "normalization (the Fig. 2 effect is conditioning, not an artifact "
@@ -71,41 +48,19 @@ int main() {
 
   // Part B: activation smoothness under pure IMPL noise.
   {
-    struct ActCell {
-      const char* label;
-      nn::ActKind kind;
-    };
-    const ActCell act_cells[] = {
-        {"ReLU", nn::ActKind::kReLU},
-        {"SiLU", nn::ActKind::kSiLU},
-        {"GELU", nn::ActKind::kGELU},
-        {"Tanh", nn::ActKind::kTanh},
-    };
+    const sched::StudyPlan plan =
+        sched::find_study("ablation_model_design_act")->make_plan();
+    const sched::StudyResult result = bench::run_study(plan);
     core::TextTable table(
         {"Activation", "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-    std::vector<core::Task> tasks;
-    for (const ActCell& cell : act_cells) {
-      core::Task task = core::small_cnn_cifar10();
-      task.name = cell.label;
-      const nn::ActKind kind = cell.kind;
-      task.make_model = [kind] { return nn::small_cnn_activation(10, kind); };
-      tasks.push_back(std::move(task));
-    }
-    std::vector<bench::CellSpec> cells;
-    for (const core::Task& task : tasks) {
-      cells.push_back(
-          {&task, core::NoiseVariant::kImpl, hw::v100(),
-           task.default_replicates});
-    }
-    const auto all_results = bench::run_cells(cells, threads);
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto summary = core::summarize(all_results[i]);
-      table.add_row({cells[i].task->name,
+    for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+      const auto summary = core::summarize(result.cells[i]);
+      table.add_row({plan.cells()[i].task_name,
                      core::fmt_float(summary.accuracy_stddev_pct(), 3),
                      core::fmt_float(summary.churn_pct(), 2),
                      core::fmt_float(summary.mean_l2, 4)});
     }
-    nnr::bench::emit(table, "ablation_model_design", "t2",
+    bench::emit(table, "ablation_model_design", "t2",
                 "Part B: activation smoothness (IMPL only)");
     std::printf(
         "Expectation: smooth activations (SiLU/GELU/Tanh) show lower churn "

@@ -6,50 +6,8 @@
 // gradient perturbations adaptively, momentum low-pass-filters them, and
 // plain SGD passes them straight through. Same task, same seeds — only the
 // update rule changes — under ALGO and IMPL noise separately.
-#include <memory>
-
 #include "bench_util.h"
 #include "core/table.h"
-#include "opt/adam.h"
-#include "opt/rmsprop.h"
-#include "opt/sgd.h"
-
-namespace {
-
-using namespace nnr;
-
-struct OptimizerCell {
-  const char* label;
-  core::OptimizerFactory make;
-  float lr_scale;  // relative to the recipe LR (adaptive rules run hotter)
-};
-
-std::vector<OptimizerCell> optimizer_cells() {
-  return {
-      {"SGD",
-       [](std::vector<nn::Param*> p) {
-         return std::make_unique<opt::Sgd>(std::move(p));
-       },
-       1.0F},
-      {"SGD+momentum",
-       [](std::vector<nn::Param*> p) {
-         return std::make_unique<opt::Sgd>(std::move(p), 0.9F);
-       },
-       1.0F},
-      {"Adam",
-       [](std::vector<nn::Param*> p) {
-         return std::make_unique<opt::Adam>(std::move(p));
-       },
-       0.5F},
-      {"RMSProp",
-       [](std::vector<nn::Param*> p) {
-         return std::make_unique<opt::RmsProp>(std::move(p));
-       },
-       0.5F},
-  };
-}
-
-}  // namespace
 
 int main() {
   using namespace nnr;
@@ -57,29 +15,23 @@ int main() {
                 "SGD / SGD+momentum / Adam / RMSProp under ALGO and IMPL "
                 "noise (SmallCNN+BN, V100)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-  core::Task base_task = core::small_cnn_bn_cifar10();
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_optimizer")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
 
   core::TextTable table({"Optimizer", "Variant", "Mean acc %",
                          "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-  for (const OptimizerCell& cell : optimizer_cells()) {
-    for (const core::NoiseVariant variant :
-         {core::NoiseVariant::kAlgo, core::NoiseVariant::kImpl}) {
-      core::TrainJob job = base_task.job(variant, hw::v100());
-      job.make_optimizer = cell.make;
-      job.recipe.base_lr *= cell.lr_scale;
-      const auto results =
-          core::run_replicates(job, base_task.default_replicates, threads);
-      const core::VariantSummary summary = core::summarize(results);
-      table.add_row({cell.label,
-                     std::string(core::variant_name(variant)),
-                     core::fmt_float(summary.accuracy_pct(), 2),
-                     core::fmt_float(summary.accuracy_stddev_pct(), 3),
-                     core::fmt_float(summary.churn_pct(), 2),
-                     core::fmt_float(summary.mean_l2, 4)});
-    }
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const sched::Cell& cell = plan.cells()[i];
+    const core::VariantSummary summary = core::summarize(result.cells[i]);
+    table.add_row({cell.task_name,
+                   std::string(core::variant_name(cell.job.variant)),
+                   core::fmt_float(summary.accuracy_pct(), 2),
+                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                   core::fmt_float(summary.churn_pct(), 2),
+                   core::fmt_float(summary.mean_l2, 4)});
   }
-  nnr::bench::emit(table, "ablation_optimizer", "t1",
+  bench::emit(table, "ablation_optimizer", "t1",
               "Optimizer choice as a noise modulator");
   std::printf(
       "Expectations: all optimizers keep comparable mean accuracy; the "

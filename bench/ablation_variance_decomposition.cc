@@ -90,45 +90,31 @@ int main() {
       std::max<std::int64_t>(2, core::env_int("NNR_GRID", 5));
   task.recipe.epochs = scale.epochs;
 
-  // --- Part 1: the factorial grid. ---
-  const core::TrainJob grid_job =
-      task.job(core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  // --- Part 1: the factorial grid — one cell whose replicate schedule is
+  // the full (algo seed x impl seed) cross product via explicit ids. ---
   std::vector<std::vector<double>> acc_grid(
       static_cast<std::size_t>(grid),
       std::vector<double>(static_cast<std::size_t>(grid), 0.0));
   {
-    // Flatten the grid onto the host pool by hand (cells, not replicates).
-    struct Cell {
-      std::uint64_t a, i;
-    };
-    std::vector<Cell> cells;
+    sched::StudyPlan factorial("ablation_variance_decomposition_factorial");
+    sched::Cell& cell = factorial.add_job(
+        "factorial " + std::to_string(grid) + "x" + std::to_string(grid),
+        task.dataset.name + "|" + task.name,
+        task.job(core::NoiseVariant::kAlgoPlusImpl, hw::v100()), grid * grid);
     for (std::int64_t a = 0; a < grid; ++a) {
       for (std::int64_t i = 0; i < grid; ++i) {
-        cells.push_back({static_cast<std::uint64_t>(a),
-                         static_cast<std::uint64_t>(i)});
+        cell.explicit_ids.push_back({static_cast<std::uint64_t>(a),
+                                     static_cast<std::uint64_t>(i)});
       }
     }
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const std::size_t k = next.fetch_add(1);
-        if (k >= cells.size()) return;
-        const core::RunResult r = core::train_replicate(
-            grid_job, core::ReplicateIds{cells[k].a, cells[k].i});
-        acc_grid[cells[k].a][cells[k].i] = r.test_accuracy;
+    const sched::StudyResult factorial_result = bench::run_study(factorial);
+    for (std::int64_t a = 0; a < grid; ++a) {
+      for (std::int64_t i = 0; i < grid; ++i) {
+        acc_grid[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] =
+            factorial_result.cells[0][static_cast<std::size_t>(a * grid + i)]
+                .test_accuracy;
       }
-    };
-    std::vector<std::thread> pool;
-    const int n_workers = scale.threads > 0
-                              ? scale.threads
-                              : static_cast<int>(
-                                    std::thread::hardware_concurrency());
-    for (int t = 0; t < std::min<int>(n_workers,
-                                      static_cast<int>(cells.size()));
-         ++t) {
-      pool.emplace_back(worker);
     }
-    for (std::thread& t : pool) t.join();
   }
 
   const stats::TwoWayAnova anova = stats::two_way_anova(acc_grid);
@@ -157,12 +143,12 @@ int main() {
                           std::to_string(grid) + "x" + std::to_string(grid) +
                           " (algo x impl) seed grid  [SS scaled by 1e4]");
 
-  // --- Part 2: per-variant error bars. ---
-  std::vector<bench::CellSpec> cells;
-  for (const core::NoiseVariant v : bench::observed_variants()) {
-    cells.push_back({&task, v, hw::v100(), scale.replicates});
-  }
-  const auto results = bench::run_cells(cells, scale.threads);
+  // --- Part 2: per-variant error bars (the registry's per-variant grid,
+  // which applies the same scale/epoch resolution as this bench). ---
+  const sched::StudyPlan plan =
+      sched::find_study("ablation_variance_decomposition")->make_plan();
+  const auto& cells = plan.cells();
+  const auto results = bench::run_study(plan).cells;
 
   rng::Generator boot_gen(0xB007);
   core::TextTable ci_table({"Variant", "STDDEV(Acc) % [95% CI]",
@@ -175,7 +161,7 @@ int main() {
         stats::bootstrap_pairwise_ci(churn_matrix(results[c]), 2000, 0.95,
                                      boot_gen);
     ci_table.add_row(
-        {std::string(core::variant_name(cells[c].variant)),
+        {std::string(core::variant_name(cells[c].job.variant)),
          core::fmt_pct(sd_ci.point * 100.0, 2) + " [" +
              core::fmt_pct(sd_ci.lo * 100.0, 2) + ", " +
              core::fmt_pct(sd_ci.hi * 100.0, 2) + "]",

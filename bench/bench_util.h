@@ -1,4 +1,12 @@
 // Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench builds its experiment grid as a sched::StudyPlan (usually via
+// the named-study registry) and runs it through bench::run_study, which
+// schedules the flattened (cell, replicate) grid on the shared
+// runtime::ThreadPool and serves replicates from the persistent cache when
+// NNR_CACHE_DIR is set. Thread sizing follows one precedence everywhere:
+// --threads flag (tools resize the pool before running) > NNR_THREADS >
+// hardware concurrency.
 #pragma once
 
 #include <cstdio>
@@ -6,85 +14,41 @@
 #include <vector>
 
 #include "core/env.h"
-#include "core/replicates.h"
 #include "core/study.h"
 #include "core/table.h"
 #include "core/tasks.h"
 #include "report/exporter.h"
-
-#include <atomic>
-#include <thread>
+#include "sched/registry.h"
+#include "sched/replicate_cache.h"
+#include "sched/scheduler.h"
+#include "sched/study_plan.h"
 
 namespace nnr::bench {
 
-/// Runs `replicates` training runs of `task` on `device` under `variant`
-/// and returns the aggregated stability summary.
-inline core::VariantSummary run_cell(const core::Task& task,
-                                     core::NoiseVariant variant,
-                                     const hw::DeviceSpec& device,
-                                     std::int64_t replicates, int threads) {
-  const core::TrainJob job = task.job(variant, device);
-  const auto results = core::run_replicates(job, replicates, threads);
-  return core::summarize(results);
-}
-
-/// One experiment cell of a sweep: (task, variant, device, replicates).
-/// Tasks are referenced, not copied — keep them alive across the run.
-struct CellSpec {
-  const core::Task* task = nullptr;
-  core::NoiseVariant variant = core::NoiseVariant::kAlgoPlusImpl;
-  hw::DeviceSpec device;
-  std::int64_t replicates = 10;
-};
-
-/// Runs every replicate of every cell on one shared host-thread pool — the
-/// (cell, replicate) grid is flattened so the pool stays saturated even when
-/// a single cell has fewer replicates than cores. Results per cell are in
-/// replicate order (replicate index semantics identical to run_replicates).
-inline std::vector<std::vector<core::RunResult>> run_cells(
-    const std::vector<CellSpec>& cells, int threads = 0) {
-  struct WorkItem {
-    std::size_t cell;
-    std::uint64_t replicate;
-  };
-  std::vector<WorkItem> items;
-  std::vector<std::vector<core::RunResult>> results(cells.size());
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    results[c].resize(static_cast<std::size_t>(cells[c].replicates));
-    for (std::int64_t r = 0; r < cells[c].replicates; ++r) {
-      items.push_back({c, static_cast<std::uint64_t>(r)});
-    }
-  }
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= items.size()) return;
-      const WorkItem& item = items[i];
-      const CellSpec& cell = cells[item.cell];
-      const core::TrainJob job = cell.task->job(cell.variant, cell.device);
-      results[item.cell][item.replicate] =
-          core::train_replicate(job, item.replicate);
-    }
-  };
-  std::vector<std::thread> pool;
-  const int n_workers = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(threads), items.size()));
-  pool.reserve(static_cast<std::size_t>(n_workers));
-  for (int t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  return results;
-}
-
 /// The three observed variants in the paper's presentation order.
 inline const std::vector<core::NoiseVariant>& observed_variants() {
-  static const std::vector<core::NoiseVariant> variants = {
-      core::NoiseVariant::kAlgoPlusImpl, core::NoiseVariant::kAlgo,
-      core::NoiseVariant::kImpl};
-  return variants;
+  return sched::observed_variants();
+}
+
+/// Process-wide replicate cache configured from NNR_CACHE_DIR (disabled when
+/// unset).
+inline sched::ReplicateCache& cache() {
+  static sched::ReplicateCache c = sched::ReplicateCache::from_env();
+  return c;
+}
+
+/// Runs `plan` on the shared host pool. Cache activity is reported on
+/// stderr, never in the tables, so a warm-cache rerun emits byte-identical
+/// artifacts (the cache-validity contract).
+inline sched::StudyResult run_study(const sched::StudyPlan& plan) {
+  sched::RunOptions opts;
+  if (cache().enabled()) opts.cache = &cache();
+  sched::StudyResult result = sched::run_plan(plan, opts);
+  if (cache().enabled()) {
+    std::fprintf(stderr, "[cache %s] %s\n", plan.name().c_str(),
+                 sched::cache_stats_line(result).c_str());
+  }
+  return result;
 }
 
 /// Standard bench banner: what is being reproduced and at what scale.
@@ -92,7 +56,8 @@ inline void banner(const char* figure, const char* description) {
   std::printf("== %s ==\n%s\n", figure, description);
   std::printf(
       "(scaled reproduction: synthetic data + simulated accelerators; see "
-      "DESIGN.md. Scale via NNR_REPLICATES/NNR_EPOCHS/NNR_TRAIN_N/NNR_QUICK)\n\n");
+      "DESIGN.md. Scale via NNR_REPLICATES/NNR_EPOCHS/NNR_TRAIN_N/NNR_QUICK; "
+      "set NNR_CACHE_DIR to reuse replicates across benches)\n\n");
 }
 
 /// Process-wide exporter configured from NNR_OUT_DIR (no-op when unset).
@@ -104,7 +69,8 @@ inline report::Exporter& exporter() {
 /// Prints `table` to stdout and, when NNR_OUT_DIR is set, writes
 /// `<experiment>_<slug>.{txt,csv,json}` plus an index.json entry. Every
 /// bench table goes through here so a single env var turns a bench run into
-/// plot-ready artifacts.
+/// plot-ready artifacts. Slugs may be raw display names — the exporter
+/// sanitizes filenames uniformly.
 inline void emit(const core::TextTable& table, const char* experiment,
                  const std::string& slug, const std::string& title = "") {
   std::printf("%s\n", table.render(title).c_str());

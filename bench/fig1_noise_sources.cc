@@ -5,7 +5,8 @@
 // Paper reference (V100): ALGO contributes more churn/L2 than IMPL for most
 // tasks, but both are significant; SmallCNN (no BN) is the noisiest cell;
 // combined ALGO+IMPL is sub-additive.
-#include <cctype>
+#include <algorithm>
+
 #include "bench_util.h"
 #include "core/table.h"
 
@@ -15,44 +16,32 @@ int main() {
                 "stddev(acc) / churn / L2 by noise source (V100; set "
                 "NNR_APPENDIX=1 to add the P100 and RTX5000 appendix runs)");
 
-  std::vector<hw::DeviceSpec> devices = {hw::v100()};
-  if (core::env_int("NNR_APPENDIX", 0) != 0) {
-    devices.push_back(hw::p100());     // Appendix Fig. 9
-    devices.push_back(hw::rtx5000());  // Appendix Fig. 10
-  }
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  const sched::StudyPlan plan = sched::find_study("fig1")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
 
-  std::vector<core::Task> tasks;
-  tasks.push_back(core::small_cnn_cifar10());
-  tasks.push_back(core::resnet18_cifar10());
-  tasks.push_back(core::resnet18_cifar100());
-  tasks.push_back(core::resnet50_imagenet());  // V100 only in the paper
-
-  for (const hw::DeviceSpec& device : devices) {
-    const bool include_imagenet = device.name == "V100";
-    std::vector<bench::CellSpec> cells;
-    for (const core::Task& task : tasks) {
-      if (!include_imagenet && task.name == "ResNet50 ImageNet") continue;
-      for (const core::NoiseVariant variant : bench::observed_variants()) {
-        cells.push_back({&task, variant, device, task.default_replicates});
-      }
+  // One table per device, in first-seen cell order.
+  std::vector<std::string> devices;
+  for (const sched::Cell& cell : plan.cells()) {
+    if (std::find(devices.begin(), devices.end(), cell.job.device.name) ==
+        devices.end()) {
+      devices.push_back(cell.job.device.name);
     }
-    const auto all_results = bench::run_cells(cells, threads);
-
+  }
+  for (const std::string& device : devices) {
     core::TextTable table({"Task", "Variant", "STDDEV(Acc) %", "Churn %",
                            "L2 Norm"});
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const auto summary = core::summarize(all_results[i]);
-      table.add_row({cells[i].task->name,
-                     std::string(core::variant_name(cells[i].variant)),
+    for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+      const sched::Cell& cell = plan.cells()[i];
+      if (cell.job.device.name != device) continue;
+      const auto summary = core::summarize(result.cells[i]);
+      table.add_row({cell.task_name,
+                     std::string(core::variant_name(cell.job.variant)),
                      core::fmt_float(summary.accuracy_stddev_pct(), 3),
                      core::fmt_float(summary.churn_pct(), 2),
                      core::fmt_float(summary.mean_l2, 4)});
     }
-    std::string slug = device.name;
-    for (char& c : slug) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
-    nnr::bench::emit(table, "fig1_noise_sources", slug,
-                "Figure 1 (" + device.name + ")");
+    bench::emit(table, "fig1_noise_sources", device,
+                "Figure 1 (" + device + ")");
   }
   std::printf(
       "Paper (V100, full scale): SmallCNN churn ~25-30%% / L2 ~1.4; ResNet18 "

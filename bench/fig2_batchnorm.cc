@@ -11,29 +11,21 @@ int main() {
   bench::banner("Figure 2",
                 "SmallCNN +/- BatchNorm: stddev(acc) / churn / L2 (V100)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  const sched::StudyPlan plan = sched::find_study("fig2")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
+
   core::TextTable table({"Model", "Variant", "STDDEV(Acc) %", "Churn %",
                          "L2 Norm"});
-
-  std::vector<core::Task> tasks;
-  tasks.push_back(core::small_cnn_cifar10());      // w/o BN
-  tasks.push_back(core::small_cnn_bn_cifar10());   // w/ BN
-  std::vector<bench::CellSpec> cells;
-  for (const core::Task& task : tasks) {
-    for (const core::NoiseVariant variant : bench::observed_variants()) {
-      cells.push_back({&task, variant, hw::v100(), task.default_replicates});
-    }
-  }
-  const auto all_results = bench::run_cells(cells, threads);
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto summary = core::summarize(all_results[i]);
-    table.add_row({cells[i].task->name,
-                   std::string(core::variant_name(cells[i].variant)),
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const sched::Cell& cell = plan.cells()[i];
+    const auto summary = core::summarize(result.cells[i]);
+    table.add_row({cell.task_name,
+                   std::string(core::variant_name(cell.job.variant)),
                    core::fmt_float(summary.accuracy_stddev_pct(), 3),
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 4)});
   }
-  nnr::bench::emit(table, "fig2_batchnorm", "t1",
+  bench::emit(table, "fig2_batchnorm", "t1",
               "Figure 2: the role of BatchNorm");
   std::printf("Paper: stddev(acc) 0.86%% without BN vs 0.30%% with BN; all "
               "three instability measures shrink with BN.\n");

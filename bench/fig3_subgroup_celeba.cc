@@ -65,16 +65,20 @@ int main() {
   const std::vector<std::uint8_t> old = complement(young);
   const std::vector<std::uint8_t> all;  // empty mask = everyone
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  // One cell per variant; the 2-class CelebA wrapper is not a registry task,
+  // so the plan owns it locally.
+  sched::StudyPlan plan("fig3_subgroup_celeba");
+  const core::Task& owned = plan.own_task(std::move(task));
+  for (const core::NoiseVariant variant : bench::observed_variants()) {
+    plan.add_cell(owned, variant, hw::v100(), scale.replicates);
+  }
+  const sched::StudyResult result = bench::run_study(plan);
+
   core::TextTable table({"Variant", "Metric", "All", "Male", "Female",
                          "Young", "Old"});
-
-  for (const core::NoiseVariant variant : bench::observed_variants()) {
-    const core::TrainJob job = task.job(variant, hw::v100());
-    const auto results =
-        core::run_replicates(job, scale.replicates, threads);
-    std::fprintf(stderr, "  [fig3] %s trained\n",
-                 std::string(core::variant_name(variant)).c_str());
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const core::NoiseVariant variant = plan.cells()[c].job.variant;
+    const auto& results = result.cells[c];
 
     auto stats_for = [&](const std::vector<std::uint8_t>& mask) {
       return core::subgroup_stability(results, celeba.test.target, mask);

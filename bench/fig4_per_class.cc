@@ -14,35 +14,27 @@ int main() {
   bench::banner("Figure 4",
                 "Per-class accuracy stddev vs overall stddev (V100)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
+  const sched::StudyPlan plan = sched::find_study("fig4")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
+
   core::TextTable table({"Task", "Variant", "Overall stddev %",
                          "Max per-class stddev %", "Median per-class %",
                          "Amplification"});
-
-  std::vector<core::Task> tasks;
-  tasks.push_back(core::resnet18_cifar10());
-  tasks.push_back(core::resnet18_cifar100());
-  std::vector<bench::CellSpec> cells;
-  for (const core::Task& task : tasks) {
-    for (const core::NoiseVariant variant : bench::observed_variants()) {
-      cells.push_back({&task, variant, hw::v100(), task.default_replicates});
-    }
-  }
-  const auto all_results = bench::run_cells(cells, threads);
-  for (std::size_t i = 0; i < cells.size(); ++i) {
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const sched::Cell& cell = plan.cells()[i];
     const core::PerClassVariance pcv =
-        core::per_class_variance(all_results[i], cells[i].task->dataset.test);
+        core::per_class_variance(result.cells[i], cell.job.dataset->test);
     std::vector<double> sorted = pcv.per_class_stddev_pct;
     std::sort(sorted.begin(), sorted.end());
     const double median = sorted[sorted.size() / 2];
-    table.add_row({cells[i].task->name,
-                   std::string(core::variant_name(cells[i].variant)),
+    table.add_row({cell.task_name,
+                   std::string(core::variant_name(cell.job.variant)),
                    core::fmt_float(pcv.overall_stddev_pct, 3),
                    core::fmt_float(pcv.max_per_class_stddev_pct(), 3),
                    core::fmt_float(median, 3),
                    core::fmt_float(pcv.amplification(), 1) + "x"});
   }
-  nnr::bench::emit(table, "fig4_per_class", "t1",
+  bench::emit(table, "fig4_per_class", "t1",
               "Figure 4: per-class variance amplification");
   std::printf("Paper: amplification up to 4x on CIFAR-10 and 23x on "
               "CIFAR-100, for all of ALGO+IMPL / ALGO / IMPL.\n");

@@ -15,31 +15,24 @@ int main() {
                 "stddev(acc) / churn / L2 across accelerators "
                 "(ResNet18, CIFAR-100*)");
 
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-  const core::Task task = core::resnet18_cifar100();
+  // On the TPU the IMPL variant is fully deterministic; it still runs so
+  // the zero-noise row is visible, as in the paper's plot.
+  const sched::StudyPlan plan = sched::find_study("fig5")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
+
   core::TextTable table({"Accelerator", "Variant", "STDDEV(Acc) %", "Churn %",
                          "L2 Norm"});
-
-  std::vector<bench::CellSpec> cells;
-  for (const hw::DeviceSpec& device : hw::all_devices()) {
-    if (device.name == "T4") continue;  // paper Fig. 5 omits T4
-    for (const core::NoiseVariant variant : bench::observed_variants()) {
-      // On the TPU the IMPL variant is fully deterministic; it still runs so
-      // the zero-noise row is visible, as in the paper's plot.
-      cells.push_back({&task, variant, device, task.default_replicates});
-    }
-  }
-  const auto all_results = bench::run_cells(cells, threads);
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto summary = core::summarize(all_results[i]);
-    table.add_row({cells[i].device.name,
-                   std::string(core::variant_name(cells[i].variant)),
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const sched::Cell& cell = plan.cells()[i];
+    const auto summary = core::summarize(result.cells[i]);
+    table.add_row({cell.job.device.name,
+                   std::string(core::variant_name(cell.job.variant)),
                    core::fmt_float(summary.accuracy_stddev_pct(), 3),
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 4)});
   }
 
-  nnr::bench::emit(table, "fig5_hardware", "t1",
+  bench::emit(table, "fig5_hardware", "t1",
               "Figure 5: divergence by accelerator");
   std::printf(
       "Paper: V100 has the largest IMPL churn/L2 among GPUs; RTX5000 TC "

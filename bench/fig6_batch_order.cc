@@ -25,7 +25,6 @@ int main() {
   const core::Scale scale = core::resolve_scale(10, 60, 512, 256);
   const data::ClassificationDataset dataset =
       data::synth_cifar10(scale.train_n, scale.test_n);
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
 
   // Only the shuffle channel varies; init/augment/dropout pinned; TPU
   // hardware (deterministic given layout).
@@ -33,8 +32,9 @@ int main() {
   order_only.shuffle_varies = true;
   order_only.mode = hw::DeterminismMode::kDefault;
 
-  core::TextTable table({"Batch size", "Churn %", "L2 Norm",
-                         "STDDEV(Acc) %", "Mean acc %"});
+  // One probe cell per batch size; batch size and LR are recipe content, so
+  // each cell hashes to its own cache key.
+  sched::StudyPlan plan("fig6_batch_order");
   const std::int64_t full = dataset.train.size();
   for (const std::int64_t batch : {full / 16, full / 4, full}) {
     core::TrainJob job;
@@ -49,16 +49,21 @@ int main() {
     job.recipe.augment = false;  // keep augment channel fully out of play
     job.device = hw::tpu_v2();
     job.toggles_override = order_only;
+    plan.add_job("batch=" + std::to_string(batch),
+                 dataset.name + "|smallcnn_bn order-probe", std::move(job),
+                 scale.replicates);
+  }
+  const sched::StudyResult result = bench::run_study(plan);
 
-    const auto results = core::run_replicates(job, scale.replicates, threads);
-    const auto summary = core::summarize(results);
-    table.add_row({std::to_string(batch),
+  core::TextTable table({"Batch size", "Churn %", "L2 Norm",
+                         "STDDEV(Acc) %", "Mean acc %"});
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const auto summary = core::summarize(result.cells[c]);
+    table.add_row({std::to_string(plan.cells()[c].job.recipe.batch_size),
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 6),
                    core::fmt_float(summary.accuracy_stddev_pct(), 3),
                    core::fmt_pct(summary.accuracy_pct(), 2)});
-    std::fprintf(stderr, "  [fig6] batch %lld done\n",
-                 static_cast<long long>(batch));
   }
 
   nnr::bench::emit(table, "fig6_batch_order", "t1",

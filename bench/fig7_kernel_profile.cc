@@ -5,7 +5,6 @@
 // Paper reference: deterministic mode concentrates time in a narrower set of
 // kernels ("the compiler is forced to use a narrow range of kernels"),
 // visible as a more skewed distribution.
-#include <cctype>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -49,11 +48,11 @@ int main() {
       const char* mode_name = mode == DeterminismMode::kDefault
                                   ? "TF Default Mode"
                                   : "TF Deterministic Mode";
-      std::string slug = net.name + (mode == DeterminismMode::kDefault
-                                         ? "_default"
-                                         : "_deterministic");
-      for (char& c : slug) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
-      nnr::bench::emit(table, "fig7_kernel_profile", slug,
+      // The exporter sanitizes slugs; the raw display name is fine here.
+      nnr::bench::emit(table, "fig7_kernel_profile",
+                  net.name + (mode == DeterminismMode::kDefault
+                                  ? "_default"
+                                  : "_deterministic"),
                   net.name + " - " + mode_name);
       std::printf("distinct kernel types: %zu; top-1 share of GPU time: %s\n\n",
                   aggregated.size(),

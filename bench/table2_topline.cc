@@ -14,30 +14,10 @@ int main() {
   bench::banner("Table 2",
                 "Test accuracy ± stddev per (hardware, task, noise variant)");
 
-  const std::vector<hw::DeviceSpec> devices = {hw::p100(), hw::rtx5000(),
-                                               hw::v100()};
-  std::vector<core::Task> tasks;
-  tasks.push_back(core::small_cnn_cifar10());
-  tasks.push_back(core::resnet18_cifar10());
-  tasks.push_back(core::resnet18_cifar100());
-  const core::Task imagenet = core::resnet50_imagenet();
-
-  // Flatten the full (device, task, variant) grid into one pooled run.
-  std::vector<bench::CellSpec> cells;
-  for (const hw::DeviceSpec& device : devices) {
-    for (const core::Task& task : tasks) {
-      for (const core::NoiseVariant variant : bench::observed_variants()) {
-        cells.push_back({&task, variant, device, task.default_replicates});
-      }
-    }
-  }
-  for (const core::NoiseVariant variant : bench::observed_variants()) {
-    cells.push_back({&imagenet, variant, hw::v100(),
-                     imagenet.default_replicates});
-  }
-
-  const int threads = static_cast<int>(core::env_int("NNR_THREADS", 0));
-  const auto all_results = bench::run_cells(cells, threads);
+  // The registry plan is (device, task, variant)-major with the ImageNet
+  // V100 cells appended — consecutive triples of cells form one table row.
+  const sched::StudyPlan plan = sched::find_study("table2")->make_plan();
+  const sched::StudyResult result = bench::run_study(plan);
 
   auto accuracy_cell = [](const core::VariantSummary& s) {
     return core::fmt_pct(s.accuracy_pct(), 2) + " +/- " +
@@ -45,25 +25,16 @@ int main() {
   };
 
   core::TextTable table({"Hardware", "Task", "ALGO+IMPL", "ALGO", "IMPL"});
-  std::size_t cell_index = 0;
-  for (const hw::DeviceSpec& device : devices) {
-    for (const core::Task& task : tasks) {
-      std::vector<std::string> row = {device.name, task.name};
-      for (std::size_t v = 0; v < 3; ++v) {
-        row.push_back(accuracy_cell(core::summarize(all_results[cell_index++])));
-      }
-      table.add_row(std::move(row));
-    }
-  }
-  {
-    std::vector<std::string> row = {"V100", imagenet.name};
+  for (std::size_t i = 0; i + 2 < plan.cells().size(); i += 3) {
+    const sched::Cell& cell = plan.cells()[i];
+    std::vector<std::string> row = {cell.job.device.name, cell.task_name};
     for (std::size_t v = 0; v < 3; ++v) {
-      row.push_back(accuracy_cell(core::summarize(all_results[cell_index++])));
+      row.push_back(accuracy_cell(core::summarize(result.cells[i + v])));
     }
     table.add_row(std::move(row));
   }
 
-  nnr::bench::emit(table, "table2_topline", "t1",
+  bench::emit(table, "table2_topline", "t1",
               "Table 2: test accuracy +/- stddev (%)");
   std::printf("Paper (full scale): max stddev 0.91%% (SmallCNN), min 0.05%% "
               "(ResNet50-ImageNet); variants differ by < 1%% within a cell.\n");

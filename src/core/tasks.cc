@@ -88,4 +88,40 @@ Task mobilenet_cifar10() {
   return task;
 }
 
+const std::vector<TaskInfo>& task_registry() {
+  static const std::vector<TaskInfo> registry = {
+      {"smallcnn", "SmallCNN (no BN) on the CIFAR-10 stand-in",
+       small_cnn_cifar10},
+      {"smallcnn_bn", "SmallCNN+BN on the CIFAR-10 stand-in",
+       small_cnn_bn_cifar10},
+      {"smallcnn_dropout",
+       "SmallCNN with a 0.3-dropout head (exercises the dropout channel)",
+       [] {
+         Task task = small_cnn_cifar10();
+         task.name = "SmallCNN+dropout CIFAR-10";
+         task.make_model = [] { return nn::small_cnn_dropout(10, 0.3F); };
+         return task;
+       }},
+      {"resnet18_c10", "Scaled ResNet-18 on the CIFAR-10 stand-in",
+       resnet18_cifar10},
+      {"resnet18_c100", "Scaled ResNet-18 on the CIFAR-100 stand-in",
+       resnet18_cifar100},
+      {"resnet50_in", "Scaled ResNet-50 on the ImageNet stand-in",
+       resnet50_imagenet},
+      {"vgg", "Scaled VGG (plain deep stack) on the CIFAR-10 stand-in",
+       vgg_cifar10},
+      {"mobilenet",
+       "Scaled MobileNet (depthwise-separable) on the CIFAR-10 stand-in",
+       mobilenet_cifar10},
+  };
+  return registry;
+}
+
+const TaskInfo* find_task(std::string_view id) {
+  for (const TaskInfo& info : task_registry()) {
+    if (info.id == id) return &info;
+  }
+  return nullptr;
+}
+
 }  // namespace nnr::core

@@ -6,7 +6,10 @@
 // NNR_REPLICATES, NNR_QUICK) via core::resolve_scale.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/env.h"
 #include "core/trainer.h"
@@ -58,5 +61,21 @@ struct Task {
 
 /// MobileNet (scaled, depthwise-separable) on the CIFAR-10 stand-in.
 [[nodiscard]] Task mobilenet_cifar10();
+
+/// A registered named task: stable id -> factory + human description. The
+/// single source of truth shared by `nnr_run --task/--list` and the study
+/// registry (sched/registry.h), so the CLI catalog and the named studies can
+/// never drift apart.
+struct TaskInfo {
+  std::string id;           // CLI/study name, e.g. "smallcnn_bn"
+  std::string description;  // one-line catalog entry
+  std::function<Task()> make;
+};
+
+/// All named tasks in the paper's presentation order.
+[[nodiscard]] const std::vector<TaskInfo>& task_registry();
+
+/// Lookup by id; nullptr when unknown.
+[[nodiscard]] const TaskInfo* find_task(std::string_view id);
 
 }  // namespace nnr::core

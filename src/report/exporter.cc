@@ -1,5 +1,6 @@
 #include "report/exporter.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -92,17 +93,33 @@ Exporter Exporter::from_env() {
   return Exporter(dir != nullptr ? dir : "");
 }
 
+std::string Exporter::sanitize_slug(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const char lower =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const bool safe = (lower >= 'a' && lower <= 'z') ||
+                      (lower >= '0' && lower <= '9') || lower == '.' ||
+                      lower == '_' || lower == '-';
+    out += safe ? lower : '_';
+  }
+  return out;
+}
+
 bool Exporter::write(const core::TextTable& table,
                      const std::string& experiment, const std::string& slug,
                      const std::string& title) {
   if (!enabled()) return false;
   const std::filesystem::path dir(out_dir_);
   std::filesystem::create_directories(dir);
-  const std::string stem = experiment + "_" + slug;
+  const std::string clean_experiment = sanitize_slug(experiment);
+  const std::string clean_slug = sanitize_slug(slug);
+  const std::string stem = clean_experiment + "_" + clean_slug;
   write_file(dir / (stem + ".txt"), table.render(title));
   write_file(dir / (stem + ".csv"), table.render_csv());
   write_file(dir / (stem + ".json"), render_json(table));
-  artifacts_.push_back({experiment, slug, title});
+  artifacts_.push_back({clean_experiment, clean_slug, title});
   flush_index();
   return true;
 }

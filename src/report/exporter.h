@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/table.h"
@@ -40,11 +41,18 @@ class Exporter {
   [[nodiscard]] bool enabled() const noexcept { return !out_dir_.empty(); }
 
   /// Writes `<experiment>_<slug>.{txt,csv,json}` under the output directory
-  /// (created on demand) and records the artifact in index.json. `title` is
-  /// embedded in the .txt rendering and the index. Returns false (silently)
-  /// when disabled; throws std::runtime_error on I/O failure.
+  /// (created on demand) and records the artifact in index.json. Both name
+  /// parts are passed through sanitize_slug, so callers can hand over raw
+  /// display names ("RTX5000 TC"). `title` is embedded in the .txt rendering
+  /// and the index. Returns false (silently) when disabled; throws
+  /// std::runtime_error on I/O failure.
   bool write(const core::TextTable& table, const std::string& experiment,
              const std::string& slug, const std::string& title = "");
+
+  /// Filename-safe slug: ASCII-lowercased, with every character outside
+  /// [a-z0-9._-] (spaces included) mapped to '_'. Applied uniformly to all
+  /// emitted artifact filenames.
+  [[nodiscard]] static std::string sanitize_slug(std::string_view s);
 
   /// Artifacts written so far (one entry per write call).
   struct Artifact {

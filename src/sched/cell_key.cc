@@ -1,0 +1,135 @@
+#include "sched/cell_key.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+namespace nnr::sched {
+namespace {
+
+/// Two independent FNV-1a lanes over the same tagged field stream. Lane B
+/// additionally xorshift-mixes each byte position so the lanes decorrelate;
+/// 128 bits total makes accidental collisions across a cache directory
+/// negligible.
+class KeyBuilder {
+ public:
+  void bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ p[i]) * 0x100000001b3ull;
+      std::uint64_t x = b_ ^ (p[i] + 0x9E3779B97F4A7C15ull);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      b_ = x;
+    }
+  }
+
+  void str(std::string_view tag, std::string_view v) noexcept {
+    const std::uint64_t tag_len = tag.size();
+    const std::uint64_t val_len = v.size();
+    bytes(&tag_len, sizeof(tag_len));
+    bytes(tag.data(), tag.size());
+    bytes(&val_len, sizeof(val_len));
+    bytes(v.data(), v.size());
+  }
+
+  void u64(std::string_view tag, std::uint64_t v) noexcept {
+    str(tag, {reinterpret_cast<const char*>(&v), sizeof(v)});
+  }
+  void i64(std::string_view tag, std::int64_t v) noexcept {
+    u64(tag, static_cast<std::uint64_t>(v));
+  }
+  void f32(std::string_view tag, float v) noexcept {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(tag, bits);
+  }
+  void flag(std::string_view tag, bool v) noexcept {
+    u64(tag, v ? 1u : 0u);
+  }
+
+  [[nodiscard]] CellKey finish() const noexcept { return {a_, b_}; }
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ull;
+  std::uint64_t b_ = 0x6A09E667F3BCC909ull;
+};
+
+void hash_toggles(KeyBuilder& k, const core::ChannelToggles& t) {
+  k.flag("init_varies", t.init_varies);
+  k.flag("shuffle_varies", t.shuffle_varies);
+  k.flag("augment_varies", t.augment_varies);
+  k.flag("dropout_varies", t.dropout_varies);
+  k.flag("scheduler_varies", t.scheduler_varies);
+  k.i64("determinism_mode", static_cast<std::int64_t>(t.mode));
+}
+
+}  // namespace
+
+std::string CellKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+CellKey cell_key(const Cell& cell, core::ReplicateIds ids) {
+  KeyBuilder k;
+  k.i64("version", kCellKeyVersion);
+  k.str("task_id", cell.task_id);
+  k.str("optimizer_id", cell.optimizer_id);
+  k.str("runner_id", cell.runner_id);
+
+  const core::TrainJob& job = cell.job;
+  if (job.dataset != nullptr) {
+    k.str("dataset", job.dataset->name);
+    k.i64("train_n", job.dataset->train.size());
+    k.i64("test_n", job.dataset->test.size());
+    k.i64("classes", job.dataset->train.num_classes);
+  }
+
+  const core::TrainRecipe& r = job.recipe;
+  k.i64("epochs", r.epochs);
+  k.i64("batch_size", r.batch_size);
+  k.f32("base_lr", r.base_lr);
+  k.f32("momentum", r.momentum);
+  k.i64("schedule", static_cast<std::int64_t>(r.schedule));
+  k.i64("decay_every", r.decay_every);
+  k.flag("augment", r.augment);
+  k.flag("random_crop", r.augment_config.random_crop);
+  k.i64("crop_pad", r.augment_config.crop_pad);
+  k.flag("horizontal_flip", r.augment_config.horizontal_flip);
+  k.f32("dropout_rate", r.dropout_rate);
+
+  if (job.toggles_override.has_value()) {
+    k.flag("toggles_override", true);
+    hash_toggles(k, *job.toggles_override);
+  } else {
+    k.flag("toggles_override", false);
+    k.i64("variant", static_cast<std::int64_t>(job.variant));
+  }
+  k.flag("fixed_identity_order", job.fixed_identity_order);
+  k.u64("base_seed", job.base_seed);
+  if (job.warm_start_weights.has_value()) {
+    k.flag("warm_start", true);
+    k.i64("warm_n", static_cast<std::int64_t>(job.warm_start_weights->size()));
+    k.bytes(job.warm_start_weights->data(),
+            job.warm_start_weights->size() * sizeof(float));
+  } else {
+    k.flag("warm_start", false);
+  }
+
+  k.str("device", job.device.name);
+  k.i64("device_kind", static_cast<std::int64_t>(job.device.kind));
+  k.i64("device_arch", static_cast<std::int64_t>(job.device.arch));
+  k.i64("cuda_cores", job.device.cuda_cores);
+  k.i64("tensor_cores", job.device.tensor_cores);
+
+  k.u64("replicate_algo", ids.algo);
+  k.u64("replicate_impl", ids.impl);
+  return k.finish();
+}
+
+}  // namespace nnr::sched

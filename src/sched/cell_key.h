@@ -1,0 +1,45 @@
+// Content-addressed cell identity.
+//
+// A CellKey is a 128-bit hash over everything that determines a replicate's
+// training outcome: the task identity, the full recipe (epochs, batch, LR
+// schedule, augmentation, dropout), the noise variant or explicit channel
+// toggles, the device spec, the base seed, warm-start weights, the optimizer
+// and runner identities, and the (algo, impl) replicate indices. Under the
+// determinism contract (a replicate id fully determines the run, bit for
+// bit), equal keys imply bitwise-equal results — which is exactly what makes
+// the key safe to use as a *cache* address: a result loaded by key is the
+// result training would have produced.
+//
+// Fields are hashed as a tagged, length-delimited byte stream (no
+// concatenation ambiguity); floats are hashed by IEEE-754 bit pattern, so a
+// cosmetic -0.0/0.0 difference changes the key rather than silently aliasing.
+// Bump kCellKeyVersion whenever trainer semantics change in a way that
+// invalidates old cached results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trainer.h"
+#include "sched/study_plan.h"
+
+namespace nnr::sched {
+
+inline constexpr std::int64_t kCellKeyVersion = 1;
+
+struct CellKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex chars (hi then lo) — the cache filename stem.
+  [[nodiscard]] std::string hex() const;
+
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+/// Key for replicate `ids` of `cell`. Only meaningful when
+/// cell.cacheable(); the scheduler never computes keys for uncacheable
+/// cells.
+[[nodiscard]] CellKey cell_key(const Cell& cell, core::ReplicateIds ids);
+
+}  // namespace nnr::sched

@@ -1,0 +1,33 @@
+// Named-study registry: every figure/table grid of the paper reproduction,
+// declared once as a StudyPlan factory and shared by the bench binaries and
+// `nnr_run --study NAME`. A bench main() shrinks to "make_plan -> run ->
+// format rows"; the CLI gets every study for free; and because plans are
+// built from the same named tasks (core::task_registry) with the same
+// environment knobs (NNR_REPLICATES/NNR_EPOCHS/NNR_QUICK/...), a cell shared
+// by two studies — fig1 and table2 share most of their V100 cells — hashes
+// to the same CellKey and trains exactly once per cache.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/study_plan.h"
+
+namespace nnr::sched {
+
+struct StudyDef {
+  std::string id;           // e.g. "fig1", "table2"
+  std::string description;  // one-line catalog entry
+  std::function<StudyPlan()> make_plan;
+};
+
+/// All named studies in the paper's presentation order (figures, tables,
+/// then ablations).
+[[nodiscard]] const std::vector<StudyDef>& study_registry();
+
+/// Lookup by id; nullptr when unknown.
+[[nodiscard]] const StudyDef* find_study(std::string_view id);
+
+}  // namespace nnr::sched

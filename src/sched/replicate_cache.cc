@@ -1,0 +1,86 @@
+#include "sched/replicate_cache.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "serialize/run_result.h"
+
+namespace nnr::sched {
+
+namespace fs = std::filesystem;
+
+ReplicateCache::ReplicateCache(std::string dir) : dir_(std::move(dir)) {}
+
+ReplicateCache ReplicateCache::from_env() {
+  const char* dir = std::getenv("NNR_CACHE_DIR");
+  return ReplicateCache(dir != nullptr ? dir : "");
+}
+
+std::string ReplicateCache::path_for(const CellKey& key) const {
+  return (fs::path(dir_) / (key.hex() + ".rr")).string();
+}
+
+std::optional<core::RunResult> ReplicateCache::load(const CellKey& key) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = path_for(key);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    core::RunResult result = serialize::load_run_result(path, key.hi, key.lo);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    stats_.bytes_read += static_cast<std::int64_t>(size);
+    return result;
+  } catch (const serialize::CheckpointError&) {
+    // Corrupted / truncated / foreign entry: fall back to recompute.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
+}
+
+bool ReplicateCache::store(const CellKey& key, const core::RunResult& result) {
+  if (!enabled()) return false;
+  const std::string path = path_for(key);
+  // Unique temp name per (process, thread) writer — benches legitimately
+  // share one cache dir across processes — renamed into place so concurrent
+  // readers never observe a half-written entry.
+  const std::string tmp =
+      path + ".tmp" + std::to_string(::getpid()) + "." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  try {
+    serialize::save_run_result(tmp, result, key.hi, key.lo);
+  } catch (const serialize::CheckpointError&) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  const auto size = fs::file_size(tmp, ec);
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  stats_.bytes_written += static_cast<std::int64_t>(size);
+  return true;
+}
+
+CacheStats ReplicateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace nnr::sched

@@ -1,0 +1,69 @@
+// Persistent, content-addressed replicate cache.
+//
+// Stores one serialized core::RunResult per CellKey under a cache directory
+// (NNR_CACHE_DIR), so a cell that appears in several studies — fig1 and
+// table2 share most of their V100 cells — trains once and is then served
+// from disk everywhere, bit for bit. The bit-exactness contract makes this
+// safe: a key collision-free lookup returns exactly the bytes training would
+// have produced (enforced by tests/sched/scheduler_test.cc).
+//
+// Failure policy: the cache is an accelerator, never a correctness
+// dependency. A corrupted, truncated, or mismatched entry is counted and
+// treated as a miss (the scheduler recomputes); a failed store is dropped
+// silently. Loads/stores are thread-safe — the scheduler calls them from
+// pool workers.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/trainer.h"
+#include "sched/cell_key.h"
+
+namespace nnr::sched {
+
+/// Cache activity counters (bytes are serialized file sizes).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;   // absent entries (corrupt ones count both)
+  std::int64_t corrupt = 0;  // present but unreadable -> recomputed
+  std::int64_t stores = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+};
+
+class ReplicateCache {
+ public:
+  /// Cache rooted at `dir`; an empty dir disables the cache (every load
+  /// misses without touching the stats, every store is a no-op).
+  explicit ReplicateCache(std::string dir);
+
+  /// Cache configured from the NNR_CACHE_DIR environment variable.
+  [[nodiscard]] static ReplicateCache from_env();
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// The result stored under `key`, or nullopt (miss). Corruption of any
+  /// kind is a miss, never an exception.
+  [[nodiscard]] std::optional<core::RunResult> load(const CellKey& key);
+
+  /// Persists `result` under `key` (atomic: temp file + rename). Returns
+  /// false when disabled or on I/O failure.
+  bool store(const CellKey& key, const core::RunResult& result);
+
+  /// Snapshot of the counters since construction.
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Cache file path for `key` (exposed for tests and tooling).
+  [[nodiscard]] std::string path_for(const CellKey& key) const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  CacheStats stats_;
+};
+
+}  // namespace nnr::sched

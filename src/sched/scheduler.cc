@@ -1,0 +1,111 @@
+#include "sched/scheduler.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "runtime/thread_pool.h"
+#include "sched/cell_key.h"
+
+namespace nnr::sched {
+namespace {
+
+core::RunResult train_one(const Cell& cell, core::ReplicateIds ids) {
+  if (cell.runner) return cell.runner(cell.job, ids);
+  return core::train_replicate(cell.job, ids);
+}
+
+}  // namespace
+
+StudyResult run_plan(const StudyPlan& plan, const RunOptions& opts) {
+  struct WorkItem {
+    std::size_t cell;
+    std::int64_t replicate;
+  };
+  std::vector<WorkItem> items;
+  StudyResult result;
+  result.cells.resize(plan.cells().size());
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const Cell& cell = plan.cells()[c];
+    if (!cell.explicit_ids.empty() &&
+        cell.explicit_ids.size() !=
+            static_cast<std::size_t>(cell.replicates)) {
+      throw std::invalid_argument(
+          "cell '" + cell.id + "': explicit_ids holds " +
+          std::to_string(cell.explicit_ids.size()) + " entries but " +
+          std::to_string(cell.replicates) + " replicates are scheduled");
+    }
+    result.cells[c].resize(static_cast<std::size_t>(cell.replicates));
+    for (std::int64_t r = 0; r < cell.replicates; ++r) {
+      items.push_back({c, r});
+    }
+  }
+
+  const CacheStats before =
+      opts.cache != nullptr ? opts.cache->stats() : CacheStats{};
+  std::atomic<std::int64_t> trained{0};
+  const int max_workers = opts.threads < 0 ? 1 : opts.threads;
+  runtime::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(items.size()), 1,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const WorkItem& item = items[static_cast<std::size_t>(i)];
+          const Cell& cell = plan.cells()[item.cell];
+          const core::ReplicateIds ids = cell.ids_for(item.replicate);
+          core::RunResult& slot =
+              result.cells[item.cell][static_cast<std::size_t>(item.replicate)];
+          if (opts.cache != nullptr && cell.cacheable()) {
+            const CellKey key = cell_key(cell, ids);
+            if (auto cached = opts.cache->load(key)) {
+              slot = std::move(*cached);
+              continue;
+            }
+            slot = train_one(cell, ids);
+            trained.fetch_add(1, std::memory_order_relaxed);
+            opts.cache->store(key, slot);
+          } else {
+            slot = train_one(cell, ids);
+            trained.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      max_workers);
+
+  result.trained = trained.load();
+  if (opts.cache != nullptr) {
+    const CacheStats after = opts.cache->stats();
+    result.cache.hits = after.hits - before.hits;
+    result.cache.misses = after.misses - before.misses;
+    result.cache.corrupt = after.corrupt - before.corrupt;
+    result.cache.stores = after.stores - before.stores;
+    result.cache.bytes_read = after.bytes_read - before.bytes_read;
+    result.cache.bytes_written = after.bytes_written - before.bytes_written;
+  }
+  return result;
+}
+
+core::TextTable cache_stats_table(const StudyResult& result) {
+  core::TextTable table({"Counter", "Value"});
+  const auto row = [&table](const char* name, std::int64_t v) {
+    table.add_row({name, std::to_string(v)});
+  };
+  row("hits", result.cache.hits);
+  row("misses", result.cache.misses);
+  row("corrupt", result.cache.corrupt);
+  row("stores", result.cache.stores);
+  row("bytes_read", result.cache.bytes_read);
+  row("bytes_written", result.cache.bytes_written);
+  row("trained", result.trained);
+  return table;
+}
+
+std::string cache_stats_line(const StudyResult& result) {
+  const auto n = [](std::int64_t v) { return std::to_string(v); };
+  return "hits=" + n(result.cache.hits) + " misses=" + n(result.cache.misses) +
+         " stores=" + n(result.cache.stores) +
+         " corrupt=" + n(result.cache.corrupt) +
+         " read=" + n(result.cache.bytes_read) +
+         "B written=" + n(result.cache.bytes_written) +
+         "B trained=" + n(result.trained);
+}
+
+}  // namespace nnr::sched

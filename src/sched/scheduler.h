@@ -1,0 +1,58 @@
+// The cell scheduler: runs every replicate of every cell of a StudyPlan on
+// the shared runtime::ThreadPool. The (cell, replicate) grid is flattened so
+// the pool stays saturated even when a single cell has fewer replicates than
+// workers; kernel-level parallel_for calls inside each replicate run inline
+// on the worker that owns it (the pool is nest-safe), so the pool is never
+// oversubscribed. Host scheduling is invisible to the simulation — results
+// are bitwise identical for any worker count or cache state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/table.h"
+#include "sched/replicate_cache.h"
+#include "sched/study_plan.h"
+
+namespace nnr::sched {
+
+struct RunOptions {
+  /// Host-thread cap for this run: > 0 caps the fan-out below the shared
+  /// pool's width, 0 uses the full pool (NNR_THREADS, else the hardware
+  /// thread count), < 0 runs serially. A cap cannot widen the pool; a tool
+  /// that wants its --threads flag to override NNR_THREADS (the documented
+  /// flag > env > hardware precedence) resizes the pool first, as
+  /// tools/nnr_run.cpp does.
+  int threads = 0;
+  /// When set, cacheable replicates are served from / stored into this
+  /// cache. nullptr trains everything.
+  ReplicateCache* cache = nullptr;
+};
+
+struct StudyResult {
+  /// results[c][r] is replicate r of plan.cells()[c], in replicate order —
+  /// index semantics identical to core::run_replicates.
+  std::vector<std::vector<core::RunResult>> cells;
+  /// This run's cache activity (all zeros when no cache was configured).
+  CacheStats cache;
+  /// Replicates actually trained in-process (= cache misses + uncacheable
+  /// cells). A warm-cache rerun of a fully cacheable plan reports 0.
+  std::int64_t trained = 0;
+};
+
+/// Runs `plan` to completion. Throws std::invalid_argument when a cell's
+/// explicit_ids is non-empty but does not match its replicate count. Safe
+/// to call with the same cache from sequential studies; not with the same
+/// cache from concurrent threads (stats deltas would interleave).
+[[nodiscard]] StudyResult run_plan(const StudyPlan& plan,
+                                   const RunOptions& opts = {});
+
+/// One-row-per-counter table of a run's cache statistics, for
+/// report::Exporter / stdout.
+[[nodiscard]] core::TextTable cache_stats_table(const StudyResult& result);
+
+/// One-line rendering of the same counters ("hits=... trained=...") — the
+/// single format every tool/bench logs, so scripts can grep one shape.
+[[nodiscard]] std::string cache_stats_line(const StudyResult& result);
+
+}  // namespace nnr::sched

@@ -1,0 +1,38 @@
+#include "sched/study_plan.h"
+
+namespace nnr::sched {
+
+Cell& StudyPlan::add_cell(const core::Task& task, core::NoiseVariant variant,
+                          const hw::DeviceSpec& device,
+                          std::int64_t replicates) {
+  Cell cell;
+  cell.id = task.name + " / " + device.name + " / " +
+            std::string(core::variant_name(variant));
+  cell.task_name = task.name;
+  cell.task_id = task.dataset.name + "|" + task.name;
+  cell.job = task.job(variant, device);
+  cell.replicates = replicates > 0 ? replicates : task.default_replicates;
+  cells_.push_back(std::move(cell));
+  return cells_.back();
+}
+
+Cell& StudyPlan::add_job(std::string id, std::string task_id,
+                         core::TrainJob job, std::int64_t replicates) {
+  Cell cell;
+  cell.id = std::move(id);
+  cell.task_name = cell.id;
+  cell.task_id = std::move(task_id);
+  cell.job = std::move(job);
+  cell.replicates = replicates;
+  cells_.push_back(std::move(cell));
+  return cells_.back();
+}
+
+const std::vector<core::NoiseVariant>& observed_variants() {
+  static const std::vector<core::NoiseVariant> variants = {
+      core::NoiseVariant::kAlgoPlusImpl, core::NoiseVariant::kAlgo,
+      core::NoiseVariant::kImpl};
+  return variants;
+}
+
+}  // namespace nnr::sched

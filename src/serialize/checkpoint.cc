@@ -1,13 +1,16 @@
 #include "serialize/checkpoint.h"
 
 #include <array>
-#include <cstring>
-#include <fstream>
 #include <vector>
+
+#include "serialize/binary_io.h"
 
 namespace nnr::serialize {
 
 namespace {
+
+using detail::Reader;
+using detail::Writer;
 
 constexpr std::array<char, 8> kMagic = {'N', 'N', 'R', 'C', 'K', 'P', 'T', '1'};
 constexpr std::array<char, 8> kTrainMagic = {'N', 'N', 'R', 'T', 'R',
@@ -15,112 +18,6 @@ constexpr std::array<char, 8> kTrainMagic = {'N', 'N', 'R', 'T', 'R',
 constexpr std::uint32_t kKindParam = 0;
 constexpr std::uint32_t kKindBuffer = 1;
 constexpr std::uint32_t kKindOptSlot = 2;
-
-/// Incremental FNV-1a (64-bit) over the serialized body.
-class Fnv1a {
- public:
-  void update(const void* data, std::size_t bytes) noexcept {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
-class Writer {
- public:
-  Writer(const std::string& path, const std::array<char, 8>& magic)
-      : out_(path, std::ios::binary | std::ios::trunc) {
-    if (!out_) throw CheckpointError("cannot open for writing: " + path);
-    out_.write(magic.data(), magic.size());
-  }
-
-  template <typename T>
-  void put(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
-    hash_.update(&v, sizeof(T));
-  }
-
-  void put_bytes(const void* data, std::size_t bytes) {
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(bytes));
-    hash_.update(data, bytes);
-  }
-
-  void finish(const std::string& path) {
-    const std::uint64_t digest = hash_.digest();
-    out_.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
-    out_.flush();
-    if (!out_) throw CheckpointError("write failed: " + path);
-  }
-
- private:
-  std::ofstream out_;
-  Fnv1a hash_;
-};
-
-class Reader {
- public:
-  Reader(const std::string& path, const std::array<char, 8>& magic)
-      : path_(path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw CheckpointError("cannot open for reading: " + path);
-    bytes_.assign(std::istreambuf_iterator<char>(in),
-                  std::istreambuf_iterator<char>());
-    if (bytes_.size() < magic.size() + sizeof(std::uint64_t)) {
-      throw CheckpointError("truncated checkpoint: " + path);
-    }
-    if (std::memcmp(bytes_.data(), magic.data(), magic.size()) != 0) {
-      throw CheckpointError(
-          "bad magic (wrong or non-NNR checkpoint kind): " + path);
-    }
-    body_end_ = bytes_.size() - sizeof(std::uint64_t);
-    std::uint64_t stored = 0;
-    std::memcpy(&stored, bytes_.data() + body_end_, sizeof(stored));
-    Fnv1a hash;
-    hash.update(bytes_.data() + kMagic.size(), body_end_ - kMagic.size());
-    if (hash.digest() != stored) {
-      throw CheckpointError("checksum mismatch (corrupt checkpoint): " + path);
-    }
-    pos_ = kMagic.size();
-  }
-
-  template <typename T>
-  T get() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    need(sizeof(T));
-    T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
-  }
-
-  void get_bytes(void* dst, std::size_t bytes) {
-    need(bytes);
-    std::memcpy(dst, bytes_.data() + pos_, bytes);
-    pos_ += bytes;
-  }
-
-  [[nodiscard]] bool exhausted() const noexcept { return pos_ == body_end_; }
-
- private:
-  void need(std::size_t bytes) const {
-    if (pos_ + bytes > body_end_) {
-      throw CheckpointError("truncated checkpoint body: " + path_);
-    }
-  }
-
-  std::string path_;
-  std::vector<char> bytes_;
-  std::size_t body_end_ = 0;
-  std::size_t pos_ = 0;
-};
 
 struct Entry {
   std::uint32_t kind;

@@ -1,0 +1,65 @@
+#include "serialize/run_result.h"
+
+#include <array>
+#include <vector>
+
+#include "serialize/binary_io.h"
+
+namespace nnr::serialize {
+namespace {
+
+constexpr std::array<char, 8> kResultMagic = {'N', 'N', 'R', 'R',
+                                              'S', 'L', 'T', '1'};
+
+template <typename T>
+void put_vector(detail::Writer& w, const std::vector<T>& v) {
+  w.put(static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) w.put_bytes(v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> get_vector(detail::Reader& r) {
+  const auto n = r.get<std::uint64_t>();
+  std::vector<T> v(static_cast<std::size_t>(n));
+  if (!v.empty()) r.get_bytes(v.data(), v.size() * sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void save_run_result(const std::string& path, const core::RunResult& result,
+                     std::uint64_t key_hi, std::uint64_t key_lo) {
+  detail::Writer w(path, kResultMagic);
+  w.put(key_hi);
+  w.put(key_lo);
+  put_vector(w, result.test_predictions);
+  put_vector(w, result.test_confidences);
+  put_vector(w, result.final_weights);
+  w.put(result.test_accuracy);
+  w.put(result.final_train_loss);
+  w.finish(path);
+}
+
+core::RunResult load_run_result(const std::string& path, std::uint64_t key_hi,
+                                std::uint64_t key_lo) {
+  detail::Reader r(path, kResultMagic);
+  const auto stored_hi = r.get<std::uint64_t>();
+  const auto stored_lo = r.get<std::uint64_t>();
+  if (stored_hi != key_hi || stored_lo != key_lo) {
+    throw CheckpointError("cached result key mismatch (entry belongs to a "
+                          "different cell): " +
+                          path);
+  }
+  core::RunResult result;
+  result.test_predictions = get_vector<std::int32_t>(r);
+  result.test_confidences = get_vector<float>(r);
+  result.final_weights = get_vector<float>(r);
+  result.test_accuracy = r.get<double>();
+  result.final_train_loss = r.get<double>();
+  if (!r.exhausted()) {
+    throw CheckpointError("trailing bytes after result payload: " + path);
+  }
+  return result;
+}
+
+}  // namespace nnr::serialize

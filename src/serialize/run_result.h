@@ -1,0 +1,42 @@
+// Persistence of a single replicate's training outcome (core::RunResult) —
+// the payload of the study-level replicate cache (sched/replicate_cache.h).
+//
+// Cache-validity contract: the round-trip is *bitwise* lossless (raw IEEE-754
+// float payloads, never text), so a replicate loaded from disk is
+// indistinguishable from the replicate that was trained — the determinism
+// contract of PR 2 extends to cached results, and tests enforce
+// load-vs-recompute bitwise equality. Each file embeds the 128-bit content
+// key of the cell that produced it, so a cache entry can never be replayed
+// against a different cell, even after a file rename.
+//
+// Format (little-endian):
+//   magic "NNRRSLT1"
+//   u64 key_hi | u64 key_lo
+//   u64 n_predictions | i32 predictions[n]
+//   u64 n_confidences | f32 confidences[n]
+//   u64 n_weights     | f32 weights[n]
+//   f64 test_accuracy | f64 final_train_loss
+//   trailer: u64 FNV-1a over everything after the magic
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/trainer.h"
+#include "serialize/checkpoint.h"
+
+namespace nnr::serialize {
+
+/// Writes `result` to `path`, stamped with the cell content key.
+/// Throws CheckpointError on I/O failure.
+void save_run_result(const std::string& path, const core::RunResult& result,
+                     std::uint64_t key_hi, std::uint64_t key_lo);
+
+/// Reads a RunResult back. Throws CheckpointError on I/O failure, magic or
+/// checksum mismatch, truncation, or when the embedded key differs from
+/// (key_hi, key_lo) — the caller asked for a different cell's result.
+[[nodiscard]] core::RunResult load_run_result(const std::string& path,
+                                              std::uint64_t key_hi,
+                                              std::uint64_t key_lo);
+
+}  // namespace nnr::serialize

@@ -1,0 +1,52 @@
+// The named-task registry: the single source of truth behind nnr_run --task
+// and the study registry.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/tasks.h"
+
+namespace nnr::core {
+namespace {
+
+TEST(TaskRegistry, CoversThePaperCells) {
+  const auto& registry = task_registry();
+  ASSERT_GE(registry.size(), 8u);
+  std::set<std::string> ids;
+  for (const TaskInfo& info : registry) {
+    EXPECT_FALSE(info.id.empty());
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_TRUE(static_cast<bool>(info.make));
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
+  }
+  for (const char* id : {"smallcnn", "smallcnn_bn", "smallcnn_dropout",
+                         "resnet18_c10", "resnet18_c100", "resnet50_in",
+                         "vgg", "mobilenet"}) {
+    EXPECT_TRUE(ids.count(id) == 1) << "missing task " << id;
+  }
+}
+
+TEST(TaskRegistry, FindTaskResolvesKnownIds) {
+  const TaskInfo* info = find_task("smallcnn_bn");
+  ASSERT_NE(info, nullptr);
+  const Task task = info->make();
+  EXPECT_EQ(task.name, "SmallCNN+BN CIFAR-10");
+  EXPECT_GT(task.dataset.train.size(), 0);
+  EXPECT_TRUE(static_cast<bool>(task.make_model));
+}
+
+TEST(TaskRegistry, FindTaskRejectsUnknownIds) {
+  EXPECT_EQ(find_task("not_a_task"), nullptr);
+  EXPECT_EQ(find_task(""), nullptr);
+}
+
+TEST(TaskRegistry, DropoutProbeRenamesItself) {
+  // The composite probe task must carry its own name so cell labels and
+  // cache identities differ from the plain SmallCNN.
+  const TaskInfo* info = find_task("smallcnn_dropout");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->make().name, "SmallCNN+dropout CIFAR-10");
+}
+
+}  // namespace
+}  // namespace nnr::core

@@ -1,6 +1,7 @@
 // Exporter: rendering formats, file emission, disabled-mode no-op.
 #include "report/exporter.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -135,6 +136,62 @@ TEST_F(ExporterTest, OverwritesOnRepeatedWrite) {
   ASSERT_TRUE(e.write(sample_table(), "fig1", "t1", "first"));
   ASSERT_TRUE(e.write(sample_table(), "fig1", "t1", "second"));
   EXPECT_NE(slurp(dir_ / "fig1_t1.txt").find("second"), std::string::npos);
+}
+
+TEST(SanitizeSlug, LowercasesAndUnderscoresSpaces) {
+  EXPECT_EQ(Exporter::sanitize_slug("RTX5000 TC"), "rtx5000_tc");
+  EXPECT_EQ(Exporter::sanitize_slug("VGG-19_default"), "vgg-19_default");
+  EXPECT_EQ(Exporter::sanitize_slug("already_clean.1"), "already_clean.1");
+}
+
+TEST(SanitizeSlug, MapsUnsafeCharactersToUnderscore) {
+  EXPECT_EQ(Exporter::sanitize_slug("a/b\\c:d*e"), "a_b_c_d_e");
+  EXPECT_EQ(Exporter::sanitize_slug("Fig. 1 (V100)"), "fig._1__v100_");
+  EXPECT_EQ(Exporter::sanitize_slug(""), "");
+}
+
+TEST_F(ExporterTest, WriteSanitizesArtifactFilenames) {
+  Exporter e(dir_.string());
+  ASSERT_TRUE(e.write(sample_table(), "Fig 1", "RTX5000 TC", "Appendix"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig_1_rtx5000_tc.txt"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig_1_rtx5000_tc.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig_1_rtx5000_tc.json"));
+  // The index records the sanitized identity, so reruns supersede cleanly.
+  const std::string index = slurp(dir_ / "index.json");
+  EXPECT_NE(index.find("\"experiment\": \"fig_1\""), std::string::npos);
+  EXPECT_NE(index.find("\"slug\": \"rtx5000_tc\""), std::string::npos);
+}
+
+TEST_F(ExporterTest, IndexJsonIsAWellFormedArrayOfArtifacts) {
+  Exporter e(dir_.string());
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1", "First"));
+  ASSERT_TRUE(e.write(sample_table(), "fig2", "t2", "Second"));
+  const std::string index = slurp(dir_ / "index.json");
+  EXPECT_EQ(index.front(), '[');
+  EXPECT_EQ(index.substr(index.size() - 2), "]\n");
+  EXPECT_NE(index.find("{\"experiment\": \"fig1\", \"slug\": \"t1\", "
+                       "\"title\": \"First\"}"),
+            std::string::npos);
+  EXPECT_NE(index.find("{\"experiment\": \"fig2\", \"slug\": \"t2\", "
+                       "\"title\": \"Second\"}"),
+            std::string::npos);
+}
+
+TEST_F(ExporterTest, FromEnvUnsetIsANoOp) {
+  ::unsetenv("NNR_OUT_DIR");
+  Exporter e = Exporter::from_env();
+  EXPECT_FALSE(e.enabled());
+  EXPECT_FALSE(e.write(sample_table(), "fig1", "t1"));
+  EXPECT_TRUE(e.artifacts().empty());
+}
+
+TEST_F(ExporterTest, FromEnvSetWritesUnderTheConfiguredDir) {
+  ::setenv("NNR_OUT_DIR", dir_.string().c_str(), 1);
+  Exporter e = Exporter::from_env();
+  ::unsetenv("NNR_OUT_DIR");
+  EXPECT_TRUE(e.enabled());
+  ASSERT_TRUE(e.write(sample_table(), "fig1", "t1"));
+  EXPECT_TRUE(fs::exists(dir_ / "fig1_t1.txt"));
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+// CellKey: the content hash must be stable for identical cells and
+// sensitive to every field that changes a replicate's training outcome —
+// the property that makes it safe as a cache address.
+#include "sched/cell_key.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+#include "sched/study_plan.h"
+
+namespace nnr::sched {
+namespace {
+
+core::Task tiny_task() {
+  core::Task task;
+  task.name = "tiny";
+  task.dataset = data::synth_cifar10(32, 16);
+  task.make_model = [] { return nn::small_cnn(10, true); };
+  task.recipe = core::cifar_recipe(2);
+  task.default_replicates = 2;
+  return task;
+}
+
+/// Fresh single-cell plan; `mutate` tweaks the cell before keying.
+template <typename Fn>
+CellKey key_of(Fn&& mutate) {
+  StudyPlan plan("key_test");
+  const core::Task& task = plan.own_task(tiny_task());
+  Cell& cell =
+      plan.add_cell(task, core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  mutate(cell);
+  return cell_key(cell, cell.ids_for(0));
+}
+
+CellKey base_key() {
+  return key_of([](Cell&) {});
+}
+
+TEST(CellKey, IdenticalCellsHashIdentically) {
+  EXPECT_EQ(base_key(), base_key());
+}
+
+TEST(CellKey, HexIs32LowercaseChars) {
+  const std::string hex = base_key().hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(CellKey, EpochsChangeTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) { c.job.recipe.epochs = 3; }));
+}
+
+TEST(CellKey, LearningRateBitsChangeTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) { c.job.recipe.base_lr *= 2; }));
+}
+
+TEST(CellKey, VariantChangesTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) {
+              c.job.variant = core::NoiseVariant::kControl;
+            }));
+}
+
+TEST(CellKey, TogglesOverrideChangesTheKey) {
+  // Even toggles equivalent to the variant must re-key: the override path
+  // is hashed structurally, not resolved.
+  EXPECT_NE(base_key(), key_of([](Cell& c) {
+              c.job.toggles_override =
+                  core::toggles_for(core::NoiseVariant::kAlgoPlusImpl);
+            }));
+}
+
+TEST(CellKey, DeviceChangesTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) { c.job.device = hw::p100(); }));
+}
+
+TEST(CellKey, ReplicateIndexChangesTheKey) {
+  StudyPlan plan("key_test");
+  const core::Task& task = plan.own_task(tiny_task());
+  const Cell& cell =
+      plan.add_cell(task, core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  EXPECT_NE(cell_key(cell, cell.ids_for(0)), cell_key(cell, cell.ids_for(1)));
+}
+
+TEST(CellKey, FactorialIdsAreDistinctFromDiagonal) {
+  StudyPlan plan("key_test");
+  const core::Task& task = plan.own_task(tiny_task());
+  const Cell& cell =
+      plan.add_cell(task, core::NoiseVariant::kAlgoPlusImpl, hw::v100());
+  EXPECT_NE(cell_key(cell, {0, 1}), cell_key(cell, {1, 0}));
+  EXPECT_NE(cell_key(cell, {0, 1}), cell_key(cell, {0, 0}));
+}
+
+TEST(CellKey, TaskIdChangesTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) { c.task_id += "-v2"; }));
+}
+
+TEST(CellKey, OptimizerIdChangesTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) { c.optimizer_id = "adam"; }));
+}
+
+TEST(CellKey, BaseSeedChangesTheKey) {
+  EXPECT_NE(base_key(), key_of([](Cell& c) { c.job.base_seed = 42; }));
+}
+
+TEST(CellKey, WarmStartWeightsChangeTheKey) {
+  const CellKey warm_a =
+      key_of([](Cell& c) { c.job.warm_start_weights = {{1.0F, 2.0F}}; });
+  const CellKey warm_b =
+      key_of([](Cell& c) { c.job.warm_start_weights = {{1.0F, 2.5F}}; });
+  EXPECT_NE(base_key(), warm_a);
+  EXPECT_NE(warm_a, warm_b);
+}
+
+TEST(Cacheable, DefaultCellIsCacheable) {
+  StudyPlan plan("key_test");
+  const core::Task& task = plan.own_task(tiny_task());
+  EXPECT_TRUE(plan.add_cell(task, core::NoiseVariant::kAlgo, hw::v100())
+                  .cacheable());
+}
+
+TEST(Cacheable, UnnamedOptimizerOverrideIsNot) {
+  StudyPlan plan("key_test");
+  const core::Task& task = plan.own_task(tiny_task());
+  Cell& cell = plan.add_cell(task, core::NoiseVariant::kAlgo, hw::v100());
+  cell.job.make_optimizer = [](std::vector<nn::Param*>) {
+    return std::unique_ptr<opt::Optimizer>();
+  };
+  EXPECT_FALSE(cell.cacheable());
+  cell.optimizer_id = "custom";
+  EXPECT_TRUE(cell.cacheable());
+}
+
+TEST(Cacheable, UnnamedRunnerIsNot) {
+  StudyPlan plan("key_test");
+  const core::Task& task = plan.own_task(tiny_task());
+  Cell& cell = plan.add_cell(task, core::NoiseVariant::kAlgo, hw::v100());
+  cell.runner = [](const core::TrainJob&, core::ReplicateIds) {
+    return core::RunResult{};
+  };
+  EXPECT_FALSE(cell.cacheable());
+  cell.runner_id = "probe";
+  EXPECT_TRUE(cell.cacheable());
+}
+
+}  // namespace
+}  // namespace nnr::sched

@@ -1,0 +1,151 @@
+// ReplicateCache: hit/miss accounting, atomic stores, and the failure
+// policy — a corrupted, truncated, or foreign entry must degrade to a miss
+// (recompute), never crash the study.
+#include "sched/replicate_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace nnr::sched {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::RunResult sample_result() {
+  core::RunResult r;
+  r.test_predictions = {0, 3, 1, 2};
+  r.test_confidences = {0.25F, 0.5F, 0.125F, 1.0F};
+  r.final_weights = {-1.5F, 0.0F, 2.25F};
+  r.test_accuracy = 0.75;
+  r.final_train_loss = 1.25;
+  return r;
+}
+
+void expect_bitwise_equal(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.test_predictions, b.test_predictions);
+  EXPECT_EQ(a.test_confidences, b.test_confidences);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+}
+
+class ReplicateCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nnr_cache_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(ReplicateCacheTest, DisabledCacheIsInert) {
+  ReplicateCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.load({1, 2}).has_value());
+  EXPECT_FALSE(cache.store({1, 2}, sample_result()));
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.stats().stores, 0);
+}
+
+TEST_F(ReplicateCacheTest, MissOnEmptyCache) {
+  ReplicateCache cache(dir_.string());
+  EXPECT_FALSE(cache.load({1, 2}).has_value());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST_F(ReplicateCacheTest, StoreThenLoadRoundTripsBitwise) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{0xAB, 0xCD};
+  ASSERT_TRUE(cache.store(key, sample_result()));
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  expect_bitwise_equal(*loaded, sample_result());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.stores, 1);
+  EXPECT_GT(stats.bytes_written, 0);
+  EXPECT_EQ(stats.bytes_read, stats.bytes_written);
+}
+
+TEST_F(ReplicateCacheTest, DistinctKeysAreDistinctEntries) {
+  ReplicateCache cache(dir_.string());
+  ASSERT_TRUE(cache.store({1, 1}, sample_result()));
+  EXPECT_FALSE(cache.load({1, 2}).has_value());
+  EXPECT_TRUE(cache.load({1, 1}).has_value());
+}
+
+TEST_F(ReplicateCacheTest, CorruptedEntryFallsBackToMiss) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{7, 9};
+  ASSERT_TRUE(cache.store(key, sample_result()));
+  {
+    // Flip one payload byte past the header.
+    std::fstream f(cache.path_for(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(32);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(32);
+    c = static_cast<char>(c ^ 0x5A);
+    f.write(&c, 1);
+  }
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(ReplicateCacheTest, TruncatedEntryFallsBackToMiss) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{7, 10};
+  ASSERT_TRUE(cache.store(key, sample_result()));
+  fs::resize_file(cache.path_for(key), 20);
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1);
+}
+
+TEST_F(ReplicateCacheTest, ForeignEntryUnderWrongKeyIsRejected) {
+  // A cache file renamed to another key's address must not be served: the
+  // embedded key is verified on load.
+  ReplicateCache cache(dir_.string());
+  const CellKey key_a{100, 1};
+  const CellKey key_b{100, 2};
+  ASSERT_TRUE(cache.store(key_a, sample_result()));
+  fs::copy_file(cache.path_for(key_a), cache.path_for(key_b));
+  EXPECT_FALSE(cache.load(key_b).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1);
+  EXPECT_TRUE(cache.load(key_a).has_value());
+}
+
+TEST_F(ReplicateCacheTest, StoreOverwritesInPlace) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{5, 5};
+  core::RunResult first = sample_result();
+  ASSERT_TRUE(cache.store(key, first));
+  core::RunResult second = sample_result();
+  second.test_accuracy = 0.5;
+  ASSERT_TRUE(cache.store(key, second));
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->test_accuracy, 0.5);
+}
+
+TEST_F(ReplicateCacheTest, FromEnvHonorsNnrCacheDir) {
+  ::setenv("NNR_CACHE_DIR", dir_.string().c_str(), 1);
+  EXPECT_TRUE(ReplicateCache::from_env().enabled());
+  EXPECT_EQ(ReplicateCache::from_env().dir(), dir_.string());
+  ::unsetenv("NNR_CACHE_DIR");
+  EXPECT_FALSE(ReplicateCache::from_env().enabled());
+}
+
+}  // namespace
+}  // namespace nnr::sched

@@ -1,0 +1,247 @@
+// The cell scheduler and the cache-validity contract:
+//
+//   1. run_plan reproduces core::run_replicates bit for bit (the scheduler
+//      is pure measurement infrastructure).
+//   2. A replicate loaded from the cache is bitwise identical to the same
+//      replicate computed fresh — for CONTROL and ALGO+IMPL alike.
+//   3. A warm-cache rerun trains nothing (trained == 0, zero misses).
+//   4. A corrupted cache entry degrades to recompute with identical results.
+//   5. Changing cell content (epochs) invalidates the cached entries.
+#include "sched/scheduler.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/replicates.h"
+#include "data/synth_images.h"
+#include "nn/zoo.h"
+#include "sched/cell_key.h"
+
+namespace nnr::sched {
+namespace {
+
+namespace fs = std::filesystem;
+
+void expect_bitwise_equal(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.test_predictions, b.test_predictions);
+  EXPECT_EQ(a.test_confidences, b.test_confidences);
+  EXPECT_EQ(a.final_weights, b.final_weights);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::ClassificationDataset(data::synth_cifar10(96, 48));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  void SetUp() override {
+    cache_dir_ = fs::temp_directory_path() /
+                 ("nnr_sched_test_" +
+                  std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    fs::remove_all(cache_dir_);
+  }
+  void TearDown() override { fs::remove_all(cache_dir_); }
+
+  static core::Task tiny_task() {
+    core::Task task;
+    task.name = "tiny";
+    task.dataset = *dataset_;
+    task.make_model = [] { return nn::small_cnn(10, true); };
+    task.recipe = core::cifar_recipe(2);
+    task.default_replicates = 2;
+    return task;
+  }
+
+  static StudyPlan tiny_plan(core::NoiseVariant variant,
+                             std::int64_t replicates) {
+    StudyPlan plan("sched_test");
+    plan.add_cell(plan.own_task(tiny_task()), variant, hw::v100(),
+                  replicates);
+    return plan;
+  }
+
+  fs::path cache_dir_;
+  static data::ClassificationDataset* dataset_;
+};
+
+data::ClassificationDataset* SchedulerTest::dataset_ = nullptr;
+
+TEST_F(SchedulerTest, MatchesRunReplicatesBitwise) {
+  const StudyPlan plan = tiny_plan(core::NoiseVariant::kAlgoPlusImpl, 2);
+  const StudyResult study = run_plan(plan, {.threads = 1});
+  const auto reference =
+      core::run_replicates(plan.cells()[0].job, 2, /*threads=*/1);
+  ASSERT_EQ(study.cells.size(), 1u);
+  ASSERT_EQ(study.cells[0].size(), reference.size());
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    expect_bitwise_equal(study.cells[0][r], reference[r]);
+  }
+  EXPECT_EQ(study.trained, 2);
+}
+
+TEST_F(SchedulerTest, ResultInvariantToThreadCap) {
+  const StudyPlan plan = tiny_plan(core::NoiseVariant::kAlgoPlusImpl, 3);
+  const StudyResult serial = run_plan(plan, {.threads = -1});
+  const StudyResult wide = run_plan(plan, {.threads = 3});
+  for (std::size_t r = 0; r < 3; ++r) {
+    expect_bitwise_equal(serial.cells[0][r], wide.cells[0][r]);
+  }
+}
+
+// The acceptance-criterion test: cached == fresh, bit for bit, across both
+// the deterministic and the fully noisy variant.
+class SchedulerCacheContract
+    : public SchedulerTest,
+      public ::testing::WithParamInterface<core::NoiseVariant> {};
+
+TEST_P(SchedulerCacheContract, CachedReplicateIsBitwiseIdenticalToFresh) {
+  const StudyPlan plan = tiny_plan(GetParam(), 2);
+  const StudyResult fresh = run_plan(plan);
+
+  ReplicateCache cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  const StudyResult cold = run_plan(plan, opts);
+  EXPECT_EQ(cold.cache.misses, 2);
+  EXPECT_EQ(cold.cache.stores, 2);
+  EXPECT_EQ(cold.trained, 2);
+
+  const StudyResult warm = run_plan(plan, opts);
+  EXPECT_EQ(warm.cache.hits, 2);
+  EXPECT_EQ(warm.cache.misses, 0);
+  EXPECT_EQ(warm.trained, 0) << "warm cache must retrain nothing";
+
+  for (std::size_t r = 0; r < 2; ++r) {
+    expect_bitwise_equal(cold.cells[0][r], fresh.cells[0][r]);
+    expect_bitwise_equal(warm.cells[0][r], fresh.cells[0][r]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SchedulerCacheContract,
+                         ::testing::Values(core::NoiseVariant::kControl,
+                                           core::NoiseVariant::kAlgoPlusImpl),
+                         [](const auto& info) {
+                           return info.param == core::NoiseVariant::kControl
+                                      ? "Control"
+                                      : "AlgoPlusImpl";
+                         });
+
+TEST_F(SchedulerTest, CorruptedCacheEntryRecomputesIdentically) {
+  const StudyPlan plan = tiny_plan(core::NoiseVariant::kControl, 1);
+  ReplicateCache cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  const StudyResult cold = run_plan(plan, opts);
+
+  // Truncate the single entry on disk.
+  const Cell& cell = plan.cells()[0];
+  const std::string path = cache.path_for(cell_key(cell, cell.ids_for(0)));
+  ASSERT_TRUE(fs::exists(path));
+  fs::resize_file(path, 16);
+
+  const StudyResult recovered = run_plan(plan, opts);
+  EXPECT_EQ(recovered.cache.corrupt, 1);
+  EXPECT_EQ(recovered.trained, 1) << "corrupt entry must be recomputed";
+  expect_bitwise_equal(recovered.cells[0][0], cold.cells[0][0]);
+
+  // The recompute re-stored a good entry; the next run is a pure hit.
+  const StudyResult warm = run_plan(plan, opts);
+  EXPECT_EQ(warm.cache.hits, 1);
+  EXPECT_EQ(warm.trained, 0);
+}
+
+TEST_F(SchedulerTest, ChangedEpochsMissTheCache) {
+  ReplicateCache cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  (void)run_plan(tiny_plan(core::NoiseVariant::kControl, 1), opts);
+
+  StudyPlan longer = tiny_plan(core::NoiseVariant::kControl, 1);
+  longer.cells()[0].job.recipe.epochs += 1;
+  const StudyResult rerun = run_plan(longer, opts);
+  EXPECT_EQ(rerun.cache.hits, 0);
+  EXPECT_EQ(rerun.trained, 1);
+}
+
+TEST_F(SchedulerTest, UncacheableCellAlwaysTrains) {
+  StudyPlan plan("runner_test");
+  std::atomic<int> counter{0};
+  Cell& cell = plan.add_cell(plan.own_task(tiny_task()),
+                             core::NoiseVariant::kControl, hw::v100(), 1);
+  cell.runner = [&counter](const core::TrainJob& job, core::ReplicateIds ids) {
+    counter.fetch_add(1);
+    return core::train_replicate(job, ids);
+  };  // no runner_id -> uncacheable
+  ReplicateCache cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  (void)run_plan(plan, opts);
+  (void)run_plan(plan, opts);
+  EXPECT_EQ(counter.load(), 2);
+  EXPECT_EQ(cache.stats().stores, 0);
+}
+
+TEST_F(SchedulerTest, NamedRunnerIsCachedAndReplayed) {
+  StudyPlan plan("runner_test");
+  std::atomic<int> counter{0};
+  Cell& cell = plan.add_cell(plan.own_task(tiny_task()),
+                             core::NoiseVariant::kControl, hw::v100(), 1);
+  cell.runner_id = "counting";
+  cell.runner = [&counter](const core::TrainJob& job, core::ReplicateIds ids) {
+    counter.fetch_add(1);
+    return core::train_replicate(job, ids);
+  };
+  ReplicateCache cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  const StudyResult cold = run_plan(plan, opts);
+  const StudyResult warm = run_plan(plan, opts);
+  EXPECT_EQ(counter.load(), 1) << "second run must be served from the cache";
+  expect_bitwise_equal(warm.cells[0][0], cold.cells[0][0]);
+}
+
+TEST_F(SchedulerTest, MismatchedExplicitIdsThrow) {
+  StudyPlan plan("factorial_test");
+  Cell& cell = plan.add_cell(plan.own_task(tiny_task()),
+                             core::NoiseVariant::kControl, hw::v100(), 3);
+  cell.explicit_ids = {{0, 0}, {1, 1}};  // 2 ids for 3 replicates
+  EXPECT_THROW((void)run_plan(plan), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, FactorialExplicitIdsMatchDirectTraining) {
+  StudyPlan plan("factorial_test");
+  Cell& cell = plan.add_cell(plan.own_task(tiny_task()),
+                             core::NoiseVariant::kAlgoPlusImpl, hw::v100(), 2);
+  cell.explicit_ids = {{0, 1}, {1, 0}};
+  const StudyResult study = run_plan(plan, {.threads = 1});
+  expect_bitwise_equal(study.cells[0][0],
+                       core::train_replicate(cell.job, {0, 1}));
+  expect_bitwise_equal(study.cells[0][1],
+                       core::train_replicate(cell.job, {1, 0}));
+}
+
+TEST_F(SchedulerTest, CacheStatsTableListsAllCounters) {
+  StudyResult result;
+  result.cache.hits = 3;
+  result.trained = 7;
+  const core::TextTable table = cache_stats_table(result);
+  ASSERT_EQ(table.rows().size(), 7u);
+  EXPECT_EQ(table.rows()[0][0], "hits");
+  EXPECT_EQ(table.rows()[0][1], "3");
+  EXPECT_EQ(table.rows()[6][0], "trained");
+  EXPECT_EQ(table.rows()[6][1], "7");
+}
+
+}  // namespace
+}  // namespace nnr::sched

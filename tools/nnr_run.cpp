@@ -2,31 +2,18 @@
 //
 // The figure/table benches reproduce the paper's exact cells; this tool lets
 // a downstream user compose their own cell — task x device x noise variant x
-// replicate count — and get the paper's stability measures (accuracy
-// mean/stddev, predictive churn, normalized L2 weight distance) as an
-// aligned table or CSV.
+// replicate count — or run any named study from the registry, and get the
+// paper's stability measures (accuracy mean/stddev, predictive churn,
+// normalized L2 weight distance) as an aligned table or CSV. Every run goes
+// through the study scheduler, so a cache directory (--cache-dir or
+// NNR_CACHE_DIR) makes repeated runs near-free: replicates are served from
+// disk bit-for-bit identical to a fresh training.
 //
 // Usage:
 //   nnr_run --task smallcnn_bn --device V100 --variant impl --replicates 10
+//   nnr_run --study table2 --cache-dir /tmp/nnr-cache
 //   nnr_run --list
 //   nnr_run --task resnet18_c100 --all-variants --csv
-//
-// Flags:
-//   --task NAME        smallcnn | smallcnn_bn | smallcnn_dropout |
-//                      resnet18_c10 | resnet18_c100 | resnet50_in |
-//                      vgg | mobilenet
-//   --device NAME      P100 | V100 | RTX5000 | "RTX5000 TC" | T4 | TPUv2
-//   --variant NAME     algo+impl | algo | impl | control
-//   --all-variants     run algo+impl, algo, and impl (overrides --variant)
-//   --optimizer NAME   sgd | sgd_momentum | adam | rmsprop
-//                      (default: the recipe's SGD setting)
-//   --replicates N     independent trainings per cell (default: task preset)
-//   --epochs N         override the task recipe's epoch count
-//   --threads N        host threads for replicate parallelism (0 = all)
-//   --csv              emit CSV instead of the aligned table
-//   --json             emit JSON instead of the aligned table
-//   --out DIR          also write the table as .txt/.csv/.json under DIR
-//   --list             print available tasks/devices/variants and exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,55 +22,55 @@
 #include <string>
 #include <vector>
 
-#include "core/replicates.h"
 #include "core/study.h"
 #include "core/table.h"
 #include "core/tasks.h"
 #include "hw/device.h"
-#include "nn/zoo.h"
-#include "report/exporter.h"
 #include "opt/adam.h"
 #include "opt/rmsprop.h"
 #include "opt/sgd.h"
+#include "report/exporter.h"
+#include "runtime/thread_pool.h"
+#include "sched/registry.h"
+#include "sched/replicate_cache.h"
+#include "sched/scheduler.h"
+#include "sched/study_plan.h"
 
 namespace {
 
 using namespace nnr;
 
-struct TaskEntry {
-  const char* flag_name;
-  const char* description;
-  std::function<core::Task()> make;
-};
+constexpr const char* kUsage = R"(nnr_run: stability-study runner
 
-const std::vector<TaskEntry>& task_registry() {
-  static const std::vector<TaskEntry> registry = {
-      {"smallcnn", "SmallCNN (no BN) on the CIFAR-10 stand-in",
-       core::small_cnn_cifar10},
-      {"smallcnn_bn", "SmallCNN+BN on the CIFAR-10 stand-in",
-       core::small_cnn_bn_cifar10},
-      {"smallcnn_dropout",
-       "SmallCNN with a 0.3-dropout head (exercises the dropout channel)",
-       [] {
-         core::Task task = core::small_cnn_cifar10();
-         task.name = "SmallCNN+dropout CIFAR-10";
-         task.make_model = [] { return nn::small_cnn_dropout(10, 0.3F); };
-         return task;
-       }},
-      {"resnet18_c10", "Scaled ResNet-18 on the CIFAR-10 stand-in",
-       core::resnet18_cifar10},
-      {"resnet18_c100", "Scaled ResNet-18 on the CIFAR-100 stand-in",
-       core::resnet18_cifar100},
-      {"resnet50_in", "Scaled ResNet-50 on the ImageNet stand-in",
-       core::resnet50_imagenet},
-      {"vgg", "Scaled VGG (plain deep stack) on the CIFAR-10 stand-in",
-       core::vgg_cifar10},
-      {"mobilenet",
-       "Scaled MobileNet (depthwise-separable) on the CIFAR-10 stand-in",
-       core::mobilenet_cifar10},
-  };
-  return registry;
-}
+Single-cell mode (default):
+  --task NAME        a named task; see --list (default: smallcnn_bn)
+  --device NAME      P100 | V100 | RTX5000 | "RTX5000 TC" | T4 | TPUv2
+  --variant NAME     algo+impl | algo | impl | control
+  --all-variants     run algo+impl, algo, and impl (overrides --variant)
+  --optimizer NAME   sgd | sgd_momentum | adam | rmsprop
+                     (default: the recipe's SGD setting)
+  --replicates N     independent trainings per cell (default: task preset)
+  --epochs N         override the task recipe's epoch count
+
+Study mode:
+  --study NAME       run a named study (a full figure/table grid); see --list
+
+Shared:
+  --cache-dir DIR    persistent replicate cache; replicates already on disk
+                     are loaded (bitwise identical to retraining) instead of
+                     trained. Defaults to NNR_CACHE_DIR when set.
+  --threads N        cap host-thread fan-out for this run. Precedence:
+                     this flag > NNR_THREADS > hardware concurrency.
+                     0 (default) = full shared-pool width; negative = serial.
+  --csv              emit CSV instead of the aligned table
+  --json             emit JSON instead of the aligned table
+  --out DIR          also write the table as .txt/.csv/.json under DIR
+  --list             print available tasks/devices/variants/studies and exit
+  --help             this text
+
+Cache stats go to stderr ([cache] hits=... trained=...), never into tables,
+so warm-cache reruns emit byte-identical artifacts.
+)";
 
 std::optional<core::NoiseVariant> parse_variant(const std::string& name) {
   if (name == "algo+impl") return core::NoiseVariant::kAlgoPlusImpl;
@@ -120,8 +107,8 @@ std::optional<core::OptimizerFactory> parse_optimizer(
 
 void print_catalog() {
   std::printf("tasks:\n");
-  for (const TaskEntry& entry : task_registry()) {
-    std::printf("  %-18s %s\n", entry.flag_name, entry.description);
+  for (const core::TaskInfo& info : core::task_registry()) {
+    std::printf("  %-18s %s\n", info.id.c_str(), info.description.c_str());
   }
   std::printf("devices:\n");
   for (const hw::DeviceSpec& device : hw::all_devices()) {
@@ -130,31 +117,42 @@ void print_catalog() {
   std::printf("variants: algo+impl, algo, impl, control\n");
   std::printf("optimizers: sgd, sgd_momentum, adam, rmsprop "
               "(default: the recipe's SGD)\n");
+  std::printf("studies:\n");
+  for (const sched::StudyDef& def : sched::study_registry()) {
+    std::printf("  %-32s %s\n", def.id.c_str(), def.description.c_str());
+  }
 }
 
 [[noreturn]] void usage_error(const char* message) {
-  std::fprintf(stderr, "nnr_run: %s\n(run with --list for the catalog)\n",
-               message);
+  std::fprintf(stderr, "nnr_run: %s\n(run with --list for the catalog, "
+               "--help for usage)\n", message);
   std::exit(2);
 }
 
 struct Options {
   std::string task = "smallcnn_bn";
   std::string device = "V100";
+  std::string study;  // non-empty selects study mode
+  bool single_cell_flags_used = false;  // --study rejects these
   std::vector<core::NoiseVariant> variants = {
       core::NoiseVariant::kAlgoPlusImpl};
   core::OptimizerFactory optimizer;  // empty = recipe SGD
-  std::string optimizer_name = "recipe SGD";
+  std::string optimizer_name;        // "" = recipe SGD
   std::int64_t replicates = 0;  // 0 = task preset
   std::int64_t epochs = 0;      // 0 = recipe preset
   int threads = 0;
   bool csv = false;
   bool json = false;
-  std::string out_dir;  // empty = no file export
+  std::string out_dir;    // empty = no file export
+  std::string cache_dir;  // empty = NNR_CACHE_DIR, else that value
 };
 
 Options parse_args(int argc, char** argv) {
   Options opts;
+  opts.cache_dir = [] {
+    const char* dir = std::getenv("NNR_CACHE_DIR");
+    return std::string(dir != nullptr ? dir : "");
+  }();
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_error("flag needs a value");
     return argv[++i];
@@ -164,26 +162,38 @@ Options parse_args(int argc, char** argv) {
     if (arg == "--list") {
       print_catalog();
       std::exit(0);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      std::exit(0);
     } else if (arg == "--task") {
+      opts.single_cell_flags_used = true;
       opts.task = next_value(i);
+    } else if (arg == "--study") {
+      opts.study = next_value(i);
     } else if (arg == "--device") {
+      opts.single_cell_flags_used = true;
       opts.device = next_value(i);
     } else if (arg == "--variant") {
+      opts.single_cell_flags_used = true;
       const auto v = parse_variant(next_value(i));
       if (!v) usage_error("unknown --variant");
       opts.variants = {*v};
     } else if (arg == "--optimizer") {
+      opts.single_cell_flags_used = true;
       const std::string name = next_value(i);
       const auto factory = parse_optimizer(name);
       if (!factory) usage_error("unknown --optimizer");
       opts.optimizer = *factory;
       opts.optimizer_name = name;
     } else if (arg == "--all-variants") {
+      opts.single_cell_flags_used = true;
       opts.variants = {core::NoiseVariant::kAlgoPlusImpl,
                        core::NoiseVariant::kAlgo, core::NoiseVariant::kImpl};
     } else if (arg == "--replicates") {
+      opts.single_cell_flags_used = true;
       opts.replicates = std::atoll(next_value(i));
     } else if (arg == "--epochs") {
+      opts.single_cell_flags_used = true;
       opts.epochs = std::atoll(next_value(i));
     } else if (arg == "--threads") {
       opts.threads = std::atoi(next_value(i));
@@ -193,52 +203,23 @@ Options parse_args(int argc, char** argv) {
       opts.json = true;
     } else if (arg == "--out") {
       opts.out_dir = next_value(i);
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = next_value(i);
     } else {
       usage_error("unknown flag");
     }
   }
+  if (!opts.study.empty() && opts.single_cell_flags_used) {
+    usage_error("--study runs a fixed registry grid; it cannot be combined "
+                "with --task/--device/--variant/--all-variants/--optimizer/"
+                "--replicates/--epochs (scale studies via NNR_* env knobs)");
+  }
   return opts;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opts = parse_args(argc, argv);
-
-  const TaskEntry* entry = nullptr;
-  for (const TaskEntry& candidate : task_registry()) {
-    if (opts.task == candidate.flag_name) {
-      entry = &candidate;
-      break;
-    }
-  }
-  if (entry == nullptr) usage_error("unknown --task");
-
-  const std::optional<hw::DeviceSpec> device = hw::find_device(opts.device);
-  if (!device) usage_error("unknown --device");
-
-  core::Task task = entry->make();
-  if (opts.epochs > 0) task.recipe.epochs = opts.epochs;
-  const std::int64_t replicates =
-      opts.replicates > 0 ? opts.replicates : task.default_replicates;
-
-  core::TextTable table({"Task", "Device", "Variant", "Mean acc %",
-                         "STDDEV(Acc) %", "Churn %", "L2 Norm"});
-  for (const core::NoiseVariant variant : opts.variants) {
-    core::TrainJob job = task.job(variant, *device);
-    job.make_optimizer = opts.optimizer;
-    const auto results = core::run_replicates(job, replicates, opts.threads);
-    const core::VariantSummary summary = core::summarize(results);
-    table.add_row({task.name, device->name,
-                   std::string(core::variant_name(variant)),
-                   core::fmt_float(summary.accuracy_pct(), 2),
-                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
-                   core::fmt_float(summary.churn_pct(), 2),
-                   core::fmt_float(summary.mean_l2, 4)});
-  }
-
-  const std::string title = "nnr_run stability summary (" +
-                            std::to_string(replicates) + " replicates)";
+void emit_table(const Options& opts, const core::TextTable& table,
+                const std::string& experiment, const std::string& slug,
+                const std::string& title) {
   if (opts.csv) {
     std::printf("%s", table.render_csv().c_str());
   } else if (opts.json) {
@@ -248,7 +229,112 @@ int main(int argc, char** argv) {
   }
   if (!opts.out_dir.empty()) {
     report::Exporter exporter(opts.out_dir);
-    exporter.write(table, "nnr_run", opts.task, title);
+    exporter.write(table, experiment, slug, title);
   }
+}
+
+void report_cache(const sched::StudyResult& result, bool cache_enabled) {
+  if (cache_enabled) {
+    std::fprintf(stderr, "[cache] %s\n",
+                 sched::cache_stats_line(result).c_str());
+  }
+  std::fprintf(stderr, "[study] trained=%lld\n",
+               static_cast<long long>(result.trained));
+}
+
+/// --threads N (> 0) must win over NNR_THREADS (flag > env > hardware), and
+/// a RunOptions cap can only narrow the shared pool — so widen the pool
+/// itself first. Safe here: nothing has run on the pool yet.
+void apply_thread_flag(int threads) {
+  if (threads > 0) runtime::ThreadPool::set_global_threads(threads);
+}
+
+int run_study_mode(const Options& opts) {
+  const sched::StudyDef* def = sched::find_study(opts.study);
+  if (def == nullptr) usage_error("unknown --study");
+  const sched::StudyPlan plan = def->make_plan();
+
+  apply_thread_flag(opts.threads);
+  sched::ReplicateCache cache(opts.cache_dir);
+  sched::RunOptions run_opts;
+  run_opts.threads = opts.threads;
+  if (cache.enabled()) run_opts.cache = &cache;
+  const sched::StudyResult result = sched::run_plan(plan, run_opts);
+
+  core::TextTable table({"Task", "Device", "Variant", "Mean acc %",
+                         "STDDEV(Acc) %", "Churn %", "L2 Norm"});
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const sched::Cell& cell = plan.cells()[c];
+    const core::VariantSummary summary = core::summarize(result.cells[c]);
+    table.add_row({cell.task_name, cell.job.device.name,
+                   std::string(core::variant_name(cell.job.variant)),
+                   core::fmt_float(summary.accuracy_pct(), 2),
+                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                   core::fmt_float(summary.churn_pct(), 2),
+                   core::fmt_float(summary.mean_l2, 4)});
+  }
+  emit_table(opts, table, "study", plan.name(),
+             "study " + plan.name() + " (" + def->description + ")");
+  if (!opts.out_dir.empty() && cache.enabled()) {
+    // Cache activity as its own artifact — kept out of the study table so
+    // cold- and warm-cache runs emit byte-identical study files.
+    report::Exporter exporter(opts.out_dir);
+    exporter.write(sched::cache_stats_table(result), "cache_stats",
+                   plan.name(), "replicate cache activity: " + plan.name());
+  }
+  report_cache(result, cache.enabled());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+  if (!opts.study.empty()) return run_study_mode(opts);
+
+  const core::TaskInfo* info = core::find_task(opts.task);
+  if (info == nullptr) usage_error("unknown --task");
+
+  const std::optional<hw::DeviceSpec> device = hw::find_device(opts.device);
+  if (!device) usage_error("unknown --device");
+
+  core::Task task = info->make();
+  if (opts.epochs > 0) task.recipe.epochs = opts.epochs;
+  const std::int64_t replicates =
+      opts.replicates > 0 ? opts.replicates : task.default_replicates;
+
+  // The single-cell path is a one-off study: one cell per requested variant,
+  // scheduled and cached exactly like the registry studies.
+  sched::StudyPlan plan("nnr_run_" + opts.task);
+  const core::Task& owned = plan.own_task(std::move(task));
+  for (const core::NoiseVariant variant : opts.variants) {
+    sched::Cell& cell = plan.add_cell(owned, variant, *device, replicates);
+    cell.job.make_optimizer = opts.optimizer;
+    cell.optimizer_id = opts.optimizer_name;
+  }
+
+  apply_thread_flag(opts.threads);
+  sched::ReplicateCache cache(opts.cache_dir);
+  sched::RunOptions run_opts;
+  run_opts.threads = opts.threads;
+  if (cache.enabled()) run_opts.cache = &cache;
+  const sched::StudyResult result = sched::run_plan(plan, run_opts);
+
+  core::TextTable table({"Task", "Device", "Variant", "Mean acc %",
+                         "STDDEV(Acc) %", "Churn %", "L2 Norm"});
+  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+    const core::VariantSummary summary = core::summarize(result.cells[c]);
+    table.add_row({owned.name, device->name,
+                   std::string(core::variant_name(plan.cells()[c].job.variant)),
+                   core::fmt_float(summary.accuracy_pct(), 2),
+                   core::fmt_float(summary.accuracy_stddev_pct(), 3),
+                   core::fmt_float(summary.churn_pct(), 2),
+                   core::fmt_float(summary.mean_l2, 4)});
+  }
+
+  const std::string title = "nnr_run stability summary (" +
+                            std::to_string(replicates) + " replicates)";
+  emit_table(opts, table, "nnr_run", opts.task, title);
+  report_cache(result, cache.enabled());
   return 0;
 }
