@@ -37,11 +37,14 @@ inline sched::ReplicateCache& cache() {
   return c;
 }
 
-/// Runs `plan` on the shared host pool. Cache activity is reported on
-/// stderr, never in the tables, so a warm-cache rerun emits byte-identical
-/// artifacts (the cache-validity contract).
+/// Runs `plan` on the shared host pool. Cache activity and periodic
+/// [study] progress lines are reported on stderr, never in the tables, so
+/// a warm-cache rerun emits byte-identical artifacts (the cache-validity
+/// contract). Interrupted benches are resumable: every completed replicate
+/// is already durably keyed in the cache, so a rerun trains only the rest.
 inline sched::StudyResult run_study(const sched::StudyPlan& plan) {
   sched::RunOptions opts;
+  opts.progress = true;
   if (cache().enabled()) opts.cache = &cache();
   sched::StudyResult result = sched::run_plan(plan, opts);
   if (cache().enabled()) {

@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "runtime/parse_int.h"
+
 namespace nnr::core {
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const char* value = std::getenv(name.c_str());
   if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value, &end, 10);
-  if (end == value) return fallback;
-  return static_cast<std::int64_t>(parsed);
+  // Full-string parse: "8x" or an out-of-range value is a typo, not an 8 —
+  // fall back rather than run an experiment at a silently wrong scale.
+  const auto parsed = runtime::parse_int_strict(value);
+  return parsed.value_or(fallback);
 }
 
 bool quick_mode() { return env_int("NNR_QUICK", 0) != 0; }

@@ -12,7 +12,9 @@
 
 namespace nnr::core {
 
-/// Integer env var with fallback (also returns fallback on parse failure).
+/// Integer env var with fallback. The whole value must parse (strict rule,
+/// runtime/parse_int.h): trailing junk ("8x") or overflow returns the
+/// fallback rather than a truncated number.
 [[nodiscard]] std::int64_t env_int(const std::string& name,
                                    std::int64_t fallback);
 

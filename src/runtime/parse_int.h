@@ -1,0 +1,36 @@
+// Strict full-string integer parsing, shared by every layer that turns
+// user-controlled text (env vars, CLI flags) into an integer knob.
+//
+// The lax strtol/atoi idioms this replaces had two real failure modes:
+// trailing junk silently truncated ("8x" -> 8, "abc" -> 0) and overflow
+// silently saturated — both turn a typo into a quietly wrong experiment
+// scale. Here a value parses only when the ENTIRE string (after optional
+// leading/trailing ASCII whitespace) is one decimal integer that fits in
+// int64; anything else is nullopt and the caller decides (fallback for env
+// vars, hard error for flags).
+//
+// Lives in runtime (the dependency-free root library) so both
+// runtime::default_thread_count and core::env_int share one parser.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+namespace nnr::runtime {
+
+[[nodiscard]] inline std::optional<std::int64_t> parse_int_strict(
+    const char* text) noexcept {
+  if (text == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || errno == ERANGE) return std::nullopt;
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(parsed);
+}
+
+}  // namespace nnr::runtime

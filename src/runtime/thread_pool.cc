@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/parse_int.h"
+
 namespace nnr::runtime {
 
 namespace {
@@ -21,9 +23,11 @@ thread_local bool t_in_parallel_region = false;
 }  // namespace
 
 int default_thread_count() noexcept {
-  if (const char* env = std::getenv("NNR_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<int>(v);
+  // Same strict rule as core::env_int: a malformed NNR_THREADS ("abc",
+  // "8x", overflow) falls back to hardware width instead of truncating.
+  const auto v = parse_int_strict(std::getenv("NNR_THREADS"));
+  if (v.has_value() && *v > 0) {
+    return static_cast<int>(std::min<std::int64_t>(*v, 1 << 16));
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<int>(hc);

@@ -1,0 +1,73 @@
+#include "sched/file_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+namespace nnr::sched {
+
+std::optional<FileLock> FileLock::acquire_impl(const std::string& path,
+                                               bool blocking) {
+  for (;;) {
+    const int fd =
+        ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0) return std::nullopt;
+    const int op = LOCK_EX | (blocking ? 0 : LOCK_NB);
+    if (::flock(fd, op) != 0) {
+      ::close(fd);
+      return std::nullopt;  // held elsewhere (non-blocking) or I/O failure
+    }
+    // The file may have been unlinked (or unlinked + re-created) between
+    // open and flock — then this lock guards a dead inode no other
+    // claimant can see. Verify identity and retry on mismatch.
+    struct stat by_fd{};
+    struct stat by_path{};
+    if (::fstat(fd, &by_fd) == 0 && ::stat(path.c_str(), &by_path) == 0 &&
+        by_fd.st_dev == by_path.st_dev && by_fd.st_ino == by_path.st_ino) {
+      // Record the holder pid for `ls`-level debugging of a busy cache.
+      (void)::ftruncate(fd, 0);
+      const std::string pid = std::to_string(::getpid()) + "\n";
+      (void)!::write(fd, pid.data(), pid.size());
+      return FileLock(fd, path);
+    }
+    ::close(fd);
+  }
+}
+
+std::optional<FileLock> FileLock::try_acquire(const std::string& path) {
+  return acquire_impl(path, /*blocking=*/false);
+}
+
+std::optional<FileLock> FileLock::acquire(const std::string& path) {
+  return acquire_impl(path, /*blocking=*/true);
+}
+
+void FileLock::unlink_and_release() {
+  if (fd_ < 0) return;
+  ::unlink(path_.c_str());
+  ::close(fd_);
+  fd_ = -1;
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+}  // namespace nnr::sched

@@ -1,0 +1,58 @@
+// Cross-process advisory file locks for the replicate cache.
+//
+// flock(2) rather than O_EXCL claim files: the kernel releases the lock
+// when the holder exits or is killed, so there are no stale claims to
+// reclaim after a crashed study — a killed `nnr_run --study` leaves its
+// lockfiles unheld and a resumed run claims them straight away. Within one
+// process, two acquisitions use two open file descriptions and therefore
+// DO conflict, so the same primitive also serializes pool workers.
+//
+// Removing a lockfile while others may be claiming it is the classic
+// unlink race (a new claimant can flock a fresh inode at the same path
+// while the old holder still believes it owns "the" lock). Acquisition
+// therefore verifies after flock that the locked inode is still the inode
+// at the path, retrying otherwise; `unlink_and_release` removes the file
+// while the lock is held. Together these make GC of leftover lockfiles
+// safe to run concurrently with live studies.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace nnr::sched {
+
+class FileLock {
+ public:
+  /// Exclusive non-blocking acquisition; nullopt when another holder
+  /// (process or thread) has the lock, or on I/O failure.
+  [[nodiscard]] static std::optional<FileLock> try_acquire(
+      const std::string& path);
+
+  /// Exclusive blocking acquisition; nullopt only on I/O failure (the
+  /// wait itself never fails).
+  [[nodiscard]] static std::optional<FileLock> acquire(
+      const std::string& path);
+
+  /// Removes the lockfile and releases the lock. Safe against concurrent
+  /// claimants: they detect the unlinked inode and re-create the file.
+  void unlink_and_release();
+
+  ~FileLock();
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  FileLock(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  static std::optional<FileLock> acquire_impl(const std::string& path,
+                                              bool blocking);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace nnr::sched

@@ -1,55 +1,222 @@
 #include "sched/replicate_cache.h"
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <system_error>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
+#include "core/env.h"
+#include "runtime/parse_int.h"
 #include "serialize/run_result.h"
 
 namespace nnr::sched {
 
 namespace fs = std::filesystem;
 
-ReplicateCache::ReplicateCache(std::string dir) : dir_(std::move(dir)) {}
+namespace {
+
+constexpr const char* kJournalName = "access.journal";
+constexpr const char* kGcLockName = "gc.lock";
+constexpr const char* kManifestName = "manifest";
+// Compact the journal once it outgrows this — at 33 bytes per access this
+// is ~8k accesses between compactions.
+constexpr std::int64_t kJournalCompactBytes = 256 * 1024;
+
+/// One on-disk cache entry, with its LRU rank inputs.
+struct EntryInfo {
+  fs::path path;
+  std::string hex;
+  std::int64_t size = 0;
+  fs::file_time_type mtime;
+  // Position of the entry's most recent journal record; -1 when the entry
+  // predates the journal (ranked oldest, tie-broken by mtime).
+  std::int64_t recency = -1;
+};
+
+bool is_entry_name(const std::string& name) {
+  if (name.size() != 35 || name.substr(32) != ".rr") return false;
+  return std::all_of(name.begin(), name.begin() + 32, [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+/// Entries currently on disk (ignores temp files, locks, journal, manifest).
+std::vector<EntryInfo> list_entries(const std::string& dir) {
+  std::vector<EntryInfo> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& path = it->path();
+    const std::string name = path.filename().string();
+    if (!is_entry_name(name)) continue;
+    EntryInfo info;
+    info.path = path;
+    info.hex = name.substr(0, 32);
+    std::error_code stat_ec;
+    const auto size = fs::file_size(path, stat_ec);
+    if (stat_ec) continue;  // vanished mid-scan (evicted by a peer)
+    info.size = static_cast<std::int64_t>(size);
+    info.mtime = fs::last_write_time(path, stat_ec);
+    if (stat_ec) continue;
+    entries.push_back(std::move(info));
+  }
+  return entries;
+}
+
+std::int64_t total_size(const std::vector<EntryInfo>& entries) {
+  std::int64_t total = 0;
+  for (const EntryInfo& e : entries) total += e.size;
+  return total;
+}
+
+/// Sorts oldest-access-first: entries never journaled rank before journaled
+/// ones (by mtime); journaled ones rank by the position of their last
+/// journal record.
+void sort_lru(std::vector<EntryInfo>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              if (a.recency != b.recency) return a.recency < b.recency;
+              return a.mtime < b.mtime;
+            });
+}
+
+/// Stamps each entry's recency with the position of its last journal
+/// record (one O(tokens) pass, not a scan per entry) and sorts LRU-first.
+void rank_lru(std::vector<EntryInfo>& entries,
+              const std::vector<std::string>& tokens) {
+  std::unordered_map<std::string, std::int64_t> last_index;
+  last_index.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    last_index[tokens[i]] = static_cast<std::int64_t>(i);
+  }
+  for (EntryInfo& e : entries) {
+    const auto it = last_index.find(e.hex);
+    if (it != last_index.end()) e.recency = it->second;
+  }
+  sort_lru(entries);
+}
+
+/// True when the pid embedded in a temp-file name still names a live
+/// process (alive or unkillable-but-present). Unparsable pids count as
+/// dead — the file can only be an orphan from a crashed writer.
+bool tmp_owner_alive(const std::string& name) {
+  const auto pos = name.rfind(".tmp");
+  if (pos == std::string::npos) return false;
+  std::string pid_text = name.substr(pos + 4);
+  const auto dot = pid_text.find('.');
+  if (dot != std::string::npos) pid_text = pid_text.substr(0, dot);
+  const auto pid = runtime::parse_int_strict(pid_text.c_str());
+  if (!pid.has_value() || *pid <= 0 || *pid > 0x7FFFFFFF) return false;
+  return ::kill(static_cast<pid_t>(*pid), 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
+
+ReplicateCache::ReplicateCache(std::string dir, std::int64_t budget_bytes)
+    : dir_(std::move(dir)),
+      budget_(std::max<std::int64_t>(budget_bytes, 0)),
+      journal_((fs::path(dir_) / kJournalName).string()) {}
 
 ReplicateCache ReplicateCache::from_env() {
   const char* dir = std::getenv("NNR_CACHE_DIR");
-  return ReplicateCache(dir != nullptr ? dir : "");
+  return ReplicateCache(dir != nullptr ? dir : "",
+                        core::env_int("NNR_CACHE_BUDGET", 0));
 }
 
 std::string ReplicateCache::path_for(const CellKey& key) const {
   return (fs::path(dir_) / (key.hex() + ".rr")).string();
 }
 
-std::optional<core::RunResult> ReplicateCache::load(const CellKey& key) {
+std::string ReplicateCache::lock_path_for(const CellKey& key) const {
+  return (fs::path(dir_) / (key.hex() + ".lock")).string();
+}
+
+std::string ReplicateCache::gc_lock_path() const {
+  return (fs::path(dir_) / kGcLockName).string();
+}
+
+void ReplicateCache::touch(const CellKey& key) const {
+  journal_.append(key.hex());
+}
+
+void ReplicateCache::ensure_dir_and_manifest() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (manifest_checked_.exchange(true)) return;
+  const std::string manifest = (fs::path(dir_) / kManifestName).string();
+  if (fs::exists(manifest, ec)) return;
+  // First writer wins; guarded by the cache-wide lock so two processes
+  // initializing one fresh dir don't interleave partial writes.
+  auto lock = FileLock::try_acquire(gc_lock_path());
+  if (!lock.has_value()) return;  // a peer is writing it right now
+  const std::string tmp = manifest + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << "nnr-replicate-cache v1\n"
+        << "cell_key_version=" << kCellKeyVersion << "\n";
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, manifest, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+std::optional<core::RunResult> ReplicateCache::load(const CellKey& key,
+                                                    CacheStats* run,
+                                                    bool count_miss) {
   if (!enabled()) return std::nullopt;
   const std::string path = path_for(key);
   std::error_code ec;
   const auto size = fs::file_size(path, ec);
   if (ec) {
+    if (!count_miss) return std::nullopt;
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    if (run != nullptr) ++run->misses;
     return std::nullopt;
   }
   try {
     core::RunResult result = serialize::load_run_result(path, key.hi, key.lo);
+    touch(key);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.hits;
     stats_.bytes_read += static_cast<std::int64_t>(size);
+    if (run != nullptr) {
+      ++run->hits;
+      run->bytes_read += static_cast<std::int64_t>(size);
+    }
     return result;
   } catch (const serialize::CheckpointError&) {
-    // Corrupted / truncated / foreign entry: fall back to recompute.
+    if (!count_miss) return std::nullopt;
+    // An entry evicted by a peer between our stat and our open is a plain
+    // miss; only a file that is still present and unreadable is corrupt.
+    std::error_code gone_ec;
+    const bool vanished = !fs::exists(path, gone_ec);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
-    ++stats_.corrupt;
+    if (run != nullptr) ++run->misses;
+    if (!vanished) {
+      ++stats_.corrupt;
+      if (run != nullptr) ++run->corrupt;
+    }
     return std::nullopt;
   }
 }
 
-bool ReplicateCache::store(const CellKey& key, const core::RunResult& result) {
+bool ReplicateCache::store(const CellKey& key, const core::RunResult& result,
+                           CacheStats* run) {
   if (!enabled()) return false;
   const std::string path = path_for(key);
   // Unique temp name per (process, thread) writer — benches legitimately
@@ -59,23 +226,170 @@ bool ReplicateCache::store(const CellKey& key, const core::RunResult& result) {
       path + ".tmp" + std::to_string(::getpid()) + "." +
       std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
   std::error_code ec;
-  fs::create_directories(dir_, ec);
+  ensure_dir_and_manifest();
+  std::uint64_t bytes = 0;
   try {
-    serialize::save_run_result(tmp, result, key.hi, key.lo);
+    bytes = serialize::save_run_result(tmp, result, key.hi, key.lo);
   } catch (const serialize::CheckpointError&) {
     fs::remove(tmp, ec);
     return false;
   }
-  const auto size = fs::file_size(tmp, ec);
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.stores;
-  stats_.bytes_written += static_cast<std::int64_t>(size);
+  touch(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+    stats_.bytes_written += static_cast<std::int64_t>(bytes);
+    if (run != nullptr) {
+      ++run->stores;
+      run->bytes_written += static_cast<std::int64_t>(bytes);
+    }
+  }
+  if (budget_ > 0) {
+    if (approx_bytes_.load(std::memory_order_relaxed) >= 0) {
+      approx_bytes_.fetch_add(static_cast<std::int64_t>(bytes),
+                              std::memory_order_relaxed);
+    }
+    maybe_evict();
+  }
   return true;
+}
+
+std::optional<FileLock> ReplicateCache::try_claim(const CellKey& key) {
+  if (!enabled()) return std::nullopt;
+  ensure_dir_and_manifest();
+  return FileLock::try_acquire(lock_path_for(key));
+}
+
+std::optional<FileLock> ReplicateCache::claim(const CellKey& key) {
+  if (!enabled()) return std::nullopt;
+  ensure_dir_and_manifest();
+  return FileLock::acquire(lock_path_for(key));
+}
+
+void ReplicateCache::maybe_evict() {
+  // Cheap pre-check: a running estimate of total entry bytes (seeded by one
+  // scan, advanced by our own stores, reset to the authoritative total on
+  // each eviction pass). Peers' stores are invisible to it, but they
+  // advance their own estimates — whoever crosses the budget evicts.
+  std::int64_t approx = approx_bytes_.load(std::memory_order_relaxed);
+  if (approx < 0) {
+    approx = total_size(list_entries(dir_));
+    approx_bytes_.store(approx, std::memory_order_relaxed);
+  }
+  if (approx <= budget_) return;
+  auto lock = FileLock::try_acquire(gc_lock_path());
+  if (!lock.has_value()) return;  // a peer is already evicting
+  evict_to_budget_locked(budget_, nullptr);
+  if (journal_.size_bytes() > kJournalCompactBytes) compact_journal_locked();
+}
+
+void ReplicateCache::evict_to_budget_locked(std::int64_t budget,
+                                            GcStats* gc_stats) {
+  std::vector<EntryInfo> entries = list_entries(dir_);
+  std::int64_t total = total_size(entries);
+  if (budget > 0 && total > budget) {
+    rank_lru(entries, journal_.read());
+    std::vector<EntryInfo> survivors;
+    for (EntryInfo& victim : entries) {
+      if (total <= budget) {
+        survivors.push_back(std::move(victim));
+        continue;
+      }
+      // In-flight keys (claim held by a trainer or a reader double-check)
+      // are never evicted; holding the claim while removing closes the
+      // race against a concurrent claimant of the same key.
+      auto key_lock = FileLock::try_acquire(
+          (victim.path.parent_path() / (victim.hex + ".lock")).string());
+      if (!key_lock.has_value()) {
+        survivors.push_back(std::move(victim));
+        continue;
+      }
+      std::error_code ec;
+      fs::remove(victim.path, ec);
+      key_lock->unlink_and_release();
+      if (!ec) {
+        total -= victim.size;
+        if (gc_stats != nullptr) {
+          ++gc_stats->evicted;
+          gc_stats->evicted_bytes += victim.size;
+        }
+      } else {
+        survivors.push_back(std::move(victim));
+      }
+    }
+    entries = std::move(survivors);
+    sort_lru(entries);
+  }
+  approx_bytes_.store(total, std::memory_order_relaxed);
+  if (gc_stats != nullptr) {
+    gc_stats->entries = static_cast<std::int64_t>(entries.size());
+    gc_stats->bytes = total;
+  }
+}
+
+void ReplicateCache::compact_journal_locked() const {
+  // One record per surviving entry, oldest access first — semantically
+  // identical to the full journal for LRU purposes.
+  const std::int64_t size_at_read = journal_.size_bytes();
+  std::vector<EntryInfo> entries = list_entries(dir_);
+  rank_lru(entries, journal_.read());
+  std::vector<std::string> compacted;
+  compacted.reserve(entries.size());
+  for (const EntryInfo& e : entries) compacted.push_back(e.hex);
+  // Appends don't take the cache-wide lock, so a peer's hit may land while
+  // we compact; skip the rewrite when the journal grew under us rather
+  // than discard that record (a narrower window remains and costs at most
+  // one entry's LRU rank — never correctness).
+  if (journal_.size_bytes() != size_at_read) return;
+  journal_.rewrite(compacted);
+}
+
+GcStats ReplicateCache::gc() {
+  GcStats result;
+  if (!enabled()) return result;
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) return result;
+  auto lock = FileLock::acquire(gc_lock_path());
+  if (!lock.has_value()) return result;
+
+  // Sweep orphaned temp files: a writer that died between open and rename
+  // leaves `<entry>.tmp<pid>.<tid>` behind. A live pid means a store (or
+  // journal compaction) is in flight right now — leave it alone.
+  std::vector<fs::path> tmp_files;
+  std::vector<fs::path> lock_files;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.find(".tmp") != std::string::npos) {
+      tmp_files.push_back(it->path());
+    } else if (name.size() > 5 && name.substr(name.size() - 5) == ".lock" &&
+               name != kGcLockName) {
+      lock_files.push_back(it->path());
+    }
+  }
+  for (const fs::path& tmp : tmp_files) {
+    if (tmp_owner_alive(tmp.filename().string())) continue;
+    fs::remove(tmp, ec);
+    if (!ec) ++result.removed_tmp;
+  }
+  // Sweep unheld key lockfiles (left behind by finished or killed claims).
+  // try_acquire + unlink-under-lock keeps this safe against concurrent
+  // claimants — they detect the dead inode and re-create the file.
+  for (const fs::path& path : lock_files) {
+    auto key_lock = FileLock::try_acquire(path.string());
+    if (!key_lock.has_value()) continue;  // held: a trainer owns this key
+    key_lock->unlink_and_release();
+    ++result.removed_locks;
+  }
+
+  evict_to_budget_locked(budget_, &result);
+  compact_journal_locked();
+  return result;
 }
 
 CacheStats ReplicateCache::stats() const {

@@ -12,8 +12,26 @@
 // treated as a miss (the scheduler recomputes); a failed store is dropped
 // silently. Loads/stores are thread-safe — the scheduler calls them from
 // pool workers.
+//
+// Cross-process coordination: every key has an advisory lockfile
+// (`<hex>.lock`, flock-based — sched/file_lock.h). The scheduler claims a
+// key before training it, so N concurrent processes sharing one cache dir
+// partition the grid instead of duplicating work; a killed process's claims
+// are released by the kernel, so resumed studies never wait on a stale
+// lock. A cache-wide lock (`gc.lock`) serializes eviction, GC, journal
+// compaction, and the one-time manifest write.
+//
+// Size budget: when a byte budget is configured (NNR_CACHE_BUDGET /
+// --cache-budget, 0 = unlimited), a store that pushes the cache over budget
+// evicts least-recently-used entries down to the budget. Recency comes from
+// a persisted append-only access journal (`access.journal`,
+// serialize/journal.h) updated on every hit and store; entries whose key
+// lock is currently held (in-flight) are never evicted. `gc()` additionally
+// sweeps orphaned `.tmp` files (dead writer pids) and unheld lockfiles —
+// exposed as `nnr_run --cache-gc`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -21,6 +39,8 @@
 
 #include "core/trainer.h"
 #include "sched/cell_key.h"
+#include "sched/file_lock.h"
+#include "serialize/journal.h"
 
 namespace nnr::sched {
 
@@ -34,34 +54,91 @@ struct CacheStats {
   std::int64_t bytes_written = 0;
 };
 
+/// What one gc() / eviction pass did, plus the cache's state afterwards.
+struct GcStats {
+  std::int64_t removed_tmp = 0;    // orphaned temp files swept
+  std::int64_t removed_locks = 0;  // unheld lockfiles swept
+  std::int64_t evicted = 0;        // entries evicted for the budget
+  std::int64_t evicted_bytes = 0;
+  std::int64_t entries = 0;  // entries remaining after the pass
+  std::int64_t bytes = 0;    // bytes remaining after the pass
+};
+
 class ReplicateCache {
  public:
   /// Cache rooted at `dir`; an empty dir disables the cache (every load
   /// misses without touching the stats, every store is a no-op).
-  explicit ReplicateCache(std::string dir);
+  /// `budget_bytes` > 0 bounds the cache's total entry size via LRU
+  /// eviction; <= 0 means unlimited.
+  explicit ReplicateCache(std::string dir, std::int64_t budget_bytes = 0);
 
-  /// Cache configured from the NNR_CACHE_DIR environment variable.
+  /// Cache configured from the environment: NNR_CACHE_DIR (unset disables)
+  /// and NNR_CACHE_BUDGET (bytes; unset/invalid means unlimited).
   [[nodiscard]] static ReplicateCache from_env();
 
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::int64_t budget() const noexcept { return budget_; }
 
   /// The result stored under `key`, or nullopt (miss). Corruption of any
-  /// kind is a miss, never an exception.
-  [[nodiscard]] std::optional<core::RunResult> load(const CellKey& key);
+  /// kind is a miss, never an exception. When `run` is non-null the same
+  /// counter deltas are applied to it — this is how the scheduler keeps
+  /// exact per-run stats while several runs share one cache.
+  /// `count_miss = false` suppresses miss/corrupt counting (hits still
+  /// count): the scheduler's revalidation loads — under a fresh claim, or
+  /// after waiting out a peer's claim — would otherwise double-count the
+  /// one real miss already recorded for that replicate.
+  [[nodiscard]] std::optional<core::RunResult> load(
+      const CellKey& key, CacheStats* run = nullptr, bool count_miss = true);
 
-  /// Persists `result` under `key` (atomic: temp file + rename). Returns
-  /// false when disabled or on I/O failure.
-  bool store(const CellKey& key, const core::RunResult& result);
+  /// Persists `result` under `key` (atomic: temp file + rename; exact byte
+  /// accounting from the serializer, never from a re-stat). Returns false
+  /// when disabled or on I/O failure, and then counts nothing. Triggers
+  /// budget eviction when configured.
+  bool store(const CellKey& key, const core::RunResult& result,
+             CacheStats* run = nullptr);
+
+  /// Claims `key`'s training slot (non-blocking). nullopt means another
+  /// worker or process holds the claim — it is training this key right
+  /// now. Holding the claim while training and storing is what makes
+  /// concurrent studies partition a shared grid.
+  [[nodiscard]] std::optional<FileLock> try_claim(const CellKey& key);
+
+  /// Blocking claim — returns once the current holder finishes (or died).
+  /// nullopt only on I/O failure (treat as "train it yourself").
+  [[nodiscard]] std::optional<FileLock> claim(const CellKey& key);
+
+  /// Full housekeeping pass under the cache-wide lock: sweeps orphaned
+  /// `.tmp` files (writer pid no longer alive) and unheld lockfiles,
+  /// evicts to the budget, and compacts the access journal. Safe to run
+  /// concurrently with live studies. No-op (all zeros) when disabled.
+  GcStats gc();
 
   /// Snapshot of the counters since construction.
   [[nodiscard]] CacheStats stats() const;
 
   /// Cache file path for `key` (exposed for tests and tooling).
   [[nodiscard]] std::string path_for(const CellKey& key) const;
+  /// Advisory lockfile path for `key`.
+  [[nodiscard]] std::string lock_path_for(const CellKey& key) const;
 
  private:
+  void touch(const CellKey& key) const;  // journal an access (best-effort)
+  void ensure_dir_and_manifest();
+  void maybe_evict();
+  void evict_to_budget_locked(std::int64_t budget, GcStats* gc_stats);
+  void compact_journal_locked() const;
+  [[nodiscard]] std::string gc_lock_path() const;
+
   std::string dir_;
+  std::int64_t budget_ = 0;
+  serialize::AccessJournal journal_;
+  std::atomic<bool> manifest_checked_{false};
+  /// Running estimate of total entry bytes for the budget pre-check (-1 =
+  /// not yet seeded by a scan). Advanced by this process's stores, reset
+  /// to the authoritative total on each eviction pass; peers track their
+  /// own stores, so whoever crosses the budget runs the eviction.
+  std::atomic<std::int64_t> approx_bytes_{-1};
   mutable std::mutex mu_;
   CacheStats stats_;
 };

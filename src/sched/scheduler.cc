@@ -1,6 +1,9 @@
 #include "sched/scheduler.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 #include "runtime/thread_pool.h"
@@ -9,10 +12,84 @@
 namespace nnr::sched {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 core::RunResult train_one(const Cell& cell, core::ReplicateIds ids) {
   if (cell.runner) return cell.runner(cell.job, ids);
   return core::train_replicate(cell.job, ids);
 }
+
+/// Progress/callback bookkeeping shared by the pool workers. Counters are
+/// worker-local atomics (result.cache is only safe to read after the run),
+/// so a progress line never races the cache's internal stats updates.
+class ProgressReporter {
+ public:
+  ProgressReporter(const RunOptions& opts, std::int64_t total)
+      : opts_(opts), total_(total), start_(Clock::now()) {}
+
+  void complete(std::size_t cell, std::int64_t replicate, bool from_cache,
+                bool was_trained) {
+    if (from_cache) hits_.fetch_add(1, std::memory_order_relaxed);
+    if (was_trained) trained_.fetch_add(1, std::memory_order_relaxed);
+    std::int64_t done = 0;
+    if (opts_.on_replicate) {
+      // Claim the completion slot and fire the callback under one mutex, so
+      // serialized callbacks see `done` strictly increasing 1..total.
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+      ReplicateEvent event;
+      event.cell = cell;
+      event.replicate = replicate;
+      event.from_cache = from_cache;
+      event.done = done;
+      event.total = total_;
+      opts_.on_replicate(event);
+    } else {
+      done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    if (opts_.progress) maybe_emit(done);
+  }
+
+ private:
+  void maybe_emit(std::int64_t done) {
+    const auto now = Clock::now();
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+            .count();
+    {
+      std::lock_guard<std::mutex> lock(emit_mu_);
+      // Periodic, not per-replicate: one line a second plus the final one.
+      if (done != total_ && elapsed_ms - last_emit_ms_ < 1000) return;
+      last_emit_ms_ = elapsed_ms;
+    }
+    char eta[32];
+    if (done > 0 && done < total_) {
+      const double eta_s = static_cast<double>(elapsed_ms) / 1000.0 /
+                           static_cast<double>(done) *
+                           static_cast<double>(total_ - done);
+      std::snprintf(eta, sizeof(eta), "%.1fs", eta_s);
+    } else {
+      std::snprintf(eta, sizeof(eta), "%s", done == total_ ? "0s" : "?");
+    }
+    std::fprintf(stderr,
+                 "[study] %lld/%lld cells, trained=%lld, hits=%lld, eta=%s\n",
+                 static_cast<long long>(done),
+                 static_cast<long long>(total_),
+                 static_cast<long long>(trained_.load(std::memory_order_relaxed)),
+                 static_cast<long long>(hits_.load(std::memory_order_relaxed)),
+                 eta);
+  }
+
+  const RunOptions& opts_;
+  const std::int64_t total_;
+  const Clock::time_point start_;
+  std::atomic<std::int64_t> done_{0};
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> trained_{0};
+  std::mutex callback_mu_;
+  std::mutex emit_mu_;
+  std::int64_t last_emit_ms_ = -1000000;
+};
 
 }  // namespace
 
@@ -40,10 +117,22 @@ StudyResult run_plan(const StudyPlan& plan, const RunOptions& opts) {
     }
   }
 
-  const CacheStats before =
-      opts.cache != nullptr ? opts.cache->stats() : CacheStats{};
   std::atomic<std::int64_t> trained{0};
+  ProgressReporter progress(opts, static_cast<std::int64_t>(items.size()));
+  std::mutex deferred_mu;
+  std::vector<std::int64_t> deferred;
   const int max_workers = opts.threads < 0 ? 1 : opts.threads;
+
+  const auto train_into = [&](const Cell& cell, const core::ReplicateIds& ids,
+                              core::RunResult& slot) {
+    slot = train_one(cell, ids);
+    trained.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Phase 1: every replicate is loaded, trained under its key's claim, or
+  // deferred because a concurrent process holds the claim (it is training
+  // that key right now — duplicating its work would waste the whole point
+  // of a shared cache).
   runtime::ThreadPool::global().parallel_for(
       0, static_cast<std::int64_t>(items.size()), 1,
       [&](std::int64_t i0, std::int64_t i1) {
@@ -53,33 +142,75 @@ StudyResult run_plan(const StudyPlan& plan, const RunOptions& opts) {
           const core::ReplicateIds ids = cell.ids_for(item.replicate);
           core::RunResult& slot =
               result.cells[item.cell][static_cast<std::size_t>(item.replicate)];
-          if (opts.cache != nullptr && cell.cacheable()) {
-            const CellKey key = cell_key(cell, ids);
-            if (auto cached = opts.cache->load(key)) {
+          if (opts.cache == nullptr || !cell.cacheable()) {
+            train_into(cell, ids, slot);
+            progress.complete(item.cell, item.replicate, false, true);
+            continue;
+          }
+          const CellKey key = cell_key(cell, ids);
+          if (auto cached = opts.cache->load(key, &result.cache)) {
+            slot = std::move(*cached);
+            progress.complete(item.cell, item.replicate, true, false);
+            continue;
+          }
+          if (auto claim = opts.cache->try_claim(key)) {
+            // Double-check under the claim: a peer may have stored this key
+            // between our miss and our claim. The replicate's one real miss
+            // is already counted, so this load must not count another.
+            if (auto cached = opts.cache->load(key, &result.cache,
+                                               /*count_miss=*/false)) {
               slot = std::move(*cached);
+              progress.complete(item.cell, item.replicate, true, false);
               continue;
             }
-            slot = train_one(cell, ids);
-            trained.fetch_add(1, std::memory_order_relaxed);
-            opts.cache->store(key, slot);
+            train_into(cell, ids, slot);
+            opts.cache->store(key, slot, &result.cache);
+            progress.complete(item.cell, item.replicate, false, true);
           } else {
-            slot = train_one(cell, ids);
-            trained.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(deferred_mu);
+            deferred.push_back(i);
           }
         }
       },
       max_workers);
 
-  result.trained = trained.load();
-  if (opts.cache != nullptr) {
-    const CacheStats after = opts.cache->stats();
-    result.cache.hits = after.hits - before.hits;
-    result.cache.misses = after.misses - before.misses;
-    result.cache.corrupt = after.corrupt - before.corrupt;
-    result.cache.stores = after.stores - before.stores;
-    result.cache.bytes_read = after.bytes_read - before.bytes_read;
-    result.cache.bytes_written = after.bytes_written - before.bytes_written;
+  // Phase 2: contended keys. A blocking claim returns once the peer's
+  // training finishes (store -> load hit) or its process died (miss ->
+  // train it ourselves). Claims released by the kernel on process death
+  // mean a stale holder can never wedge this loop.
+  result.deferred = static_cast<std::int64_t>(deferred.size());
+  if (!deferred.empty()) {
+    runtime::ThreadPool::global().parallel_for(
+        0, static_cast<std::int64_t>(deferred.size()), 1,
+        [&](std::int64_t d0, std::int64_t d1) {
+          for (std::int64_t d = d0; d < d1; ++d) {
+            const WorkItem& item =
+                items[static_cast<std::size_t>(deferred[static_cast<std::size_t>(d)])];
+            const Cell& cell = plan.cells()[item.cell];
+            const core::ReplicateIds ids = cell.ids_for(item.replicate);
+            core::RunResult& slot =
+                result.cells[item.cell]
+                            [static_cast<std::size_t>(item.replicate)];
+            const CellKey key = cell_key(cell, ids);
+            auto claim = opts.cache->claim(key);
+            // The deferral's original miss is already counted (phase 1).
+            if (auto cached = opts.cache->load(key, &result.cache,
+                                               /*count_miss=*/false)) {
+              slot = std::move(*cached);
+              progress.complete(item.cell, item.replicate, true, false);
+              continue;
+            }
+            train_into(cell, ids, slot);
+            if (claim.has_value()) {
+              opts.cache->store(key, slot, &result.cache);
+            }
+            progress.complete(item.cell, item.replicate, false, true);
+          }
+        },
+        max_workers);
   }
+
+  result.trained = trained.load();
   return result;
 }
 

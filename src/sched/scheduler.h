@@ -5,9 +5,19 @@
 // on the worker that owns it (the pool is nest-safe), so the pool is never
 // oversubscribed. Host scheduling is invisible to the simulation — results
 // are bitwise identical for any worker count or cache state.
+//
+// Concurrent studies: when a cache is configured, the scheduler claims each
+// missing key's advisory lock before training it, so N processes (or
+// threads) sharing one cache dir partition the grid — a contended key is
+// deferred, then served from the peer's store once its claim releases
+// (training it locally only if the peer died without storing). Because every
+// completed replicate is durably keyed on disk, an interrupted study
+// resumed against the same cache trains exactly the remaining replicates
+// and produces bitwise-identical results.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/table.h"
@@ -15,6 +25,15 @@
 #include "sched/study_plan.h"
 
 namespace nnr::sched {
+
+/// One completed replicate, as seen by RunOptions::on_replicate.
+struct ReplicateEvent {
+  std::size_t cell = 0;        // index into plan.cells()
+  std::int64_t replicate = 0;  // replicate index within that cell
+  bool from_cache = false;     // served from the cache vs trained here
+  std::int64_t done = 0;       // replicates completed so far (this one incl.)
+  std::int64_t total = 0;      // replicates in the whole plan
+};
 
 struct RunOptions {
   /// Host-thread cap for this run: > 0 caps the fan-out below the shared
@@ -27,23 +46,36 @@ struct RunOptions {
   /// When set, cacheable replicates are served from / stored into this
   /// cache. nullptr trains everything.
   ReplicateCache* cache = nullptr;
+  /// Called after each replicate completes (loaded or trained).
+  /// Invocations are serialized (one at a time), but arrive from pool
+  /// worker threads, not the caller's thread.
+  std::function<void(const ReplicateEvent&)> on_replicate;
+  /// Emit periodic "[study] <done>/<total> cells, trained=..., hits=...,
+  /// eta=..." lines on stderr while the grid runs.
+  bool progress = false;
 };
 
 struct StudyResult {
   /// results[c][r] is replicate r of plan.cells()[c], in replicate order —
   /// index semantics identical to core::run_replicates.
   std::vector<std::vector<core::RunResult>> cells;
-  /// This run's cache activity (all zeros when no cache was configured).
+  /// This run's exact cache activity (all zeros when no cache was
+  /// configured): the cache applies per-run counter deltas, so the numbers
+  /// stay exact even when concurrent runs share one cache. Invariant for a
+  /// fully cacheable plan: hits + trained == total replicates.
   CacheStats cache;
   /// Replicates actually trained in-process (= cache misses + uncacheable
   /// cells). A warm-cache rerun of a fully cacheable plan reports 0.
   std::int64_t trained = 0;
+  /// Replicates that were contended with a concurrent process (deferred,
+  /// then loaded from its store or trained after its claim died).
+  std::int64_t deferred = 0;
 };
 
 /// Runs `plan` to completion. Throws std::invalid_argument when a cell's
 /// explicit_ids is non-empty but does not match its replicate count. Safe
-/// to call with the same cache from sequential studies; not with the same
-/// cache from concurrent threads (stats deltas would interleave).
+/// to share one cache across sequential or concurrent runs — per-run stats
+/// are exact either way.
 [[nodiscard]] StudyResult run_plan(const StudyPlan& plan,
                                    const RunOptions& opts = {});
 

@@ -44,6 +44,7 @@ class Writer {
       : out_(path, std::ios::binary | std::ios::trunc) {
     if (!out_) throw CheckpointError("cannot open for writing: " + path);
     out_.write(magic.data(), magic.size());
+    bytes_written_ = magic.size();
   }
 
   template <typename T>
@@ -51,24 +52,32 @@ class Writer {
     static_assert(std::is_trivially_copyable_v<T>);
     out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
     hash_.update(&v, sizeof(T));
+    bytes_written_ += sizeof(T);
   }
 
   void put_bytes(const void* data, std::size_t bytes) {
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(bytes));
     hash_.update(data, bytes);
+    bytes_written_ += bytes;
   }
 
-  void finish(const std::string& path) {
+  /// Appends the checksum trailer and returns the file's total size in
+  /// bytes — the exact accounting figure, so callers (the replicate cache)
+  /// never have to re-stat the file and risk counting a garbage size.
+  std::uint64_t finish(const std::string& path) {
     const std::uint64_t digest = hash_.digest();
     out_.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    bytes_written_ += sizeof(digest);
     out_.flush();
     if (!out_) throw CheckpointError("write failed: " + path);
+    return bytes_written_;
   }
 
  private:
   std::ofstream out_;
   Fnv1a hash_;
+  std::uint64_t bytes_written_ = 0;
 };
 
 class Reader {

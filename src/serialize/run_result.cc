@@ -27,8 +27,9 @@ std::vector<T> get_vector(detail::Reader& r) {
 
 }  // namespace
 
-void save_run_result(const std::string& path, const core::RunResult& result,
-                     std::uint64_t key_hi, std::uint64_t key_lo) {
+std::uint64_t save_run_result(const std::string& path,
+                              const core::RunResult& result,
+                              std::uint64_t key_hi, std::uint64_t key_lo) {
   detail::Writer w(path, kResultMagic);
   w.put(key_hi);
   w.put(key_lo);
@@ -37,7 +38,7 @@ void save_run_result(const std::string& path, const core::RunResult& result,
   put_vector(w, result.final_weights);
   w.put(result.test_accuracy);
   w.put(result.final_train_loss);
-  w.finish(path);
+  return w.finish(path);
 }
 
 core::RunResult load_run_result(const std::string& path, std::uint64_t key_hi,

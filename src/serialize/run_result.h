@@ -27,10 +27,13 @@
 
 namespace nnr::serialize {
 
-/// Writes `result` to `path`, stamped with the cell content key.
-/// Throws CheckpointError on I/O failure.
-void save_run_result(const std::string& path, const core::RunResult& result,
-                     std::uint64_t key_hi, std::uint64_t key_lo);
+/// Writes `result` to `path`, stamped with the cell content key. Returns
+/// the number of bytes written (the file's exact size), so cache accounting
+/// never depends on re-statting the file. Throws CheckpointError on I/O
+/// failure.
+std::uint64_t save_run_result(const std::string& path,
+                              const core::RunResult& result,
+                              std::uint64_t key_hi, std::uint64_t key_lo);
 
 /// Reads a RunResult back. Throws CheckpointError on I/O failure, magic or
 /// checksum mismatch, truncation, or when the embedded key differs from

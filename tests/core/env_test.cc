@@ -52,6 +52,25 @@ TEST(EnvInt, GarbageFallsBack) {
   EXPECT_EQ(env_int("NNR_TEST_KNOB", 7), 7);
 }
 
+TEST(EnvInt, TrailingJunkFallsBack) {
+  // "8x" is a typo, not an 8: truncating silently would run the experiment
+  // at the wrong scale.
+  ScopedEnv knob("NNR_TEST_KNOB", "8x");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 3), 3);
+}
+
+TEST(EnvInt, OverflowFallsBack) {
+  ScopedEnv knob("NNR_TEST_KNOB", "99999999999999999999999");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 5), 5);
+  ScopedEnv negative("NNR_TEST_KNOB", "-99999999999999999999999");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 5), 5);
+}
+
+TEST(EnvInt, SurroundingWhitespaceParses) {
+  ScopedEnv knob("NNR_TEST_KNOB", " 12 ");
+  EXPECT_EQ(env_int("NNR_TEST_KNOB", 0), 12);
+}
+
 TEST(EnvInt, EmptyStringFallsBack) {
   ScopedEnv knob("NNR_TEST_KNOB", "");
   EXPECT_EQ(env_int("NNR_TEST_KNOB", 9), 9);

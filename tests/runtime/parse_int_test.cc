@@ -1,0 +1,85 @@
+// parse_int_strict — the single strict integer parser behind core::env_int,
+// NNR_THREADS sizing, and nnr_run's integer flags — and its routing through
+// runtime::default_thread_count.
+#include "runtime/parse_int.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+
+namespace nnr::runtime {
+namespace {
+
+TEST(ParseIntStrict, ParsesPlainIntegers) {
+  EXPECT_EQ(parse_int_strict("0"), 0);
+  EXPECT_EQ(parse_int_strict("42"), 42);
+  EXPECT_EQ(parse_int_strict("-7"), -7);
+  EXPECT_EQ(parse_int_strict("+13"), 13);
+}
+
+TEST(ParseIntStrict, AllowsSurroundingWhitespaceOnly) {
+  EXPECT_EQ(parse_int_strict(" 8 "), 8);
+  EXPECT_EQ(parse_int_strict("\t9\n"), 9);
+}
+
+TEST(ParseIntStrict, RejectsTrailingJunk) {
+  EXPECT_FALSE(parse_int_strict("8x").has_value());
+  EXPECT_FALSE(parse_int_strict("4 threads").has_value());
+  EXPECT_FALSE(parse_int_strict("1.5").has_value());
+  EXPECT_FALSE(parse_int_strict("0x10").has_value());
+}
+
+TEST(ParseIntStrict, RejectsNonNumbersAndEmpty) {
+  EXPECT_FALSE(parse_int_strict("abc").has_value());
+  EXPECT_FALSE(parse_int_strict("").has_value());
+  EXPECT_FALSE(parse_int_strict("   ").has_value());
+  EXPECT_FALSE(parse_int_strict(nullptr).has_value());
+}
+
+TEST(ParseIntStrict, RejectsOverflow) {
+  EXPECT_FALSE(parse_int_strict("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_int_strict("-9223372036854775809").has_value());
+  EXPECT_EQ(parse_int_strict("9223372036854775807"),
+            INT64_C(9223372036854775807));
+}
+
+class ThreadEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("NNR_THREADS");
+    if (old != nullptr) previous_ = old;
+  }
+  void TearDown() override {
+    if (previous_.empty()) {
+      ::unsetenv("NNR_THREADS");
+    } else {
+      ::setenv("NNR_THREADS", previous_.c_str(), 1);
+    }
+  }
+  std::string previous_;
+};
+
+TEST_F(ThreadEnv, ValidNnrThreadsWins) {
+  ::setenv("NNR_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3);
+}
+
+TEST_F(ThreadEnv, MalformedNnrThreadsFallsBackToHardware) {
+  ::setenv("NNR_THREADS", "3", 1);
+  const int three = default_thread_count();
+  ASSERT_EQ(three, 3);
+  // The old lax parser turned "abc" into 0 ("use every core") and "8x"
+  // into 8 — both must now fall back to the hardware default instead.
+  ::unsetenv("NNR_THREADS");
+  const int hardware = default_thread_count();
+  for (const char* junk : {"abc", "8x", "", "-2", "99999999999999999999"}) {
+    ::setenv("NNR_THREADS", junk, 1);
+    EXPECT_EQ(default_thread_count(), hardware) << "NNR_THREADS=" << junk;
+  }
+}
+
+}  // namespace
+}  // namespace nnr::runtime

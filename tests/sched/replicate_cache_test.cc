@@ -1,7 +1,11 @@
-// ReplicateCache: hit/miss accounting, atomic stores, and the failure
-// policy — a corrupted, truncated, or foreign entry must degrade to a miss
-// (recompute), never crash the study.
+// ReplicateCache: hit/miss accounting, atomic stores, the failure policy —
+// a corrupted, truncated, or foreign entry must degrade to a miss
+// (recompute), never crash the study — plus the hardening surfaces:
+// exact per-run stats, cross-process claims, LRU eviction under a byte
+// budget (never an in-flight key), and GC of orphaned temp/lock files.
 #include "sched/replicate_cache.h"
+
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -145,6 +149,213 @@ TEST_F(ReplicateCacheTest, FromEnvHonorsNnrCacheDir) {
   EXPECT_EQ(ReplicateCache::from_env().dir(), dir_.string());
   ::unsetenv("NNR_CACHE_DIR");
   EXPECT_FALSE(ReplicateCache::from_env().enabled());
+}
+
+TEST_F(ReplicateCacheTest, FromEnvHonorsBudget) {
+  ::setenv("NNR_CACHE_DIR", dir_.string().c_str(), 1);
+  ::setenv("NNR_CACHE_BUDGET", "4096", 1);
+  EXPECT_EQ(ReplicateCache::from_env().budget(), 4096);
+  ::setenv("NNR_CACHE_BUDGET", "4096x", 1);  // junk -> unlimited, not 4096
+  EXPECT_EQ(ReplicateCache::from_env().budget(), 0);
+  ::unsetenv("NNR_CACHE_BUDGET");
+  ::unsetenv("NNR_CACHE_DIR");
+}
+
+TEST_F(ReplicateCacheTest, FailedStoreCountsNothingAndLeavesNoTemp) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{3, 4};
+  // Occupy the entry's final path with a directory: the serialize step
+  // succeeds but the atomic rename cannot, so the store must fail cleanly.
+  fs::create_directories(cache.path_for(key));
+  EXPECT_FALSE(cache.store(key, sample_result()));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.stores, 0);
+  EXPECT_EQ(stats.bytes_written, 0) << "failed store must not pollute bytes";
+  // The temp file was cleaned up.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp"),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+}
+
+TEST_F(ReplicateCacheTest, BytesWrittenIsTheExactFileSize) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{8, 8};
+  ASSERT_TRUE(cache.store(key, sample_result()));
+  EXPECT_EQ(static_cast<std::uintmax_t>(cache.stats().bytes_written),
+            fs::file_size(cache.path_for(key)));
+}
+
+TEST_F(ReplicateCacheTest, PerRunStatsReceiveTheSameDeltas) {
+  ReplicateCache cache(dir_.string());
+  CacheStats run;
+  const CellKey key{21, 22};
+  EXPECT_FALSE(cache.load(key, &run).has_value());
+  EXPECT_EQ(run.misses, 1);
+  ASSERT_TRUE(cache.store(key, sample_result(), &run));
+  EXPECT_EQ(run.stores, 1);
+  ASSERT_TRUE(cache.load(key, &run).has_value());
+  EXPECT_EQ(run.hits, 1);
+  EXPECT_EQ(run.bytes_read, run.bytes_written);
+  // The run-local view matches the cache-lifetime view built from the same
+  // operations.
+  const CacheStats total = cache.stats();
+  EXPECT_EQ(total.hits, run.hits);
+  EXPECT_EQ(total.misses, run.misses);
+  EXPECT_EQ(total.stores, run.stores);
+}
+
+TEST_F(ReplicateCacheTest, ClaimIsExclusivePerKey) {
+  ReplicateCache cache(dir_.string());
+  const CellKey key{31, 32};
+  auto claim = cache.try_claim(key);
+  ASSERT_TRUE(claim.has_value());
+  // Second claimant (another worker or, via a second cache object, another
+  // process) must be refused while the first holds the key.
+  ReplicateCache peer(dir_.string());
+  EXPECT_FALSE(peer.try_claim(key).has_value());
+  EXPECT_TRUE(peer.try_claim(CellKey{31, 33}).has_value())
+      << "claims are per-key, not cache-wide";
+  claim.reset();
+  EXPECT_TRUE(peer.try_claim(key).has_value());
+}
+
+TEST_F(ReplicateCacheTest, DisabledCacheRefusesClaims) {
+  ReplicateCache cache("");
+  EXPECT_FALSE(cache.try_claim({1, 1}).has_value());
+  EXPECT_FALSE(cache.claim({1, 1}).has_value());
+}
+
+class ReplicateCacheEvictionTest : public ReplicateCacheTest {
+ protected:
+  /// Bytes of one serialized sample_result entry (measured, not assumed).
+  std::int64_t entry_bytes() {
+    const fs::path probe_dir = dir_.string() + "_probe";
+    fs::remove_all(probe_dir);
+    ReplicateCache probe(probe_dir.string());
+    const CellKey key{0xFF, 0xFF};
+    EXPECT_TRUE(probe.store(key, sample_result()));
+    const auto size = fs::file_size(probe.path_for(key));
+    fs::remove_all(probe_dir);
+    return static_cast<std::int64_t>(size);
+  }
+};
+
+TEST_F(ReplicateCacheEvictionTest, EvictsLeastRecentlyUsedDownToBudget) {
+  const std::int64_t entry = entry_bytes();
+  // Room for three entries, not four.
+  ReplicateCache cache(dir_.string(), 3 * entry + entry / 2);
+  const CellKey a{1, 0}, b{2, 0}, c{3, 0}, d{4, 0};
+  ASSERT_TRUE(cache.store(a, sample_result()));
+  ASSERT_TRUE(cache.store(b, sample_result()));
+  ASSERT_TRUE(cache.store(c, sample_result()));
+  // Touch `a`: it is now more recently used than `b` and `c`.
+  ASSERT_TRUE(cache.load(a).has_value());
+  // The fourth store exceeds the budget; the LRU entry (`b`) must go.
+  ASSERT_TRUE(cache.store(d, sample_result()));
+  EXPECT_TRUE(fs::exists(cache.path_for(a)));
+  EXPECT_FALSE(fs::exists(cache.path_for(b))) << "LRU entry must be evicted";
+  EXPECT_TRUE(fs::exists(cache.path_for(c)));
+  EXPECT_TRUE(fs::exists(cache.path_for(d)));
+  // Evicted entries are ordinary misses afterwards — the validity contract
+  // (miss -> recompute) is untouched.
+  CacheStats run;
+  EXPECT_FALSE(cache.load(b, &run).has_value());
+  EXPECT_EQ(run.corrupt, 0);
+}
+
+TEST_F(ReplicateCacheEvictionTest, NeverEvictsAnInFlightKey) {
+  const std::int64_t entry = entry_bytes();
+  // Room for two entries.
+  ReplicateCache cache(dir_.string(), 2 * entry + entry / 2);
+  const CellKey a{1, 1}, b{2, 2}, c{3, 3};
+  ASSERT_TRUE(cache.store(a, sample_result()));
+  ASSERT_TRUE(cache.store(b, sample_result()));
+  // `a` is the LRU candidate but is in flight (claim held, as the
+  // scheduler holds it around a double-check/recompute).
+  auto claim = cache.try_claim(a);
+  ASSERT_TRUE(claim.has_value());
+  ASSERT_TRUE(cache.store(c, sample_result()));
+  EXPECT_TRUE(fs::exists(cache.path_for(a)))
+      << "in-flight key must never be evicted";
+  EXPECT_FALSE(fs::exists(cache.path_for(b)))
+      << "eviction falls through to the next LRU entry";
+  EXPECT_TRUE(fs::exists(cache.path_for(c)));
+}
+
+TEST_F(ReplicateCacheEvictionTest, UnlimitedBudgetNeverEvicts) {
+  ReplicateCache cache(dir_.string());  // budget 0 = unlimited
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    ASSERT_TRUE(cache.store(CellKey{i, i}, sample_result()));
+  }
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    EXPECT_TRUE(fs::exists(cache.path_for(CellKey{i, i})));
+  }
+}
+
+TEST_F(ReplicateCacheTest, GcSweepsOrphanedTempAndStaleLockFiles) {
+  ReplicateCache cache(dir_.string());
+  const CellKey keep{10, 20};
+  ASSERT_TRUE(cache.store(keep, sample_result()));
+  // Orphan: writer pid that cannot exist. Live: this process's own pid.
+  const fs::path orphan = dir_ / "0123456789abcdef0123456789abcdef.rr.tmp99999999.1";
+  const fs::path live =
+      dir_ / ("fedcba9876543210fedcba9876543210.rr.tmp" +
+              std::to_string(::getpid()) + ".7");
+  std::ofstream(orphan).put('x');
+  std::ofstream(live).put('x');
+  // Stale lockfile (unheld) vs a held claim.
+  std::ofstream(dir_ / "00000000000000000000000000000001.lock").put('\n');
+  auto held = cache.try_claim({0, 2});
+  ASSERT_TRUE(held.has_value());
+
+  const GcStats gc = cache.gc();
+  EXPECT_EQ(gc.removed_tmp, 1);
+  EXPECT_FALSE(fs::exists(orphan));
+  EXPECT_TRUE(fs::exists(live)) << "a live writer's temp file must survive";
+  EXPECT_EQ(gc.removed_locks, 1);
+  EXPECT_TRUE(fs::exists(cache.lock_path_for({0, 2})))
+      << "a held claim must survive GC";
+  EXPECT_EQ(gc.entries, 1);
+  EXPECT_EQ(static_cast<std::uintmax_t>(gc.bytes),
+            fs::file_size(cache.path_for(keep)));
+  // The surviving entry still loads.
+  EXPECT_TRUE(cache.load(keep).has_value());
+}
+
+TEST_F(ReplicateCacheTest, GcEvictsToBudgetAndCompactsTheJournal) {
+  ReplicateCache fill(dir_.string());
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(fill.store(CellKey{i, 0}, sample_result()));
+  }
+  const auto entry =
+      static_cast<std::int64_t>(fs::file_size(fill.path_for(CellKey{1, 0})));
+  ReplicateCache bounded(dir_.string(), 2 * entry + entry / 2);
+  const GcStats gc = bounded.gc();
+  EXPECT_EQ(gc.evicted, 4);
+  EXPECT_EQ(gc.entries, 2);
+  EXPECT_LE(gc.bytes, bounded.budget());
+  // LRU means the two newest stores survive.
+  EXPECT_TRUE(fs::exists(bounded.path_for(CellKey{5, 0})));
+  EXPECT_TRUE(fs::exists(bounded.path_for(CellKey{6, 0})));
+  // Compacted journal: one line per surviving entry.
+  std::ifstream journal(dir_ / "access.journal");
+  std::string line;
+  int lines = 0;
+  while (std::getline(journal, line)) ++lines;
+  EXPECT_EQ(lines, 2);
+}
+
+TEST_F(ReplicateCacheTest, GcOnDisabledOrMissingDirIsInert) {
+  ReplicateCache disabled("");
+  const GcStats none = disabled.gc();
+  EXPECT_EQ(none.entries, 0);
+  ReplicateCache missing((dir_ / "never_created").string());
+  const GcStats empty = missing.gc();
+  EXPECT_EQ(empty.entries, 0);
+  EXPECT_FALSE(fs::exists(dir_ / "never_created"))
+      << "gc must not create the cache dir";
 }
 
 }  // namespace

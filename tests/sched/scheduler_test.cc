@@ -12,6 +12,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -77,9 +78,15 @@ class SchedulerTest : public ::testing::Test {
 
 data::ClassificationDataset* SchedulerTest::dataset_ = nullptr;
 
+RunOptions with_threads(int threads) {
+  RunOptions opts;
+  opts.threads = threads;
+  return opts;
+}
+
 TEST_F(SchedulerTest, MatchesRunReplicatesBitwise) {
   const StudyPlan plan = tiny_plan(core::NoiseVariant::kAlgoPlusImpl, 2);
-  const StudyResult study = run_plan(plan, {.threads = 1});
+  const StudyResult study = run_plan(plan, with_threads(1));
   const auto reference =
       core::run_replicates(plan.cells()[0].job, 2, /*threads=*/1);
   ASSERT_EQ(study.cells.size(), 1u);
@@ -92,8 +99,8 @@ TEST_F(SchedulerTest, MatchesRunReplicatesBitwise) {
 
 TEST_F(SchedulerTest, ResultInvariantToThreadCap) {
   const StudyPlan plan = tiny_plan(core::NoiseVariant::kAlgoPlusImpl, 3);
-  const StudyResult serial = run_plan(plan, {.threads = -1});
-  const StudyResult wide = run_plan(plan, {.threads = 3});
+  const StudyResult serial = run_plan(plan, with_threads(-1));
+  const StudyResult wide = run_plan(plan, with_threads(3));
   for (std::size_t r = 0; r < 3; ++r) {
     expect_bitwise_equal(serial.cells[0][r], wide.cells[0][r]);
   }
@@ -224,11 +231,102 @@ TEST_F(SchedulerTest, FactorialExplicitIdsMatchDirectTraining) {
   Cell& cell = plan.add_cell(plan.own_task(tiny_task()),
                              core::NoiseVariant::kAlgoPlusImpl, hw::v100(), 2);
   cell.explicit_ids = {{0, 1}, {1, 0}};
-  const StudyResult study = run_plan(plan, {.threads = 1});
+  const StudyResult study = run_plan(plan, with_threads(1));
   expect_bitwise_equal(study.cells[0][0],
                        core::train_replicate(cell.job, {0, 1}));
   expect_bitwise_equal(study.cells[0][1],
                        core::train_replicate(cell.job, {1, 0}));
+}
+
+// Two runs sharing one cache dir via separate cache objects — exactly the
+// posture of two `nnr_run --study` processes — must partition the grid:
+// every key trains exactly once between them, per-run stats are exact
+// (hits + trained == total for each run, impossible with snapshot deltas),
+// and both observe bitwise-identical results.
+TEST_F(SchedulerTest, ConcurrentRunsPartitionASharedCache) {
+  constexpr std::int64_t kReplicates = 4;
+  const StudyPlan plan_a = tiny_plan(core::NoiseVariant::kControl, kReplicates);
+  const StudyPlan plan_b = tiny_plan(core::NoiseVariant::kControl, kReplicates);
+  ReplicateCache cache_a(cache_dir_.string());
+  ReplicateCache cache_b(cache_dir_.string());
+  StudyResult result_a;
+  StudyResult result_b;
+  std::thread runner_a([&] {
+    RunOptions opts;
+    opts.threads = -1;  // serial inside; the two OS threads contend
+    opts.cache = &cache_a;
+    result_a = run_plan(plan_a, opts);
+  });
+  std::thread runner_b([&] {
+    RunOptions opts;
+    opts.threads = -1;
+    opts.cache = &cache_b;
+    result_b = run_plan(plan_b, opts);
+  });
+  runner_a.join();
+  runner_b.join();
+
+  EXPECT_EQ(result_a.trained + result_b.trained, kReplicates)
+      << "each key must train exactly once across the two runs";
+  for (const StudyResult* result : {&result_a, &result_b}) {
+    EXPECT_EQ(result->cache.hits + result->trained, kReplicates)
+        << "per-run stats must be exact under concurrency";
+    EXPECT_EQ(result->cache.corrupt, 0);
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(kReplicates); ++r) {
+    expect_bitwise_equal(result_a.cells[0][r], result_b.cells[0][r]);
+  }
+}
+
+// The resume contract: a study interrupted mid-grid (here: a prefix of the
+// replicate grid already cached, as a killed run leaves behind) trains
+// exactly the remaining replicates and ends bitwise identical to an
+// uninterrupted run. The process-level kill -9 variant lives in
+// tests/scripts/kill_resume_test.sh.
+TEST_F(SchedulerTest, ResumedStudyTrainsExactlyTheRemainingReplicates) {
+  const StudyPlan uninterrupted = tiny_plan(core::NoiseVariant::kControl, 4);
+  const StudyResult fresh = run_plan(uninterrupted);
+
+  ReplicateCache cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  // "Interrupted" run: only the first 2 replicates completed before the
+  // kill; both are durably keyed on disk.
+  const StudyResult partial =
+      run_plan(tiny_plan(core::NoiseVariant::kControl, 2), opts);
+  EXPECT_EQ(partial.trained, 2);
+
+  const StudyResult resumed = run_plan(uninterrupted, opts);
+  EXPECT_EQ(resumed.trained, 2) << "resume must train only the missing cells";
+  EXPECT_EQ(resumed.cache.hits, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    expect_bitwise_equal(resumed.cells[0][r], fresh.cells[0][r]);
+  }
+}
+
+TEST_F(SchedulerTest, CompletionCallbackSeesEveryReplicate) {
+  const StudyPlan plan = tiny_plan(core::NoiseVariant::kControl, 3);
+  ReplicateCache cache(cache_dir_.string());
+  std::vector<ReplicateEvent> events;
+  RunOptions opts;
+  opts.cache = &cache;
+  opts.on_replicate = [&events](const ReplicateEvent& event) {
+    events.push_back(event);
+  };
+  (void)run_plan(plan, opts);
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].done, static_cast<std::int64_t>(i) + 1)
+        << "done must increase monotonically (callbacks are serialized)";
+    EXPECT_EQ(events[i].total, 3);
+    EXPECT_FALSE(events[i].from_cache);
+  }
+  events.clear();
+  (void)run_plan(plan, opts);  // warm rerun: everything served from disk
+  ASSERT_EQ(events.size(), 3u);
+  for (const ReplicateEvent& event : events) {
+    EXPECT_TRUE(event.from_cache);
+  }
 }
 
 TEST_F(SchedulerTest, CacheStatsTableListsAllCounters) {

@@ -1,0 +1,84 @@
+// AccessJournal: append/read round trips, duplicate records (LRU recency =
+// last occurrence), tolerance of torn/garbage lines, and atomic rewrite —
+// the persistence layer behind the replicate cache's LRU eviction.
+#include "serialize/journal.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace nnr::serialize {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AccessJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nnr_journal_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "access.journal").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(AccessJournalTest, MissingJournalReadsEmpty) {
+  const AccessJournal journal(path_);
+  EXPECT_TRUE(journal.read().empty());
+  EXPECT_EQ(journal.size_bytes(), 0);
+}
+
+TEST_F(AccessJournalTest, AppendReadRoundTripInOrder) {
+  const AccessJournal journal(path_);
+  journal.append("aaaa");
+  journal.append("bbbb");
+  journal.append("aaaa");  // duplicates preserved: last occurrence = recency
+  const auto tokens = journal.read();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "aaaa");
+  EXPECT_EQ(tokens[1], "bbbb");
+  EXPECT_EQ(tokens[2], "aaaa");
+  EXPECT_GT(journal.size_bytes(), 0);
+}
+
+TEST_F(AccessJournalTest, TornTrailingLineIsSkippedNotFatal) {
+  const AccessJournal journal(path_);
+  journal.append("cafe");
+  {
+    // A writer killed mid-append: bytes with no newline, including
+    // non-printable garbage.
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << "dead\nbe\x01";
+  }
+  const auto tokens = journal.read();
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cafe");
+  EXPECT_EQ(tokens[1], "dead");
+}
+
+TEST_F(AccessJournalTest, RewriteReplacesContentAtomically) {
+  const AccessJournal journal(path_);
+  journal.append("old1");
+  journal.append("old2");
+  journal.rewrite({"new1"});
+  const auto tokens = journal.read();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "new1");
+  // No rewrite temp file left behind.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace nnr::serialize

@@ -61,6 +61,12 @@ TEST_F(RunResultTest, RoundTripIsBitwiseLossless) {
   EXPECT_EQ(loaded.final_train_loss, original.final_train_loss);
 }
 
+TEST_F(RunResultTest, SaveReturnsTheExactFileSize) {
+  const std::uint64_t bytes = save_run_result(path_, sample_result(), 1, 2);
+  EXPECT_EQ(bytes, fs::file_size(path_))
+      << "cache byte accounting relies on the serializer's count";
+}
+
 TEST_F(RunResultTest, EmptyVectorsRoundTrip) {
   const core::RunResult empty;
   save_run_result(path_, empty, 1, 2);

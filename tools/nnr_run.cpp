@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/env.h"
 #include "core/study.h"
 #include "core/table.h"
 #include "core/tasks.h"
@@ -30,6 +31,7 @@
 #include "opt/rmsprop.h"
 #include "opt/sgd.h"
 #include "report/exporter.h"
+#include "runtime/parse_int.h"
 #include "runtime/thread_pool.h"
 #include "sched/registry.h"
 #include "sched/replicate_cache.h"
@@ -55,10 +57,21 @@ Single-cell mode (default):
 Study mode:
   --study NAME       run a named study (a full figure/table grid); see --list
 
+Cache maintenance mode:
+  --cache-gc         garbage-collect the cache dir and exit: sweep orphaned
+                     .tmp files (dead writers) and unheld lockfiles, evict
+                     to the byte budget (LRU), compact the access journal
+
 Shared:
   --cache-dir DIR    persistent replicate cache; replicates already on disk
                      are loaded (bitwise identical to retraining) instead of
-                     trained. Defaults to NNR_CACHE_DIR when set.
+                     trained. Defaults to NNR_CACHE_DIR when set. Concurrent
+                     runs sharing one cache dir partition the grid via
+                     per-key advisory locks (each cell trains exactly once).
+  --cache-budget N   cache byte budget; a store that pushes the cache over N
+                     bytes evicts least-recently-used entries (never one
+                     that is mid-training). Defaults to NNR_CACHE_BUDGET;
+                     0 = unlimited.
   --threads N        cap host-thread fan-out for this run. Precedence:
                      this flag > NNR_THREADS > hardware concurrency.
                      0 (default) = full shared-pool width; negative = serial.
@@ -68,8 +81,12 @@ Shared:
   --list             print available tasks/devices/variants/studies and exit
   --help             this text
 
-Cache stats go to stderr ([cache] hits=... trained=...), never into tables,
-so warm-cache reruns emit byte-identical artifacts.
+Integer flags are parsed strictly: trailing junk ("--threads 4x") is an
+error, never a silent zero. Cache stats and progress go to stderr
+([cache] hits=... / [study] 5/36 cells, ...), never into tables, so
+warm-cache reruns emit byte-identical artifacts. A run killed mid-study is
+resumable: rerun with the same cache dir and only the missing replicates
+train, with bitwise-identical final tables.
 )";
 
 std::optional<core::NoiseVariant> parse_variant(const std::string& name) {
@@ -129,6 +146,24 @@ void print_catalog() {
   std::exit(2);
 }
 
+/// Strict integer flag parse: the whole value must be one decimal integer
+/// ("--threads 4x" or "--threads abc" is an error, never a silent 0).
+std::int64_t parse_int_flag(const char* flag, const char* text) {
+  const auto parsed = runtime::parse_int_strict(text);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "nnr_run: %s needs an integer, got '%s' (trailing junk and "
+                 "out-of-range values are rejected)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+/// Sanity cap for --threads (a pool cap, not a budget — far above any real
+/// machine, far below int overflow).
+constexpr std::int64_t kMaxThreadsFlag = 1 << 20;
+
 struct Options {
   std::string task = "smallcnn_bn";
   std::string device = "V100";
@@ -143,8 +178,10 @@ struct Options {
   int threads = 0;
   bool csv = false;
   bool json = false;
-  std::string out_dir;    // empty = no file export
-  std::string cache_dir;  // empty = NNR_CACHE_DIR, else that value
+  bool cache_gc = false;         // --cache-gc maintenance mode
+  std::string out_dir;           // empty = no file export
+  std::string cache_dir;         // empty = NNR_CACHE_DIR, else that value
+  std::int64_t cache_budget = 0; // bytes; 0 = NNR_CACHE_BUDGET / unlimited
 };
 
 Options parse_args(int argc, char** argv) {
@@ -153,6 +190,7 @@ Options parse_args(int argc, char** argv) {
     const char* dir = std::getenv("NNR_CACHE_DIR");
     return std::string(dir != nullptr ? dir : "");
   }();
+  opts.cache_budget = core::env_int("NNR_CACHE_BUDGET", 0);
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_error("flag needs a value");
     return argv[++i];
@@ -191,12 +229,25 @@ Options parse_args(int argc, char** argv) {
                        core::NoiseVariant::kAlgo, core::NoiseVariant::kImpl};
     } else if (arg == "--replicates") {
       opts.single_cell_flags_used = true;
-      opts.replicates = std::atoll(next_value(i));
+      opts.replicates = parse_int_flag("--replicates", next_value(i));
     } else if (arg == "--epochs") {
       opts.single_cell_flags_used = true;
-      opts.epochs = std::atoll(next_value(i));
+      opts.epochs = parse_int_flag("--epochs", next_value(i));
     } else if (arg == "--threads") {
-      opts.threads = std::atoi(next_value(i));
+      const std::int64_t threads = parse_int_flag("--threads", next_value(i));
+      // Strict parsing must not be undone by a silent int64 -> int
+      // truncation (2^32 would become 0 = "full pool").
+      if (threads > kMaxThreadsFlag || threads < -kMaxThreadsFlag) {
+        usage_error("--threads is out of range");
+      }
+      opts.threads = static_cast<int>(threads);
+    } else if (arg == "--cache-budget") {
+      opts.cache_budget = parse_int_flag("--cache-budget", next_value(i));
+      if (opts.cache_budget < 0) {
+        usage_error("--cache-budget must be >= 0 (bytes; 0 = unlimited)");
+      }
+    } else if (arg == "--cache-gc") {
+      opts.cache_gc = true;
     } else if (arg == "--csv") {
       opts.csv = true;
     } else if (arg == "--json") {
@@ -214,7 +265,28 @@ Options parse_args(int argc, char** argv) {
                 "with --task/--device/--variant/--all-variants/--optimizer/"
                 "--replicates/--epochs (scale studies via NNR_* env knobs)");
   }
+  if (opts.cache_gc && (!opts.study.empty() || opts.single_cell_flags_used)) {
+    usage_error("--cache-gc is a standalone maintenance mode; combine it "
+                "only with --cache-dir/--cache-budget");
+  }
   return opts;
+}
+
+int run_cache_gc(const Options& opts) {
+  if (opts.cache_dir.empty()) {
+    usage_error("--cache-gc needs a cache dir (--cache-dir or NNR_CACHE_DIR)");
+  }
+  sched::ReplicateCache cache(opts.cache_dir, opts.cache_budget);
+  const sched::GcStats gc = cache.gc();
+  std::printf("[cache-gc] dir=%s removed_tmp=%lld removed_locks=%lld "
+              "evicted=%lld evicted_bytes=%lld entries=%lld bytes=%lld\n",
+              opts.cache_dir.c_str(), static_cast<long long>(gc.removed_tmp),
+              static_cast<long long>(gc.removed_locks),
+              static_cast<long long>(gc.evicted),
+              static_cast<long long>(gc.evicted_bytes),
+              static_cast<long long>(gc.entries),
+              static_cast<long long>(gc.bytes));
+  return 0;
 }
 
 void emit_table(const Options& opts, const core::TextTable& table,
@@ -255,9 +327,10 @@ int run_study_mode(const Options& opts) {
   const sched::StudyPlan plan = def->make_plan();
 
   apply_thread_flag(opts.threads);
-  sched::ReplicateCache cache(opts.cache_dir);
+  sched::ReplicateCache cache(opts.cache_dir, opts.cache_budget);
   sched::RunOptions run_opts;
   run_opts.threads = opts.threads;
+  run_opts.progress = true;
   if (cache.enabled()) run_opts.cache = &cache;
   const sched::StudyResult result = sched::run_plan(plan, run_opts);
 
@@ -290,6 +363,7 @@ int run_study_mode(const Options& opts) {
 
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
+  if (opts.cache_gc) return run_cache_gc(opts);
   if (!opts.study.empty()) return run_study_mode(opts);
 
   const core::TaskInfo* info = core::find_task(opts.task);
@@ -314,9 +388,10 @@ int main(int argc, char** argv) {
   }
 
   apply_thread_flag(opts.threads);
-  sched::ReplicateCache cache(opts.cache_dir);
+  sched::ReplicateCache cache(opts.cache_dir, opts.cache_budget);
   sched::RunOptions run_opts;
   run_opts.threads = opts.threads;
+  run_opts.progress = true;
   if (cache.enabled()) run_opts.cache = &cache;
   const sched::StudyResult result = sched::run_plan(plan, run_opts);
 
