@@ -4,12 +4,13 @@
 // the named-study registry) and runs it through bench::run_study, which
 // schedules the flattened (cell, replicate) grid on the shared
 // runtime::ThreadPool and serves replicates from the persistent cache when
-// NNR_CACHE_DIR is set. Thread sizing follows one precedence everywhere:
-// --threads flag (tools resize the pool before running) > NNR_THREADS >
-// hardware concurrency.
+// NNR_CACHE_DIR (filesystem) or NNR_CACHE_URL (nnr_cached daemon) is set.
+// Thread sizing follows one precedence everywhere: --threads flag (tools
+// resize the pool before running) > NNR_THREADS > hardware concurrency.
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,8 @@
 #include "core/table.h"
 #include "core/tasks.h"
 #include "report/exporter.h"
+#include "sched/cache_backend.h"
 #include "sched/registry.h"
-#include "sched/replicate_cache.h"
 #include "sched/scheduler.h"
 #include "sched/study_plan.h"
 
@@ -30,11 +31,12 @@ inline const std::vector<core::NoiseVariant>& observed_variants() {
   return sched::observed_variants();
 }
 
-/// Process-wide replicate cache configured from NNR_CACHE_DIR (disabled when
-/// unset).
-inline sched::ReplicateCache& cache() {
-  static sched::ReplicateCache c = sched::ReplicateCache::from_env();
-  return c;
+/// Process-wide cache backend configured from NNR_CACHE_URL /
+/// NNR_CACHE_DIR / NNR_CACHE_BUDGET (nullptr when neither source is set).
+inline sched::CacheBackend* cache() {
+  static std::unique_ptr<sched::CacheBackend> backend =
+      sched::make_cache_backend(sched::cache_config_from_env());
+  return backend.get();
 }
 
 /// Runs `plan` on the shared host pool. Cache activity and periodic
@@ -45,9 +47,9 @@ inline sched::ReplicateCache& cache() {
 inline sched::StudyResult run_study(const sched::StudyPlan& plan) {
   sched::RunOptions opts;
   opts.progress = true;
-  if (cache().enabled()) opts.cache = &cache();
+  opts.cache = cache();
   sched::StudyResult result = sched::run_plan(plan, opts);
-  if (cache().enabled()) {
+  if (cache() != nullptr) {
     std::fprintf(stderr, "[cache %s] %s\n", plan.name().c_str(),
                  sched::cache_stats_line(result).c_str());
   }

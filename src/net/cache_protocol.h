@@ -1,0 +1,134 @@
+// The nnr_cached request/response vocabulary, shared verbatim by the daemon
+// (sched/cache_server.h) and the client (sched/remote_cache_backend.h).
+// Framing and integrity live in net/frame.h; this header pins down the
+// opcodes and body layouts. All integers are little-endian; keys are the
+// 128-bit content-addressed CellKey (hi, lo).
+//
+//   op          request body                  response body (after Status)
+//   ----------  ----------------------------  --------------------------------
+//   kPing       (empty)                       u8 server wire version
+//   kGet        u64 hi | u64 lo               kFound: u64 n | entry bytes[n]
+//                                             kMiss:  (empty)
+//   kPut        u64 hi | u64 lo               kOk | kError
+//               | u64 n | entry bytes[n]
+//   kTryClaim   u64 hi | u64 lo | u32 ttl_ms  kGranted: u64 lease_id
+//                                                       | u32 granted_ttl_ms
+//                                             kBusy:    (empty)
+//               (granted_ttl_ms is the server-clamped TTL actually armed;
+//               clients must pace heartbeats against IT, not the request)
+//   kRelease    u64 hi | u64 lo | u64 lease   kOk | kGone
+//   kHeartbeat  u64 hi | u64 lo | u64 lease   kOk | kGone
+//   kStat       (empty)                       kOk: u64 entries | u64 bytes
+//                                             | u64 hits | u64 misses
+//                                             | u64 stores | u64 active_leases
+//                                             | u64 expired_leases
+//   kGc         (empty)                       kOk: i64 removed_tmp
+//                                             | i64 removed_locks | i64 evicted
+//                                             | i64 evicted_bytes | i64 entries
+//                                             | i64 bytes
+//
+// "entry bytes" are exactly the on-disk RunResult file format
+// (serialize/run_result.h) — magic, body, checksum trailer — so the daemon
+// stores PUT bodies verbatim and serves GETs straight from disk, and every
+// client re-validates what it receives. A response always echoes the
+// request's opcode; unknown opcodes and malformed bodies cost the sender
+// its connection (claims held by that connection are released).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace nnr::net {
+
+enum class Op : std::uint8_t {
+  kPing = 1,
+  kGet = 2,
+  kPut = 3,
+  kTryClaim = 4,
+  kRelease = 5,
+  kHeartbeat = 6,
+  kStat = 7,
+  kGc = 8,
+};
+
+/// First byte of every response body.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kFound = 1,
+  kMiss = 2,
+  kGranted = 3,
+  kBusy = 4,    // claim held by another lease
+  kGone = 5,    // lease unknown or already expired
+  kError = 6,   // request understood but refused (e.g. invalid PUT payload)
+};
+
+/// Thrown by BodyReader on a short or overlong body. Both endpoints treat
+/// it as a protocol violation: drop the connection (server) or degrade to
+/// recompute (client). Distinct from serialize::CheckpointError so a
+/// corrupt cache *entry* (data problem, per-key) is never conflated with a
+/// corrupt *message* (connection problem).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends fixed-width little-endian fields to a body string. Bodies ride
+/// inside a frame whose checksum covers them, so no extra trailer here.
+class BodyWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buf_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  void put_bytes(std::string_view bytes) { buf_.append(bytes); }
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads the fields back; throws ProtocolError on underrun.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, body_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::string_view get_bytes(std::size_t n) {
+    need(n);
+    const std::string_view view = body_.substr(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return body_.size() - pos_;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > body_.size()) {
+      throw ProtocolError("truncated message body");
+    }
+  }
+
+  std::string_view body_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nnr::net

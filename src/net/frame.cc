@@ -1,0 +1,56 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "serialize/binary_io.h"
+
+namespace nnr::net {
+
+std::string encode_frame(std::uint8_t opcode, std::string_view body) {
+  serialize::detail::BufWriter w(kFrameMagic);
+  w.put(kWireVersion);
+  w.put(opcode);
+  w.put_bytes(body.data(), body.size());
+  const std::string payload = w.finish();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(sizeof(len) + payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.append(payload);
+  return frame;
+}
+
+Frame decode_frame(std::string_view payload) {
+  serialize::detail::BufReader r(payload, kFrameMagic, "<wire frame>");
+  Frame frame;
+  frame.version = r.get<std::uint8_t>();
+  if (frame.version != kWireVersion) {
+    throw serialize::CheckpointError(
+        "wire version mismatch: got " + std::to_string(frame.version) +
+        ", speak " + std::to_string(kWireVersion));
+  }
+  frame.opcode = r.get<std::uint8_t>();
+  frame.body.resize(r.remaining());
+  if (!frame.body.empty()) r.get_bytes(frame.body.data(), frame.body.size());
+  return frame;
+}
+
+bool send_frame(Socket& sock, std::uint8_t opcode, std::string_view body) {
+  const std::string frame = encode_frame(opcode, body);
+  return sock.send_all(frame.data(), frame.size());
+}
+
+std::optional<Frame> recv_frame(Socket& sock) {
+  std::uint32_t len = 0;
+  if (!sock.recv_exact(&len, sizeof(len))) return std::nullopt;
+  // Minimum payload: magic + version + opcode + trailer.
+  if (len < kFrameMagic.size() + 2 + sizeof(std::uint64_t) ||
+      len > kMaxFrameBytes) {
+    return std::nullopt;
+  }
+  std::string payload(len, '\0');
+  if (!sock.recv_exact(payload.data(), payload.size())) return std::nullopt;
+  return decode_frame(payload);
+}
+
+}  // namespace nnr::net

@@ -1,0 +1,168 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nnr::net {
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(const void* data, std::size_t bytes) noexcept {
+  if (fd_ < 0) return false;
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // includes EAGAIN from a send timeout
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::recv_exact(void* data, std::size_t bytes) noexcept {
+  if (fd_ < 0) return false;
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::recv(fd_, p, bytes, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // includes EAGAIN from a receive timeout
+    }
+    if (n == 0) return false;  // peer closed mid-message
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::set_io_timeout_ms(int timeout_ms) noexcept {
+  if (fd_ < 0 || timeout_ms <= 0) return;
+  struct timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool Socket::set_nonblocking() noexcept {
+  if (fd_ < 0) return false;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int connect_timeout_ms, int io_timeout_ms) {
+  struct addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &results) != 0) {
+    return Socket();
+  }
+  Socket sock;
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                            ai->ai_protocol);
+    if (fd < 0) continue;
+    Socket candidate(fd);
+    // Non-blocking connect + poll gives a bounded connect; a down daemon
+    // must fail fast so the client can degrade to recompute.
+    (void)candidate.set_nonblocking();
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, connect_timeout_ms > 0 ? connect_timeout_ms : -1);
+      if (rc == 1) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        rc = (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+              err == 0)
+                 ? 0
+                 : -1;
+      } else {
+        rc = -1;  // timeout or poll failure
+      }
+    }
+    if (rc != 0) continue;
+    // Back to blocking for the synchronous request/response client.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    candidate.set_io_timeout_ms(io_timeout_ms);
+    ::freeaddrinfo(results);
+    return candidate;
+  }
+  ::freeaddrinfo(results);
+  return Socket();
+}
+
+bool Listener::listen_on(const std::string& bind_addr, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  Socket sock(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return false;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) return false;
+  // Ephemeral port (0): report the kernel's choice.
+  struct sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+      0) {
+    return false;
+  }
+  if (!sock.set_nonblocking()) return false;
+  port_ = ntohs(bound.sin_port);
+  sock_ = std::move(sock);
+  return true;
+}
+
+Socket Listener::accept_conn() noexcept {
+  if (!sock_.valid()) return Socket();
+  const int fd = ::accept4(sock_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  return fd >= 0 ? Socket(fd) : Socket();
+}
+
+}  // namespace nnr::net

@@ -1,0 +1,80 @@
+// Thin RAII layer over POSIX TCP sockets — everything the cache wire needs
+// and nothing more: a movable fd owner with exact-count blocking I/O, a
+// timeout-bounded client connect, and a listener that supports ephemeral
+// ports (bind to port 0, read the kernel's pick back) so tests and scripts
+// never race over a fixed port.
+//
+// Error policy mirrors the cache's "accelerator, never a correctness
+// dependency" stance: no exceptions. Failed operations return false / an
+// invalid Socket, and the caller (RemoteCacheBackend) degrades to
+// recompute; the daemon closes the offending connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nnr::net {
+
+/// Owning fd wrapper. Default-constructed (or failed) sockets are invalid;
+/// all I/O on an invalid socket fails cleanly.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Writes exactly `bytes` bytes (retrying partial writes / EINTR).
+  /// False on any error or send timeout — the connection is then unusable.
+  bool send_all(const void* data, std::size_t bytes) noexcept;
+
+  /// Reads exactly `bytes` bytes. False on EOF, error, or receive timeout.
+  bool recv_exact(void* data, std::size_t bytes) noexcept;
+
+  /// Applies SO_RCVTIMEO / SO_SNDTIMEO so a hung peer cannot wedge a
+  /// blocking call forever. <= 0 leaves the socket fully blocking.
+  void set_io_timeout_ms(int timeout_ms) noexcept;
+
+  /// Marks O_NONBLOCK (server-side connections under epoll).
+  bool set_nonblocking() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to `host`:`port` (numeric IPv4 or a resolvable name), bounded
+/// by `connect_timeout_ms`. Returns an invalid Socket on failure; on
+/// success the socket is blocking with `io_timeout_ms` applied.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port,
+                                 int connect_timeout_ms, int io_timeout_ms);
+
+/// Listening TCP socket. `port` 0 asks the kernel for an ephemeral port;
+/// port() reports the actual one after listen_on succeeds.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Binds (SO_REUSEADDR) and listens. False on failure.
+  bool listen_on(const std::string& bind_addr, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one pending connection (invalid Socket when none / error).
+  [[nodiscard]] Socket accept_conn() noexcept;
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace nnr::net

@@ -1,0 +1,42 @@
+#include "sched/cache_backend.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/env.h"
+#include "sched/fs_cache_backend.h"
+#include "sched/remote_cache_backend.h"
+
+namespace nnr::sched {
+
+namespace {
+
+std::string env_string(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : "";
+}
+
+}  // namespace
+
+CacheConfig cache_config_from_env() {
+  CacheConfig config;
+  config.dir = env_string("NNR_CACHE_DIR");
+  config.url = env_string("NNR_CACHE_URL");
+  config.budget = core::env_int("NNR_CACHE_BUDGET", 0);
+  return config;
+}
+
+std::unique_ptr<CacheBackend> make_cache_backend(const CacheConfig& config) {
+  if (!config.url.empty()) {
+    RemoteCacheOptions options;
+    const std::int64_t ttl = core::env_int("NNR_CACHE_LEASE_MS", 0);
+    if (ttl > 0) options.lease_ttl_ms = static_cast<std::uint32_t>(ttl);
+    return std::make_unique<RemoteCacheBackend>(config.url, options);
+  }
+  if (!config.dir.empty()) {
+    return std::make_unique<FsCacheBackend>(config.dir, config.budget);
+  }
+  return nullptr;
+}
+
+}  // namespace nnr::sched

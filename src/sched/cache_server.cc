@@ -1,0 +1,402 @@
+#include "sched/cache_server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "net/cache_protocol.h"
+#include "net/frame.h"
+#include "serialize/run_result.h"
+
+namespace nnr::sched {
+
+namespace {
+
+using net::BodyReader;
+using net::BodyWriter;
+using net::Op;
+using net::Status;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::string status_only(Status status) {
+  BodyWriter w;
+  w.put(static_cast<std::uint8_t>(status));
+  return w.take();
+}
+
+CellKey read_key(BodyReader& r) {
+  CellKey key;
+  key.hi = r.get<std::uint64_t>();
+  key.lo = r.get<std::uint64_t>();
+  return key;
+}
+
+}  // namespace
+
+CacheServer::CacheServer(CacheServerConfig config)
+    : config_(std::move(config)),
+      backend_(config_.dir, config_.budget) {}
+
+CacheServer::~CacheServer() {
+  conns_.clear();   // Socket destructors close the fds
+  leases_.clear();  // FileLock destructors drop the flocks
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+bool CacheServer::start() {
+  if (config_.dir.empty()) return false;
+  // The daemon owns the directory: make sure it exists up front, because
+  // lease grants take the key's flock directly (an unreachable lockfile
+  // would read as "busy" and starve every claim).
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) return false;
+  if (!listener_.listen_on(config_.bind_addr, config_.port)) return false;
+  port_ = listener_.port();
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0) return false;
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return false;
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.fd();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    return false;
+  }
+  ev.data.fd = wake_read_fd_;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) == 0;
+}
+
+void CacheServer::stop() noexcept {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'q';
+    // Async-signal-safe: one write(2), nothing else.
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void CacheServer::run() {
+  std::vector<struct epoll_event> events(64);
+  while (!stop_requested_) {
+    // Wake at the earliest lease expiry so a dead client's key frees
+    // within its TTL even on an otherwise idle server.
+    int timeout_ms = 250;
+    if (!leases_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      auto earliest = std::chrono::steady_clock::time_point::max();
+      for (const auto& [hex, lease] : leases_) {
+        earliest = std::min(earliest, lease.expiry);
+      }
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             earliest - now)
+                             .count();
+      timeout_ms = static_cast<int>(std::clamp<long long>(until, 0, 250));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    expire_leases();
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == wake_read_fd_) {
+        char drain[16];
+        while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+        }
+        stop_requested_ = true;
+        continue;
+      }
+      if (fd == listener_.fd()) {
+        accept_new_conns();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = *it->second;
+      bool alive = true;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) alive = false;
+      if (alive && (mask & EPOLLIN) != 0) alive = service_readable(conn);
+      if (alive && (mask & EPOLLOUT) != 0) alive = flush_writable(conn);
+      if (alive) {
+        update_epoll_interest(conn);
+      } else {
+        close_conn(fd);
+      }
+    }
+  }
+}
+
+void CacheServer::accept_new_conns() {
+  for (;;) {
+    net::Socket sock = listener_.accept_conn();
+    if (!sock.valid()) return;
+    (void)sock.set_nonblocking();
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->sock = std::move(sock);
+    const int fd = conn->sock.fd();
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) continue;
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+bool CacheServer::service_readable(Conn& conn) {
+  char chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(conn.sock.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  // Parse every complete frame in the buffer.
+  std::size_t off = 0;
+  while (conn.in.size() - off >= sizeof(std::uint32_t)) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, conn.in.data() + off, sizeof(len));
+    if (len < net::kFrameMagic.size() + 2 + sizeof(std::uint64_t) ||
+        len > net::kMaxFrameBytes) {
+      return false;  // garbage length: drop the connection
+    }
+    if (conn.in.size() - off - sizeof(len) < len) break;  // incomplete
+    try {
+      const net::Frame frame = net::decode_frame(
+          std::string_view(conn.in.data() + off + sizeof(len), len));
+      handle_frame(conn, frame.opcode, frame.body);
+    } catch (const serialize::CheckpointError&) {
+      return false;  // malformed payload: protocol violation
+    } catch (const net::ProtocolError&) {
+      return false;  // truncated body fields
+    }
+    off += sizeof(len) + len;
+  }
+  if (off > 0) conn.in.erase(0, off);
+  return flush_writable(conn);
+}
+
+bool CacheServer::flush_writable(Conn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = ::send(conn.sock.fd(), conn.out.data(), conn.out.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void CacheServer::update_epoll_interest(Conn& conn) {
+  struct epoll_event ev{};
+  ev.events = EPOLLIN | (conn.out.empty() ? 0u : EPOLLOUT);
+  ev.data.fd = conn.sock.fd();
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+}
+
+void CacheServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const std::uint64_t conn_id = it->second->id;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conns_.erase(it);  // Socket destructor closes the fd
+  // The remote analogue of flock's release-on-death: a closed connection
+  // (clean exit and SIGKILL both end in FIN) frees every key it claimed.
+  release_conn_leases(conn_id);
+}
+
+void CacheServer::release_conn_leases(std::uint64_t conn_id) {
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.conn_id == conn_id) {
+      it = leases_.erase(it);  // FileLock destructor drops the flock
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CacheServer::expire_leases() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expiry <= now) {
+      ++expired_leases_;
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CacheServer::handle_frame(Conn& conn, std::uint8_t opcode,
+                               const std::string& body) {
+  BodyReader r(body);
+  std::string resp;
+  switch (static_cast<Op>(opcode)) {
+    case Op::kPing: {
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(net::kWireVersion);
+      resp = w.take();
+      break;
+    }
+    case Op::kGet: {
+      const CellKey key = read_key(r);
+      auto bytes = backend_.load_bytes(key);
+      // An entry too large for one frame (possible only if it was written
+      // by a local fs client — remote PUTs are size-checked) is served as
+      // a miss: the requester retrains, nobody's connection drops.
+      if (bytes.has_value() &&
+          bytes->size() > net::kMaxFrameBytes - 64) {
+        bytes.reset();
+      }
+      if (bytes.has_value()) {
+        BodyWriter w;
+        w.put(static_cast<std::uint8_t>(Status::kFound));
+        w.put(static_cast<std::uint64_t>(bytes->size()));
+        w.put_bytes(*bytes);
+        resp = w.take();
+      } else {
+        resp = status_only(Status::kMiss);
+      }
+      break;
+    }
+    case Op::kPut: {
+      const CellKey key = read_key(r);
+      const auto n = r.get<std::uint64_t>();
+      const std::string_view bytes = r.get_bytes(static_cast<std::size_t>(n));
+      // Refuse anything that is not a checksum-valid entry for this exact
+      // key — a poisoned store would otherwise be served to peers as
+      // truth until one of them decodes it.
+      if (!serialize::validate_run_result_bytes(bytes, key.hi, key.lo) ||
+          !backend_.store_bytes(key, bytes)) {
+        resp = status_only(Status::kError);
+      } else {
+        resp = status_only(Status::kOk);
+      }
+      break;
+    }
+    case Op::kTryClaim: {
+      const CellKey key = read_key(r);
+      std::uint32_t ttl_ms = r.get<std::uint32_t>();
+      if (ttl_ms == 0) ttl_ms = config_.default_ttl_ms;
+      ttl_ms = std::clamp(ttl_ms, config_.min_ttl_ms, config_.max_ttl_ms);
+      const std::string hex = key.hex();
+      expire_leases();
+      if (leases_.count(hex) != 0) {
+        resp = status_only(Status::kBusy);
+        break;
+      }
+      // Take the key's flock too, so local fs clients sharing this dir
+      // observe the claim and eviction skips the in-flight entry.
+      auto lock = FileLock::try_acquire(backend_.lock_path_for(key));
+      if (!lock.has_value()) {
+        resp = status_only(Status::kBusy);  // a local process holds it
+        break;
+      }
+      Lease lease;
+      lease.lease_id = next_lease_id_++;
+      lease.conn_id = conn.id;
+      lease.ttl_ms = ttl_ms;
+      lease.expiry = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(ttl_ms);
+      lease.lock.emplace(std::move(*lock));
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kGranted));
+      w.put(lease.lease_id);
+      // The TTL actually armed (post-clamp): the client paces its
+      // heartbeats against this, never against what it asked for.
+      w.put(ttl_ms);
+      resp = w.take();
+      leases_.emplace(hex, std::move(lease));
+      break;
+    }
+    case Op::kRelease: {
+      const CellKey key = read_key(r);
+      const auto lease_id = r.get<std::uint64_t>();
+      const auto it = leases_.find(key.hex());
+      if (it != leases_.end() && it->second.lease_id == lease_id) {
+        leases_.erase(it);
+        resp = status_only(Status::kOk);
+      } else {
+        resp = status_only(Status::kGone);  // expired or never ours
+      }
+      break;
+    }
+    case Op::kHeartbeat: {
+      const CellKey key = read_key(r);
+      const auto lease_id = r.get<std::uint64_t>();
+      const auto it = leases_.find(key.hex());
+      if (it != leases_.end() && it->second.lease_id == lease_id) {
+        it->second.expiry = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(it->second.ttl_ms);
+        resp = status_only(Status::kOk);
+      } else {
+        resp = status_only(Status::kGone);
+      }
+      break;
+    }
+    case Op::kStat: {
+      expire_leases();
+      const FsCacheBackend::Usage usage = backend_.usage();
+      const CacheStats stats = backend_.stats();
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(static_cast<std::uint64_t>(usage.entries));
+      w.put(static_cast<std::uint64_t>(usage.bytes));
+      w.put(static_cast<std::uint64_t>(stats.hits));
+      w.put(static_cast<std::uint64_t>(stats.misses));
+      w.put(static_cast<std::uint64_t>(stats.stores));
+      w.put(static_cast<std::uint64_t>(leases_.size()));
+      w.put(static_cast<std::uint64_t>(expired_leases_));
+      resp = w.take();
+      break;
+    }
+    case Op::kGc: {
+      expire_leases();
+      const GcStats gc = backend_.gc();
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(gc.removed_tmp);
+      w.put(gc.removed_locks);
+      w.put(gc.evicted);
+      w.put(gc.evicted_bytes);
+      w.put(gc.entries);
+      w.put(gc.bytes);
+      resp = w.take();
+      break;
+    }
+    default:
+      // Unknown opcode within a valid frame: answer kError (forward
+      // compatibility hook — an old server talking to a newer client).
+      resp = status_only(Status::kError);
+      break;
+  }
+  conn.out += net::encode_frame(opcode, resp);
+}
+
+}  // namespace nnr::sched

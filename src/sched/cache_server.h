@@ -1,0 +1,122 @@
+// The nnr_cached daemon core: a single-threaded epoll TCP server that owns
+// an FsCacheBackend and speaks the length-prefixed binary protocol of
+// net/cache_protocol.h. tools/nnr_cached.cc is a thin main() around this
+// class; tests run it in-process on an ephemeral port.
+//
+// Concurrency model: one thread, one epoll loop, nonblocking sockets with
+// per-connection read/write buffers. Training runs take seconds to hours
+// while cache messages take microseconds, so a single thread serves many
+// nnr_run fleets without breaking a sweat — and it makes the lease table
+// race-free by construction.
+//
+// Leases (the remote claim): CLAIM grants (lease_id, TTL); HEARTBEAT
+// re-arms the TTL; RELEASE frees the key. A lease dies in three ways:
+//   - released explicitly,
+//   - its connection closes (client exit or SIGKILL — the kernel sends
+//     FIN either way), releasing all of that connection's leases at once,
+//   - its TTL passes without a heartbeat (network partition, frozen
+//     client) — checked on every loop iteration, so a dead client's key
+//     becomes claimable again within one TTL at the latest.
+// Each lease also holds the key's flock (sched/file_lock.h) inside the
+// daemon process, so the fs backend's eviction in-flight rule applies and
+// local FsCacheBackend users sharing the same directory see remote claims
+// as held keys.
+//
+// Trust: entry bytes are opaque to the daemon except for validation — a
+// PUT body must be a checksum-valid RunResult stamped with the key it is
+// stored under (serialize/run_result.h), so no client can poison an entry
+// a peer would later trust. GETs serve raw file bytes; the receiving
+// client re-validates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/socket.h"
+#include "sched/fs_cache_backend.h"
+
+namespace nnr::sched {
+
+struct CacheServerConfig {
+  std::string dir;             // cache directory (required)
+  std::int64_t budget = 0;     // byte budget; 0 = unlimited
+  std::string bind_addr = "127.0.0.1";
+  std::uint16_t port = 0;      // 0 = ephemeral (read back via port())
+  /// TTL bounds: a claim's requested TTL is clamped into [min, max];
+  /// a request of 0 takes default_ttl_ms.
+  std::uint32_t min_ttl_ms = 100;
+  std::uint32_t max_ttl_ms = 60'000;
+  std::uint32_t default_ttl_ms = 10'000;
+};
+
+class CacheServer {
+ public:
+  explicit CacheServer(CacheServerConfig config);
+  ~CacheServer();
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  /// Binds and listens (and arms the wakeup pipe). False on failure —
+  /// inspect errno / logs. Must be called before run().
+  [[nodiscard]] bool start();
+
+  /// The bound port (after start(); meaningful with config.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until stop(). Call from exactly one thread.
+  void run();
+
+  /// Thread- and signal-safe shutdown request (writes one byte to the
+  /// wakeup pipe; async-signal-safe by construction).
+  void stop() noexcept;
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    std::uint64_t id = 0;
+    std::string in;   // unparsed request bytes
+    std::string out;  // unsent response bytes
+  };
+
+  struct Lease {
+    std::uint64_t lease_id = 0;
+    std::uint64_t conn_id = 0;
+    std::uint32_t ttl_ms = 0;
+    std::chrono::steady_clock::time_point expiry;
+    /// The key's flock, held for the lease's lifetime (engaged once
+    /// granted; optional only because FileLock has no empty state).
+    std::optional<FileLock> lock;
+  };
+
+  void accept_new_conns();
+  /// Reads what's available; parses and handles complete frames. False
+  /// when the connection should be closed.
+  bool service_readable(Conn& conn);
+  /// Flushes conn.out. False when the connection should be closed.
+  bool flush_writable(Conn& conn);
+  void update_epoll_interest(Conn& conn);
+  void close_conn(int fd);
+  void handle_frame(Conn& conn, std::uint8_t opcode, const std::string& body);
+  void expire_leases();
+  void release_conn_leases(std::uint64_t conn_id);
+
+  CacheServerConfig config_;
+  FsCacheBackend backend_;
+  net::Listener listener_;
+  std::uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool stop_requested_ = false;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t next_lease_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;       // by fd
+  std::unordered_map<std::string, Lease> leases_;              // by key hex
+  std::int64_t expired_leases_ = 0;
+};
+
+}  // namespace nnr::sched

@@ -37,6 +37,16 @@ struct CellKey {
   friend bool operator==(const CellKey&, const CellKey&) = default;
 };
 
+/// Hash for CellKey-keyed tables (the batch scheduler's coalescing map,
+/// the daemon's lease table). The key is already a 128-bit content hash,
+/// so folding its halves is as good as rehashing.
+struct CellKeyHash {
+  [[nodiscard]] std::size_t operator()(const CellKey& key) const noexcept {
+    return static_cast<std::size_t>(key.hi ^
+                                    (key.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
 /// Key for replicate `ids` of `cell`. Only meaningful when
 /// cell.cacheable(); the scheduler never computes keys for uncacheable
 /// cells.

@@ -5,7 +5,10 @@
 // reclaim after a crashed study — a killed `nnr_run --study` leaves its
 // lockfiles unheld and a resumed run claims them straight away. Within one
 // process, two acquisitions use two open file descriptions and therefore
-// DO conflict, so the same primitive also serializes pool workers.
+// DO conflict, so the same primitive also serializes pool workers — and
+// lets the nnr_cached daemon (sched/cache_server.h) hold one flock per
+// granted lease, making remote claims visible to local FsCacheBackend
+// users of the same directory.
 //
 // Removing a lockfile while others may be claiming it is the classic
 // unlink race (a new claimant can flock a fresh inode at the same path

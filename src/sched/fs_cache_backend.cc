@@ -1,4 +1,4 @@
-#include "sched/replicate_cache.h"
+#include "sched/fs_cache_backend.h"
 
 #include <signal.h>
 #include <unistd.h>
@@ -29,6 +29,18 @@ constexpr const char* kManifestName = "manifest";
 // Compact the journal once it outgrows this — at 33 bytes per access this
 // is ~8k accesses between compactions.
 constexpr std::int64_t kJournalCompactBytes = 256 * 1024;
+
+/// The fs backend's claim token: the flock itself. Destruction closes the
+/// fd, which releases the kernel lock — exactly what process death does.
+struct FsClaimImpl final : CacheClaim::Impl {
+  explicit FsClaimImpl(FileLock l) : lock(std::move(l)) {}
+  FileLock lock;
+};
+
+std::optional<CacheClaim> wrap_lock(std::optional<FileLock> lock) {
+  if (!lock.has_value()) return std::nullopt;
+  return CacheClaim(std::make_unique<FsClaimImpl>(std::move(*lock)));
+}
 
 /// One on-disk cache entry, with its LRU rank inputs.
 struct EntryInfo {
@@ -118,36 +130,45 @@ bool tmp_owner_alive(const std::string& name) {
   return ::kill(static_cast<pid_t>(*pid), 0) == 0 || errno == EPERM;
 }
 
+/// Unique temp name per (process, thread) writer — benches legitimately
+/// share one cache dir across processes — renamed into place so concurrent
+/// readers never observe a half-written entry.
+std::string temp_name(const std::string& path) {
+  return path + ".tmp" + std::to_string(::getpid()) + "." +
+         std::to_string(
+             std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 }  // namespace
 
-ReplicateCache::ReplicateCache(std::string dir, std::int64_t budget_bytes)
+FsCacheBackend::FsCacheBackend(std::string dir, std::int64_t budget_bytes)
     : dir_(std::move(dir)),
       budget_(std::max<std::int64_t>(budget_bytes, 0)),
       journal_((fs::path(dir_) / kJournalName).string()) {}
 
-ReplicateCache ReplicateCache::from_env() {
+FsCacheBackend FsCacheBackend::from_env() {
   const char* dir = std::getenv("NNR_CACHE_DIR");
-  return ReplicateCache(dir != nullptr ? dir : "",
+  return FsCacheBackend(dir != nullptr ? dir : "",
                         core::env_int("NNR_CACHE_BUDGET", 0));
 }
 
-std::string ReplicateCache::path_for(const CellKey& key) const {
+std::string FsCacheBackend::path_for(const CellKey& key) const {
   return (fs::path(dir_) / (key.hex() + ".rr")).string();
 }
 
-std::string ReplicateCache::lock_path_for(const CellKey& key) const {
+std::string FsCacheBackend::lock_path_for(const CellKey& key) const {
   return (fs::path(dir_) / (key.hex() + ".lock")).string();
 }
 
-std::string ReplicateCache::gc_lock_path() const {
+std::string FsCacheBackend::gc_lock_path() const {
   return (fs::path(dir_) / kGcLockName).string();
 }
 
-void ReplicateCache::touch(const CellKey& key) const {
+void FsCacheBackend::touch(const CellKey& key) const {
   journal_.append(key.hex());
 }
 
-void ReplicateCache::ensure_dir_and_manifest() {
+void FsCacheBackend::ensure_dir_and_manifest() {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (manifest_checked_.exchange(true)) return;
@@ -173,7 +194,7 @@ void ReplicateCache::ensure_dir_and_manifest() {
   if (ec) fs::remove(tmp, ec);
 }
 
-std::optional<core::RunResult> ReplicateCache::load(const CellKey& key,
+std::optional<core::RunResult> FsCacheBackend::load(const CellKey& key,
                                                     CacheStats* run,
                                                     bool count_miss) {
   if (!enabled()) return std::nullopt;
@@ -215,16 +236,28 @@ std::optional<core::RunResult> ReplicateCache::load(const CellKey& key,
   }
 }
 
-bool ReplicateCache::store(const CellKey& key, const core::RunResult& result,
+std::optional<std::string> FsCacheBackend::load_bytes(const CellKey& key) {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  touch(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  stats_.bytes_read += static_cast<std::int64_t>(bytes.size());
+  return bytes;
+}
+
+bool FsCacheBackend::store(const CellKey& key, const core::RunResult& result,
                            CacheStats* run) {
   if (!enabled()) return false;
   const std::string path = path_for(key);
-  // Unique temp name per (process, thread) writer — benches legitimately
-  // share one cache dir across processes — renamed into place so concurrent
-  // readers never observe a half-written entry.
-  const std::string tmp =
-      path + ".tmp" + std::to_string(::getpid()) + "." +
-      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const std::string tmp = temp_name(path);
   std::error_code ec;
   ensure_dir_and_manifest();
   std::uint64_t bytes = 0;
@@ -259,19 +292,56 @@ bool ReplicateCache::store(const CellKey& key, const core::RunResult& result,
   return true;
 }
 
-std::optional<FileLock> ReplicateCache::try_claim(const CellKey& key) {
-  if (!enabled()) return std::nullopt;
+bool FsCacheBackend::store_bytes(const CellKey& key, std::string_view bytes) {
+  if (!enabled()) return false;
+  const std::string path = path_for(key);
+  const std::string tmp = temp_name(path);
+  std::error_code ec;
   ensure_dir_and_manifest();
-  return FileLock::try_acquire(lock_path_for(key));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  touch(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+    stats_.bytes_written += static_cast<std::int64_t>(bytes.size());
+  }
+  if (budget_ > 0) {
+    if (approx_bytes_.load(std::memory_order_relaxed) >= 0) {
+      approx_bytes_.fetch_add(static_cast<std::int64_t>(bytes.size()),
+                              std::memory_order_relaxed);
+    }
+    maybe_evict();
+  }
+  return true;
 }
 
-std::optional<FileLock> ReplicateCache::claim(const CellKey& key) {
+std::optional<CacheClaim> FsCacheBackend::try_claim(const CellKey& key) {
   if (!enabled()) return std::nullopt;
   ensure_dir_and_manifest();
-  return FileLock::acquire(lock_path_for(key));
+  return wrap_lock(FileLock::try_acquire(lock_path_for(key)));
 }
 
-void ReplicateCache::maybe_evict() {
+std::optional<CacheClaim> FsCacheBackend::claim(const CellKey& key) {
+  if (!enabled()) return std::nullopt;
+  ensure_dir_and_manifest();
+  return wrap_lock(FileLock::acquire(lock_path_for(key)));
+}
+
+void FsCacheBackend::maybe_evict() {
   // Cheap pre-check: a running estimate of total entry bytes (seeded by one
   // scan, advanced by our own stores, reset to the authoritative total on
   // each eviction pass). Peers' stores are invisible to it, but they
@@ -288,7 +358,7 @@ void ReplicateCache::maybe_evict() {
   if (journal_.size_bytes() > kJournalCompactBytes) compact_journal_locked();
 }
 
-void ReplicateCache::evict_to_budget_locked(std::int64_t budget,
+void FsCacheBackend::evict_to_budget_locked(std::int64_t budget,
                                             GcStats* gc_stats) {
   std::vector<EntryInfo> entries = list_entries(dir_);
   std::int64_t total = total_size(entries);
@@ -332,7 +402,7 @@ void ReplicateCache::evict_to_budget_locked(std::int64_t budget,
   }
 }
 
-void ReplicateCache::compact_journal_locked() const {
+void FsCacheBackend::compact_journal_locked() const {
   // One record per surviving entry, oldest access first — semantically
   // identical to the full journal for LRU purposes.
   const std::int64_t size_at_read = journal_.size_bytes();
@@ -349,7 +419,7 @@ void ReplicateCache::compact_journal_locked() const {
   journal_.rewrite(compacted);
 }
 
-GcStats ReplicateCache::gc() {
+GcStats FsCacheBackend::gc() {
   GcStats result;
   if (!enabled()) return result;
   std::error_code ec;
@@ -392,7 +462,16 @@ GcStats ReplicateCache::gc() {
   return result;
 }
 
-CacheStats ReplicateCache::stats() const {
+FsCacheBackend::Usage FsCacheBackend::usage() const {
+  Usage usage;
+  if (!enabled()) return usage;
+  const std::vector<EntryInfo> entries = list_entries(dir_);
+  usage.entries = static_cast<std::int64_t>(entries.size());
+  usage.bytes = total_size(entries);
+  return usage;
+}
+
+CacheStats FsCacheBackend::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }

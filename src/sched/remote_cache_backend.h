@@ -1,0 +1,150 @@
+// Remote cache backend: a TCP client of the `nnr_cached` daemon
+// (sched/cache_server.h, tools/nnr_cached.cc), selected by
+// NNR_CACHE_URL=tcp://host:port or `nnr_run --cache-url`.
+//
+// Claims are server-side leases with a TTL. Claim states, mirroring the fs
+// backend's flock semantics (sched/fs_cache_backend.h):
+//
+//   free     no lease on the key; TRY_CLAIM answers GRANTED(lease_id)
+//   held     a lease exists; TRY_CLAIM answers BUSY (the caller defers,
+//            then polls via the blocking claim())
+//   renewed  a background heartbeat thread re-arms every held lease at
+//            ~TTL/3, so a live client can train one cell for hours
+//   dead     the holder stopped heartbeating: lease expires after TTL; or
+//            its TCP connection closed (process exit/SIGKILL sends FIN) and
+//            the daemon releases immediately — the remote analogue of the
+//            kernel dropping a dead process's flock
+//
+// Degrade-to-recompute: an unreachable, restarted, or misbehaving daemon
+// must never wedge or corrupt a study, matching the corrupt-entry
+// contract. While degraded: load() misses, store() fails silently,
+// try_claim()/claim() grant a local no-op claim so the scheduler trains
+// the cell itself instead of deferring forever. The client re-attempts the
+// connection (at most once per reconnect_backoff_ms), so a bounced daemon
+// turns back into hits. GET payloads are re-validated locally (checksum +
+// embedded key); a corrupt payload counts corrupt+miss exactly like a
+// corrupt local file.
+//
+// Thread safety: all operations share one socket serialized by a mutex —
+// pool workers, the heartbeat thread, and claim releases interleave
+// request-by-request. A CacheClaim must not outlive its backend.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/cache_protocol.h"
+#include "net/socket.h"
+#include "sched/cache_backend.h"
+
+namespace nnr::sched {
+
+struct RemoteCacheOptions {
+  /// Lease TTL requested with every claim (server clamps to its bounds).
+  std::uint32_t lease_ttl_ms = 10'000;
+  /// Heartbeat renewal on/off. Off is for tests that exercise the
+  /// lease-expiry path; production clients always heartbeat.
+  bool heartbeat = true;
+  /// Per-operation socket timeout.
+  int io_timeout_ms = 5'000;
+  int connect_timeout_ms = 2'000;
+  /// While degraded, at most one reconnect attempt per this interval (the
+  /// rest of the window every call fails fast and the study trains on).
+  int reconnect_backoff_ms = 500;
+  /// Poll interval of the blocking claim() (the daemon has no server-side
+  /// wait queue; polling keeps the one connection free for heartbeats).
+  int claim_poll_ms = 50;
+};
+
+class RemoteCacheBackend final : public CacheBackend {
+ public:
+  /// `url` must be tcp://host:port. Throws std::invalid_argument on any
+  /// other shape. Does not connect — the first operation does (and failure
+  /// there just degrades).
+  explicit RemoteCacheBackend(const std::string& url,
+                              RemoteCacheOptions options = {});
+  ~RemoteCacheBackend() override;
+
+  /// Splits tcp://host:port. False on malformed input.
+  static bool parse_url(const std::string& url, std::string* host,
+                        std::uint16_t* port);
+
+  // CacheBackend interface (doc contracts in sched/cache_backend.h).
+  [[nodiscard]] std::optional<core::RunResult> load(
+      const CellKey& key, CacheStats* run = nullptr,
+      bool count_miss = true) override;
+  bool store(const CellKey& key, const core::RunResult& result,
+             CacheStats* run = nullptr) override;
+  [[nodiscard]] std::optional<CacheClaim> try_claim(
+      const CellKey& key) override;
+  [[nodiscard]] std::optional<CacheClaim> claim(const CellKey& key) override;
+  GcStats gc() override;
+  [[nodiscard]] CacheStats stats() const override;
+  [[nodiscard]] std::string describe() const override { return url_; }
+
+  /// True when a round-trip (PING) succeeds right now; attempts a
+  /// (re)connect. Used by tools for a startup health check.
+  [[nodiscard]] bool ping();
+
+  /// Test hook: drops the TCP connection without releasing anything —
+  /// simulates a client that vanished (the daemon must release its leases
+  /// on the disconnect). The next operation reconnects.
+  void drop_connection_for_test();
+
+ private:
+  friend struct RemoteClaimImpl;
+
+  struct Rpc {
+    net::Status status = net::Status::kError;
+    std::string body;  // response body after the status byte
+  };
+
+  /// One request/response round-trip. nullopt = degraded (no connection,
+  /// send/recv failure, or protocol violation — connection dropped).
+  std::optional<Rpc> rpc(net::Op op, std::string_view body);
+  bool ensure_connected_locked();
+  void drop_connection_locked();
+
+  /// Best-effort RELEASE; deregisters the lease from the heartbeat set.
+  void release_lease(const CellKey& key, std::uint64_t lease_id);
+  void heartbeat_loop();
+  [[nodiscard]] CacheClaim make_noop_claim();
+
+  std::string url_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  RemoteCacheOptions options_;
+
+  mutable std::mutex io_mu_;  // socket + degraded state
+  net::Socket sock_;
+  std::chrono::steady_clock::time_point last_connect_attempt_{};
+  bool ever_connected_ = false;
+
+  /// One held lease: its key plus the TTL the server actually granted
+  /// (post-clamp) — heartbeats pace against the granted TTL, never the
+  /// requested one, so a server with tighter bounds cannot silently let
+  /// a live client's lease expire between heartbeats.
+  struct HeldLease {
+    CellKey key;
+    std::uint32_t granted_ttl_ms = 0;
+  };
+
+  std::mutex lease_mu_;  // held leases, renewed by the heartbeat thread
+  std::unordered_map<std::uint64_t, HeldLease> leases_;
+
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool stopping_ = false;
+  std::thread hb_thread_;
+
+  mutable std::mutex stats_mu_;
+  CacheStats stats_;
+};
+
+}  // namespace nnr::sched

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "runtime/thread_pool.h"
 #include "sched/cell_key.h"
@@ -20,15 +22,15 @@ core::RunResult train_one(const Cell& cell, core::ReplicateIds ids) {
 }
 
 /// Progress/callback bookkeeping shared by the pool workers. Counters are
-/// worker-local atomics (result.cache is only safe to read after the run),
-/// so a progress line never races the cache's internal stats updates.
+/// worker-local atomics (per-study caches are only safe to read after the
+/// run), so a progress line never races the cache's internal stats updates.
 class ProgressReporter {
  public:
   ProgressReporter(const RunOptions& opts, std::int64_t total)
       : opts_(opts), total_(total), start_(Clock::now()) {}
 
-  void complete(std::size_t cell, std::int64_t replicate, bool from_cache,
-                bool was_trained) {
+  void complete(std::size_t study, std::size_t cell, std::int64_t replicate,
+                bool from_cache, bool was_trained) {
     if (from_cache) hits_.fetch_add(1, std::memory_order_relaxed);
     if (was_trained) trained_.fetch_add(1, std::memory_order_relaxed);
     std::int64_t done = 0;
@@ -38,6 +40,7 @@ class ProgressReporter {
       std::lock_guard<std::mutex> lock(callback_mu_);
       done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
       ReplicateEvent event;
+      event.study = study;
       event.cell = cell;
       event.replicate = replicate;
       event.from_cache = from_cache;
@@ -93,125 +96,203 @@ class ProgressReporter {
 
 }  // namespace
 
-StudyResult run_plan(const StudyPlan& plan, const RunOptions& opts) {
+BatchResult run_batch(const std::vector<const StudyPlan*>& plans,
+                      const RunOptions& opts) {
   struct WorkItem {
+    std::size_t study;
     std::size_t cell;
     std::int64_t replicate;
+    CellKey key{};
+    bool keyed = false;  // cacheable cell: key computed, coalescing applies
   };
+
+  BatchResult result;
+  result.studies.resize(plans.size());
   std::vector<WorkItem> items;
-  StudyResult result;
-  result.cells.resize(plan.cells().size());
-  for (std::size_t c = 0; c < plan.cells().size(); ++c) {
-    const Cell& cell = plan.cells()[c];
-    if (!cell.explicit_ids.empty() &&
-        cell.explicit_ids.size() !=
-            static_cast<std::size_t>(cell.replicates)) {
-      throw std::invalid_argument(
-          "cell '" + cell.id + "': explicit_ids holds " +
-          std::to_string(cell.explicit_ids.size()) + " entries but " +
-          std::to_string(cell.replicates) + " replicates are scheduled");
-    }
-    result.cells[c].resize(static_cast<std::size_t>(cell.replicates));
-    for (std::int64_t r = 0; r < cell.replicates; ++r) {
-      items.push_back({c, r});
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const StudyPlan& plan = *plans[p];
+    StudyResult& study = result.studies[p];
+    study.cells.resize(plan.cells().size());
+    for (std::size_t c = 0; c < plan.cells().size(); ++c) {
+      const Cell& cell = plan.cells()[c];
+      if (!cell.explicit_ids.empty() &&
+          cell.explicit_ids.size() !=
+              static_cast<std::size_t>(cell.replicates)) {
+        throw std::invalid_argument(
+            "cell '" + cell.id + "': explicit_ids holds " +
+            std::to_string(cell.explicit_ids.size()) + " entries but " +
+            std::to_string(cell.replicates) + " replicates are scheduled");
+      }
+      study.cells[c].resize(static_cast<std::size_t>(cell.replicates));
+      for (std::int64_t r = 0; r < cell.replicates; ++r) {
+        items.push_back({p, c, r, CellKey{}, false});
+      }
     }
   }
 
-  std::atomic<std::int64_t> trained{0};
-  ProgressReporter progress(opts, static_cast<std::int64_t>(items.size()));
-  std::mutex deferred_mu;
-  std::vector<std::int64_t> deferred;
-  const int max_workers = opts.threads < 0 ? 1 : opts.threads;
+  // Coalesce duplicate cacheable keys across the whole batch: the first
+  // item with a key is its leader (scheduled normally); later duplicates
+  // become followers, filled in-memory from the leader's slot. Safe by the
+  // determinism contract — equal keys imply bitwise-equal results — and
+  // what makes queuing overlapping studies cost one claim pass.
+  std::vector<std::size_t> scheduled;
+  scheduled.reserve(items.size());
+  std::unordered_map<CellKey, std::size_t, CellKeyHash> leader_by_key;
+  std::vector<std::vector<std::size_t>> followers(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    WorkItem& item = items[i];
+    const Cell& cell = plans[item.study]->cells()[item.cell];
+    if (cell.cacheable()) {
+      item.key = cell_key(cell, cell.ids_for(item.replicate));
+      item.keyed = true;
+      const auto [it, inserted] = leader_by_key.try_emplace(item.key, i);
+      if (!inserted) {
+        followers[it->second].push_back(i);
+        continue;
+      }
+    }
+    scheduled.push_back(i);
+  }
 
-  const auto train_into = [&](const Cell& cell, const core::ReplicateIds& ids,
-                              core::RunResult& slot) {
-    slot = train_one(cell, ids);
-    trained.fetch_add(1, std::memory_order_relaxed);
+  ProgressReporter progress(opts, static_cast<std::int64_t>(items.size()));
+  const int max_workers = opts.threads < 0 ? 1 : opts.threads;
+  std::vector<std::atomic<std::int64_t>> trained_per_study(plans.size());
+  std::vector<std::atomic<std::int64_t>> coalesced_per_study(plans.size());
+
+  const auto slot_of = [&](const WorkItem& item) -> core::RunResult& {
+    return result.studies[item.study]
+        .cells[item.cell][static_cast<std::size_t>(item.replicate)];
   };
 
-  // Phase 1: every replicate is loaded, trained under its key's claim, or
-  // deferred because a concurrent process holds the claim (it is training
-  // that key right now — duplicating its work would waste the whole point
-  // of a shared cache).
+  // Completes item i and fans its result out to its coalesced followers
+  // (the worker that finished the leader owns the followers' slots too, so
+  // no other thread ever touches them).
+  const auto finish = [&](std::size_t i, bool from_cache, bool was_trained) {
+    const WorkItem& item = items[i];
+    progress.complete(item.study, item.cell, item.replicate, from_cache,
+                      was_trained);
+    for (const std::size_t f : followers[i]) {
+      const WorkItem& dup = items[f];
+      slot_of(dup) = slot_of(item);
+      coalesced_per_study[dup.study].fetch_add(1, std::memory_order_relaxed);
+      progress.complete(dup.study, dup.cell, dup.replicate,
+                        /*from_cache=*/true, /*was_trained=*/false);
+    }
+  };
+
+  const auto train_into = [&](const Cell& cell, const core::ReplicateIds& ids,
+                              core::RunResult& slot, std::size_t study) {
+    slot = train_one(cell, ids);
+    trained_per_study[study].fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::mutex deferred_mu;
+  std::vector<std::size_t> deferred;
+
+  // Phase 1: every scheduled replicate is loaded, trained under its key's
+  // claim, or deferred because a concurrent process holds the claim (it is
+  // training that key right now — duplicating its work would waste the
+  // whole point of a shared cache).
   runtime::ThreadPool::global().parallel_for(
-      0, static_cast<std::int64_t>(items.size()), 1,
+      0, static_cast<std::int64_t>(scheduled.size()), 1,
       [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t i = i0; i < i1; ++i) {
-          const WorkItem& item = items[static_cast<std::size_t>(i)];
-          const Cell& cell = plan.cells()[item.cell];
+          const std::size_t idx = scheduled[static_cast<std::size_t>(i)];
+          const WorkItem& item = items[idx];
+          const Cell& cell = plans[item.study]->cells()[item.cell];
           const core::ReplicateIds ids = cell.ids_for(item.replicate);
-          core::RunResult& slot =
-              result.cells[item.cell][static_cast<std::size_t>(item.replicate)];
-          if (opts.cache == nullptr || !cell.cacheable()) {
-            train_into(cell, ids, slot);
-            progress.complete(item.cell, item.replicate, false, true);
+          core::RunResult& slot = slot_of(item);
+          CacheStats* run_stats = &result.studies[item.study].cache;
+          if (opts.cache == nullptr || !item.keyed) {
+            train_into(cell, ids, slot, item.study);
+            finish(idx, false, true);
             continue;
           }
-          const CellKey key = cell_key(cell, ids);
-          if (auto cached = opts.cache->load(key, &result.cache)) {
+          const CellKey key = item.key;
+          if (auto cached = opts.cache->load(key, run_stats)) {
             slot = std::move(*cached);
-            progress.complete(item.cell, item.replicate, true, false);
+            finish(idx, true, false);
             continue;
           }
           if (auto claim = opts.cache->try_claim(key)) {
             // Double-check under the claim: a peer may have stored this key
             // between our miss and our claim. The replicate's one real miss
             // is already counted, so this load must not count another.
-            if (auto cached = opts.cache->load(key, &result.cache,
+            if (auto cached = opts.cache->load(key, run_stats,
                                                /*count_miss=*/false)) {
               slot = std::move(*cached);
-              progress.complete(item.cell, item.replicate, true, false);
+              finish(idx, true, false);
               continue;
             }
-            train_into(cell, ids, slot);
-            opts.cache->store(key, slot, &result.cache);
-            progress.complete(item.cell, item.replicate, false, true);
+            train_into(cell, ids, slot, item.study);
+            opts.cache->store(key, slot, run_stats);
+            finish(idx, false, true);
           } else {
             std::lock_guard<std::mutex> lock(deferred_mu);
-            deferred.push_back(i);
+            deferred.push_back(idx);
           }
         }
       },
       max_workers);
 
   // Phase 2: contended keys. A blocking claim returns once the peer's
-  // training finishes (store -> load hit) or its process died (miss ->
-  // train it ourselves). Claims released by the kernel on process death
-  // mean a stale holder can never wedge this loop.
-  result.deferred = static_cast<std::int64_t>(deferred.size());
+  // training finishes (store -> load hit) or its holder died (miss ->
+  // train it ourselves). Claims released by the kernel on process death —
+  // or by the daemon on disconnect/lease expiry — mean a stale holder can
+  // never wedge this loop.
+  for (const std::size_t idx : deferred) {
+    ++result.studies[items[idx].study].deferred;
+  }
   if (!deferred.empty()) {
     runtime::ThreadPool::global().parallel_for(
         0, static_cast<std::int64_t>(deferred.size()), 1,
         [&](std::int64_t d0, std::int64_t d1) {
           for (std::int64_t d = d0; d < d1; ++d) {
-            const WorkItem& item =
-                items[static_cast<std::size_t>(deferred[static_cast<std::size_t>(d)])];
-            const Cell& cell = plan.cells()[item.cell];
+            const std::size_t idx = deferred[static_cast<std::size_t>(d)];
+            const WorkItem& item = items[idx];
+            const Cell& cell = plans[item.study]->cells()[item.cell];
             const core::ReplicateIds ids = cell.ids_for(item.replicate);
-            core::RunResult& slot =
-                result.cells[item.cell]
-                            [static_cast<std::size_t>(item.replicate)];
-            const CellKey key = cell_key(cell, ids);
+            core::RunResult& slot = slot_of(item);
+            CacheStats* run_stats = &result.studies[item.study].cache;
+            const CellKey key = item.key;
             auto claim = opts.cache->claim(key);
             // The deferral's original miss is already counted (phase 1).
-            if (auto cached = opts.cache->load(key, &result.cache,
+            if (auto cached = opts.cache->load(key, run_stats,
                                                /*count_miss=*/false)) {
               slot = std::move(*cached);
-              progress.complete(item.cell, item.replicate, true, false);
+              finish(idx, true, false);
               continue;
             }
-            train_into(cell, ids, slot);
+            train_into(cell, ids, slot, item.study);
             if (claim.has_value()) {
-              opts.cache->store(key, slot, &result.cache);
+              opts.cache->store(key, slot, run_stats);
             }
-            progress.complete(item.cell, item.replicate, false, true);
+            finish(idx, false, true);
           }
         },
         max_workers);
   }
 
-  result.trained = trained.load();
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    StudyResult& study = result.studies[p];
+    study.trained = trained_per_study[p].load();
+    study.coalesced = coalesced_per_study[p].load();
+    result.trained += study.trained;
+    result.deferred += study.deferred;
+    result.coalesced += study.coalesced;
+    result.cache.hits += study.cache.hits;
+    result.cache.misses += study.cache.misses;
+    result.cache.corrupt += study.cache.corrupt;
+    result.cache.stores += study.cache.stores;
+    result.cache.bytes_read += study.cache.bytes_read;
+    result.cache.bytes_written += study.cache.bytes_written;
+  }
   return result;
+}
+
+StudyResult run_plan(const StudyPlan& plan, const RunOptions& opts) {
+  BatchResult batch = run_batch({&plan}, opts);
+  return std::move(batch.studies[0]);
 }
 
 core::TextTable cache_stats_table(const StudyResult& result) {

@@ -1,19 +1,27 @@
-// The cell scheduler: runs every replicate of every cell of a StudyPlan on
-// the shared runtime::ThreadPool. The (cell, replicate) grid is flattened so
-// the pool stays saturated even when a single cell has fewer replicates than
-// workers; kernel-level parallel_for calls inside each replicate run inline
-// on the worker that owns it (the pool is nest-safe), so the pool is never
-// oversubscribed. Host scheduling is invisible to the simulation — results
-// are bitwise identical for any worker count or cache state.
+// The cell scheduler: runs every replicate of every cell of one StudyPlan —
+// or a whole batch of plans — on the shared runtime::ThreadPool. The
+// (cell, replicate) grid is flattened so the pool stays saturated even when
+// a single cell has fewer replicates than workers; kernel-level
+// parallel_for calls inside each replicate run inline on the worker that
+// owns it (the pool is nest-safe), so the pool is never oversubscribed.
+// Host scheduling is invisible to the simulation — results are bitwise
+// identical for any worker count, cache state, or batch composition.
 //
-// Concurrent studies: when a cache is configured, the scheduler claims each
-// missing key's advisory lock before training it, so N processes (or
-// threads) sharing one cache dir partition the grid — a contended key is
-// deferred, then served from the peer's store once its claim releases
-// (training it locally only if the peer died without storing). Because every
-// completed replicate is durably keyed on disk, an interrupted study
-// resumed against the same cache trains exactly the remaining replicates
-// and produces bitwise-identical results.
+// Concurrent studies: when a cache backend is configured
+// (sched/cache_backend.h — filesystem or remote), the scheduler claims each
+// missing key before training it, so N processes (or threads) sharing one
+// cache partition the grid — a contended key is deferred, then served from
+// the peer's store once its claim releases (training it locally only if the
+// peer died without storing). Because every completed replicate is durably
+// keyed, an interrupted study resumed against the same cache trains exactly
+// the remaining replicates and produces bitwise-identical results.
+//
+// Batched submission: run_batch takes several plans at once and coalesces
+// duplicate cacheable CellKeys across the whole batch before scheduling —
+// fig1 and table2 share most of their V100 cells, so queuing them together
+// costs one claim pass and one training per unique key; the duplicates are
+// filled in-memory from the leader's result (bit-identical by the
+// determinism contract) and counted as `coalesced`, not trained or hit.
 #pragma once
 
 #include <cstdint>
@@ -21,18 +29,21 @@
 #include <vector>
 
 #include "core/table.h"
-#include "sched/replicate_cache.h"
+#include "sched/cache_backend.h"
 #include "sched/study_plan.h"
 
 namespace nnr::sched {
 
 /// One completed replicate, as seen by RunOptions::on_replicate.
 struct ReplicateEvent {
-  std::size_t cell = 0;        // index into plan.cells()
+  std::size_t study = 0;       // index into the batch's plan list (0 for
+                               // run_plan)
+  std::size_t cell = 0;        // index into that plan's cells()
   std::int64_t replicate = 0;  // replicate index within that cell
-  bool from_cache = false;     // served from the cache vs trained here
+  bool from_cache = false;     // served (cache hit or coalesced duplicate)
+                               // vs trained here
   std::int64_t done = 0;       // replicates completed so far (this one incl.)
-  std::int64_t total = 0;      // replicates in the whole plan
+  std::int64_t total = 0;      // replicates in the whole batch
 };
 
 struct RunOptions {
@@ -44,11 +55,11 @@ struct RunOptions {
   /// tools/nnr_run.cpp does.
   int threads = 0;
   /// When set, cacheable replicates are served from / stored into this
-  /// cache. nullptr trains everything.
-  ReplicateCache* cache = nullptr;
-  /// Called after each replicate completes (loaded or trained).
-  /// Invocations are serialized (one at a time), but arrive from pool
-  /// worker threads, not the caller's thread.
+  /// backend (sched/cache_backend.h). nullptr trains everything.
+  CacheBackend* cache = nullptr;
+  /// Called after each replicate completes (loaded, trained, or filled
+  /// from a coalesced leader). Invocations are serialized (one at a time),
+  /// but arrive from pool worker threads, not the caller's thread.
   std::function<void(const ReplicateEvent&)> on_replicate;
   /// Emit periodic "[study] <done>/<total> cells, trained=..., hits=...,
   /// eta=..." lines on stderr while the grid runs.
@@ -59,10 +70,11 @@ struct StudyResult {
   /// results[c][r] is replicate r of plan.cells()[c], in replicate order —
   /// index semantics identical to core::run_replicates.
   std::vector<std::vector<core::RunResult>> cells;
-  /// This run's exact cache activity (all zeros when no cache was
-  /// configured): the cache applies per-run counter deltas, so the numbers
-  /// stay exact even when concurrent runs share one cache. Invariant for a
-  /// fully cacheable plan: hits + trained == total replicates.
+  /// This study's exact cache activity (all zeros when no cache was
+  /// configured): the backend applies per-run counter deltas, so the
+  /// numbers stay exact even when concurrent runs share one cache.
+  /// Invariant for a fully cacheable plan:
+  ///   hits + trained + coalesced == total replicates.
   CacheStats cache;
   /// Replicates actually trained in-process (= cache misses + uncacheable
   /// cells). A warm-cache rerun of a fully cacheable plan reports 0.
@@ -70,6 +82,19 @@ struct StudyResult {
   /// Replicates that were contended with a concurrent process (deferred,
   /// then loaded from its store or trained after its claim died).
   std::int64_t deferred = 0;
+  /// Replicates whose CellKey duplicated an earlier one in the same batch
+  /// and were filled in-memory from that leader's result.
+  std::int64_t coalesced = 0;
+};
+
+/// A whole batch: per-plan results plus batch-wide totals (each total is
+/// the sum of its per-study counterpart).
+struct BatchResult {
+  std::vector<StudyResult> studies;  // aligned with the `plans` argument
+  CacheStats cache;
+  std::int64_t trained = 0;
+  std::int64_t deferred = 0;
+  std::int64_t coalesced = 0;
 };
 
 /// Runs `plan` to completion. Throws std::invalid_argument when a cell's
@@ -78,6 +103,13 @@ struct StudyResult {
 /// are exact either way.
 [[nodiscard]] StudyResult run_plan(const StudyPlan& plan,
                                    const RunOptions& opts = {});
+
+/// Runs several plans as one scheduling pass (one flattened work list, one
+/// claim pass, duplicate cacheable keys coalesced batch-wide). Plans must
+/// outlive the call; null entries are not allowed. Same exception contract
+/// as run_plan.
+[[nodiscard]] BatchResult run_batch(const std::vector<const StudyPlan*>& plans,
+                                    const RunOptions& opts = {});
 
 /// One-row-per-counter table of a run's cache statistics, for
 /// report::Exporter / stdout.

@@ -2,9 +2,10 @@
 // (task x device x noise-variant x replicate) cells, and a StudyPlan makes
 // that grid a first-class object — named cells over owned tasks — instead of
 // ad-hoc loops inside each bench main(). Plans are consumed by the cell
-// scheduler (sched/scheduler.h), which flattens the (cell, replicate) grid
-// onto the shared runtime::ThreadPool and serves replicates from the
-// content-addressed cache (sched/replicate_cache.h) when one is configured.
+// scheduler (sched/scheduler.h) — singly via run_plan or batched via
+// run_batch — which flattens the (cell, replicate) grid onto the shared
+// runtime::ThreadPool and serves replicates from the content-addressed
+// cache backend (sched/cache_backend.h) when one is configured.
 #pragma once
 
 #include <cstdint>

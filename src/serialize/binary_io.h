@@ -1,8 +1,12 @@
-// Shared plumbing for the NNR binary on-disk formats (checkpoint.cc,
-// run_result.cc): an incremental FNV-1a digest, a Writer that appends the
-// digest as a trailer, and a whole-file Reader that verifies magic + checksum
-// before handing out a single byte. Internal to src/serialize — the public
-// surface is checkpoint.h / run_result.h.
+// Shared plumbing for the NNR binary formats — both the on-disk ones
+// (checkpoint.cc, run_result.cc) and the nnr_cached wire protocol
+// (net/frame.h): an incremental FNV-1a digest, Writer/Reader over files, and
+// BufWriter/BufReader over in-memory byte strings. Every producer emits
+//   magic | body | u64 FNV-1a trailer over the body
+// and every consumer verifies magic + checksum before handing out a single
+// byte. A payload encoded with BufWriter is byte-identical to the file
+// Writer would have produced, which is what lets the remote cache daemon
+// ship cache entries over TCP and store them verbatim on disk.
 //
 // Every format built on this layer shares the replicability contract:
 // float32 payloads are raw IEEE-754 bytes (never text), so a round-trip is
@@ -15,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -80,6 +85,37 @@ class Writer {
   std::uint64_t bytes_written_ = 0;
 };
 
+/// Writer twin that appends to an in-memory string instead of a file, with
+/// an arbitrary-length magic (file formats use 8 bytes, the wire frame 4).
+/// finish() returns the complete payload: magic | body | FNV-1a trailer —
+/// byte-identical to what Writer would have put on disk for the same magic
+/// and the same sequence of puts.
+class BufWriter {
+ public:
+  explicit BufWriter(std::string_view magic) { buf_.assign(magic); }
+
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_bytes(&v, sizeof(T));
+  }
+
+  void put_bytes(const void* data, std::size_t bytes) {
+    buf_.append(static_cast<const char*>(data), bytes);
+    hash_.update(data, bytes);
+  }
+
+  [[nodiscard]] std::string finish() {
+    const std::uint64_t digest = hash_.digest();
+    buf_.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    return std::move(buf_);
+  }
+
+ private:
+  std::string buf_;
+  Fnv1a hash_;
+};
+
 class Reader {
  public:
   Reader(const std::string& path, const std::array<char, 8>& magic)
@@ -88,22 +124,8 @@ class Reader {
     if (!in) throw CheckpointError("cannot open for reading: " + path);
     bytes_.assign(std::istreambuf_iterator<char>(in),
                   std::istreambuf_iterator<char>());
-    if (bytes_.size() < magic.size() + sizeof(std::uint64_t)) {
-      throw CheckpointError("truncated checkpoint: " + path);
-    }
-    if (std::memcmp(bytes_.data(), magic.data(), magic.size()) != 0) {
-      throw CheckpointError(
-          "bad magic (wrong or non-NNR checkpoint kind): " + path);
-    }
-    body_end_ = bytes_.size() - sizeof(std::uint64_t);
-    std::uint64_t stored = 0;
-    std::memcpy(&stored, bytes_.data() + body_end_, sizeof(stored));
-    Fnv1a hash;
-    hash.update(bytes_.data() + magic.size(), body_end_ - magic.size());
-    if (hash.digest() != stored) {
-      throw CheckpointError("checksum mismatch (corrupt checkpoint): " + path);
-    }
-    pos_ = magic.size();
+    init(std::string_view(bytes_.data(), bytes_.size()),
+         std::string_view(magic.data(), magic.size()));
   }
 
   template <typename T>
@@ -111,20 +133,53 @@ class Reader {
     static_assert(std::is_trivially_copyable_v<T>);
     need(sizeof(T));
     T v;
-    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
 
   void get_bytes(void* dst, std::size_t bytes) {
     need(bytes);
-    std::memcpy(dst, bytes_.data() + pos_, bytes);
+    std::memcpy(dst, data_ + pos_, bytes);
     pos_ += bytes;
   }
 
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == body_end_; }
 
+  /// Unread body bytes (trailer excluded).
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return body_end_ - pos_;
+  }
+
+ protected:
+  /// BufReader path: verify `bytes` (not owned) against `magic`.
+  Reader(std::string_view bytes, std::string_view magic, std::string label)
+      : path_(std::move(label)) {
+    init(bytes, magic);
+  }
+
  private:
+  void init(std::string_view bytes, std::string_view magic) {
+    data_ = bytes.data();
+    if (bytes.size() < magic.size() + sizeof(std::uint64_t)) {
+      throw CheckpointError("truncated checkpoint: " + path_);
+    }
+    if (std::memcmp(bytes.data(), magic.data(), magic.size()) != 0) {
+      throw CheckpointError(
+          "bad magic (wrong or non-NNR checkpoint kind): " + path_);
+    }
+    body_end_ = bytes.size() - sizeof(std::uint64_t);
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + body_end_, sizeof(stored));
+    Fnv1a hash;
+    hash.update(bytes.data() + magic.size(), body_end_ - magic.size());
+    if (hash.digest() != stored) {
+      throw CheckpointError("checksum mismatch (corrupt checkpoint): " +
+                            path_);
+    }
+    pos_ = magic.size();
+  }
+
   void need(std::size_t bytes) const {
     if (pos_ + bytes > body_end_) {
       throw CheckpointError("truncated checkpoint body: " + path_);
@@ -132,9 +187,20 @@ class Reader {
   }
 
   std::string path_;
-  std::vector<char> bytes_;
+  std::vector<char> bytes_;   // owned storage (file path only)
+  const char* data_ = nullptr;
   std::size_t body_end_ = 0;
   std::size_t pos_ = 0;
+};
+
+/// Reader twin over an in-memory payload (magic | body | trailer). The
+/// payload must outlive the reader — it is viewed, not copied. `label`
+/// replaces the file path in error messages (e.g. "<wire>").
+class BufReader : public Reader {
+ public:
+  BufReader(std::string_view payload, std::string_view magic,
+            std::string label = "<buffer>")
+      : Reader(payload, magic, std::move(label)) {}
 };
 
 }  // namespace nnr::serialize::detail

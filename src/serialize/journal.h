@@ -1,10 +1,13 @@
 // Append-only access journal — the persistence record behind the replicate
-// cache's LRU eviction (sched/replicate_cache.h).
+// cache's LRU eviction (sched/fs_cache_backend.h).
 //
-// One short token per line (for the cache: the 32-hex-char entry key),
-// appended with O_APPEND so concurrent writers — pool workers in one
-// process, or several nnr_run processes sharing a cache dir — never
-// interleave within a record. Readers tolerate a torn trailing line (a
+// On-disk format: plain text, one short token per LF-terminated line (for
+// the cache: the 32-hex-char entry key). File order IS access order —
+// oldest first, duplicates kept, the LAST occurrence of a token being its
+// most recent access. Tokens are appended with O_APPEND so concurrent
+// writers — pool workers in one process, several nnr_run processes sharing
+// a cache dir, or the nnr_cached daemon fronting it — never interleave
+// within a record. Readers tolerate a torn trailing line (a
 // writer killed mid-append): malformed lines are skipped, never fatal,
 // matching the cache's "accelerator, not correctness dependency" policy.
 // Compaction (rewrite) is temp-file + rename, so a reader always sees

@@ -1,5 +1,5 @@
 // Persistence of a single replicate's training outcome (core::RunResult) —
-// the payload of the study-level replicate cache (sched/replicate_cache.h).
+// the payload of the study-level replicate cache (sched/cache_backend.h).
 //
 // Cache-validity contract: the round-trip is *bitwise* lossless (raw IEEE-754
 // float payloads, never text), so a replicate loaded from disk is
@@ -8,6 +8,13 @@
 // load-vs-recompute bitwise equality. Each file embeds the 128-bit content
 // key of the cell that produced it, so a cache entry can never be replayed
 // against a different cell, even after a file rename.
+//
+// The same byte stream exists in two places: as a file under the cache dir
+// (FsCacheBackend) and as the GET/PUT payload of the nnr_cached wire
+// protocol (RemoteCacheBackend). encode_run_result produces bytes identical
+// to what save_run_result writes, so the daemon can store a PUT body
+// verbatim and serve a GET straight from the file — no re-encoding, no
+// trust: every consumer re-verifies magic, checksum, and embedded key.
 //
 // Format (little-endian):
 //   magic "NNRRSLT1"
@@ -21,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/trainer.h"
 #include "serialize/checkpoint.h"
@@ -41,5 +49,28 @@ std::uint64_t save_run_result(const std::string& path,
 [[nodiscard]] core::RunResult load_run_result(const std::string& path,
                                               std::uint64_t key_hi,
                                               std::uint64_t key_lo);
+
+/// In-memory twin of save_run_result: the returned bytes are exactly what
+/// save_run_result would have written to a file (same magic, body, and
+/// checksum trailer). This is the PUT payload of the remote cache protocol.
+[[nodiscard]] std::string encode_run_result(const core::RunResult& result,
+                                            std::uint64_t key_hi,
+                                            std::uint64_t key_lo);
+
+/// In-memory twin of load_run_result, for GET payloads received over the
+/// wire. Same validation, same exceptions; `label` names the source in
+/// error messages.
+[[nodiscard]] core::RunResult decode_run_result(std::string_view bytes,
+                                                std::uint64_t key_hi,
+                                                std::uint64_t key_lo,
+                                                const std::string& label);
+
+/// True when `bytes` is a complete, checksum-valid RunResult stamped with
+/// (key_hi, key_lo). The daemon runs this on every PUT body before letting
+/// it touch the cache dir, so a buggy or malicious client cannot poison an
+/// entry another client would later trust.
+[[nodiscard]] bool validate_run_result_bytes(std::string_view bytes,
+                                             std::uint64_t key_hi,
+                                             std::uint64_t key_lo);
 
 }  // namespace nnr::serialize

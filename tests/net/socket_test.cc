@@ -1,0 +1,88 @@
+// Socket + Listener + frame transport over a real loopback connection:
+// ephemeral ports, exact-count I/O, send_frame/recv_frame round trips, and
+// clean failure on EOF and on unreachable peers.
+#include "net/socket.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+
+namespace nnr::net {
+namespace {
+
+TEST(SocketTest, EphemeralListenerReportsItsPort) {
+  Listener listener;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0));
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(SocketTest, ConnectToClosedPortFailsFast) {
+  // Bind then immediately drop a listener to obtain a port that is closed.
+  std::uint16_t dead_port = 0;
+  {
+    Listener listener;
+    ASSERT_TRUE(listener.listen_on("127.0.0.1", 0));
+    dead_port = listener.port();
+  }
+  Socket sock = connect_tcp("127.0.0.1", dead_port, /*connect_timeout_ms=*/500,
+                            /*io_timeout_ms=*/500);
+  EXPECT_FALSE(sock.valid());
+}
+
+TEST(SocketTest, FramesRoundTripOverLoopback) {
+  Listener listener;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0));
+
+  // Echo server: one connection, echo every frame with opcode + 1.
+  std::thread server([&listener] {
+    Socket conn;
+    for (int i = 0; i < 100 && !conn.valid(); ++i) {
+      conn = listener.accept_conn();
+      if (!conn.valid()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    ASSERT_TRUE(conn.valid());
+    for (;;) {
+      auto frame = recv_frame(conn);
+      if (!frame.has_value()) return;  // client closed
+      ASSERT_TRUE(send_frame(conn, frame->opcode + 1, frame->body));
+    }
+  });
+
+  Socket client = connect_tcp("127.0.0.1", listener.port(), 1000, 1000);
+  ASSERT_TRUE(client.valid());
+  for (int i = 0; i < 3; ++i) {
+    const std::string body = "message " + std::to_string(i) +
+                             std::string(1000 * i, '\xAB');
+    ASSERT_TRUE(send_frame(client, static_cast<std::uint8_t>(10 + i), body));
+    auto echoed = recv_frame(client);
+    ASSERT_TRUE(echoed.has_value());
+    EXPECT_EQ(echoed->opcode, 11 + i);
+    EXPECT_EQ(echoed->body, body);
+  }
+  client.close();
+  server.join();
+}
+
+TEST(SocketTest, RecvFrameReturnsNulloptOnEof) {
+  Listener listener;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0));
+  Socket client = connect_tcp("127.0.0.1", listener.port(), 1000, 1000);
+  ASSERT_TRUE(client.valid());
+  Socket server_side;
+  for (int i = 0; i < 100 && !server_side.valid(); ++i) {
+    server_side = listener.accept_conn();
+    if (!server_side.valid()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(server_side.valid());
+  client.close();
+  EXPECT_FALSE(recv_frame(server_side).has_value());
+}
+
+}  // namespace
+}  // namespace nnr::net

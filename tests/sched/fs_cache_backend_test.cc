@@ -1,9 +1,9 @@
-// ReplicateCache: hit/miss accounting, atomic stores, the failure policy —
+// FsCacheBackend: hit/miss accounting, atomic stores, the failure policy —
 // a corrupted, truncated, or foreign entry must degrade to a miss
 // (recompute), never crash the study — plus the hardening surfaces:
 // exact per-run stats, cross-process claims, LRU eviction under a byte
 // budget (never an in-flight key), and GC of orphaned temp/lock files.
-#include "sched/replicate_cache.h"
+#include "sched/fs_cache_backend.h"
 
 #include <unistd.h>
 
@@ -36,7 +36,7 @@ void expect_bitwise_equal(const core::RunResult& a, const core::RunResult& b) {
   EXPECT_EQ(a.final_train_loss, b.final_train_loss);
 }
 
-class ReplicateCacheTest : public ::testing::Test {
+class FsCacheBackendTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = fs::temp_directory_path() /
@@ -51,8 +51,8 @@ class ReplicateCacheTest : public ::testing::Test {
   fs::path dir_;
 };
 
-TEST_F(ReplicateCacheTest, DisabledCacheIsInert) {
-  ReplicateCache cache("");
+TEST_F(FsCacheBackendTest, DisabledCacheIsInert) {
+  FsCacheBackend cache("");
   EXPECT_FALSE(cache.enabled());
   EXPECT_FALSE(cache.load({1, 2}).has_value());
   EXPECT_FALSE(cache.store({1, 2}, sample_result()));
@@ -60,15 +60,15 @@ TEST_F(ReplicateCacheTest, DisabledCacheIsInert) {
   EXPECT_EQ(cache.stats().stores, 0);
 }
 
-TEST_F(ReplicateCacheTest, MissOnEmptyCache) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, MissOnEmptyCache) {
+  FsCacheBackend cache(dir_.string());
   EXPECT_FALSE(cache.load({1, 2}).has_value());
   EXPECT_EQ(cache.stats().misses, 1);
   EXPECT_EQ(cache.stats().hits, 0);
 }
 
-TEST_F(ReplicateCacheTest, StoreThenLoadRoundTripsBitwise) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, StoreThenLoadRoundTripsBitwise) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{0xAB, 0xCD};
   ASSERT_TRUE(cache.store(key, sample_result()));
   const auto loaded = cache.load(key);
@@ -81,15 +81,15 @@ TEST_F(ReplicateCacheTest, StoreThenLoadRoundTripsBitwise) {
   EXPECT_EQ(stats.bytes_read, stats.bytes_written);
 }
 
-TEST_F(ReplicateCacheTest, DistinctKeysAreDistinctEntries) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, DistinctKeysAreDistinctEntries) {
+  FsCacheBackend cache(dir_.string());
   ASSERT_TRUE(cache.store({1, 1}, sample_result()));
   EXPECT_FALSE(cache.load({1, 2}).has_value());
   EXPECT_TRUE(cache.load({1, 1}).has_value());
 }
 
-TEST_F(ReplicateCacheTest, CorruptedEntryFallsBackToMiss) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, CorruptedEntryFallsBackToMiss) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{7, 9};
   ASSERT_TRUE(cache.store(key, sample_result()));
   {
@@ -108,8 +108,8 @@ TEST_F(ReplicateCacheTest, CorruptedEntryFallsBackToMiss) {
   EXPECT_EQ(cache.stats().misses, 1);
 }
 
-TEST_F(ReplicateCacheTest, TruncatedEntryFallsBackToMiss) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, TruncatedEntryFallsBackToMiss) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{7, 10};
   ASSERT_TRUE(cache.store(key, sample_result()));
   fs::resize_file(cache.path_for(key), 20);
@@ -117,10 +117,10 @@ TEST_F(ReplicateCacheTest, TruncatedEntryFallsBackToMiss) {
   EXPECT_EQ(cache.stats().corrupt, 1);
 }
 
-TEST_F(ReplicateCacheTest, ForeignEntryUnderWrongKeyIsRejected) {
+TEST_F(FsCacheBackendTest, ForeignEntryUnderWrongKeyIsRejected) {
   // A cache file renamed to another key's address must not be served: the
   // embedded key is verified on load.
-  ReplicateCache cache(dir_.string());
+  FsCacheBackend cache(dir_.string());
   const CellKey key_a{100, 1};
   const CellKey key_b{100, 2};
   ASSERT_TRUE(cache.store(key_a, sample_result()));
@@ -130,8 +130,8 @@ TEST_F(ReplicateCacheTest, ForeignEntryUnderWrongKeyIsRejected) {
   EXPECT_TRUE(cache.load(key_a).has_value());
 }
 
-TEST_F(ReplicateCacheTest, StoreOverwritesInPlace) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, StoreOverwritesInPlace) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{5, 5};
   core::RunResult first = sample_result();
   ASSERT_TRUE(cache.store(key, first));
@@ -143,26 +143,26 @@ TEST_F(ReplicateCacheTest, StoreOverwritesInPlace) {
   EXPECT_EQ(loaded->test_accuracy, 0.5);
 }
 
-TEST_F(ReplicateCacheTest, FromEnvHonorsNnrCacheDir) {
+TEST_F(FsCacheBackendTest, FromEnvHonorsNnrCacheDir) {
   ::setenv("NNR_CACHE_DIR", dir_.string().c_str(), 1);
-  EXPECT_TRUE(ReplicateCache::from_env().enabled());
-  EXPECT_EQ(ReplicateCache::from_env().dir(), dir_.string());
+  EXPECT_TRUE(FsCacheBackend::from_env().enabled());
+  EXPECT_EQ(FsCacheBackend::from_env().dir(), dir_.string());
   ::unsetenv("NNR_CACHE_DIR");
-  EXPECT_FALSE(ReplicateCache::from_env().enabled());
+  EXPECT_FALSE(FsCacheBackend::from_env().enabled());
 }
 
-TEST_F(ReplicateCacheTest, FromEnvHonorsBudget) {
+TEST_F(FsCacheBackendTest, FromEnvHonorsBudget) {
   ::setenv("NNR_CACHE_DIR", dir_.string().c_str(), 1);
   ::setenv("NNR_CACHE_BUDGET", "4096", 1);
-  EXPECT_EQ(ReplicateCache::from_env().budget(), 4096);
+  EXPECT_EQ(FsCacheBackend::from_env().budget(), 4096);
   ::setenv("NNR_CACHE_BUDGET", "4096x", 1);  // junk -> unlimited, not 4096
-  EXPECT_EQ(ReplicateCache::from_env().budget(), 0);
+  EXPECT_EQ(FsCacheBackend::from_env().budget(), 0);
   ::unsetenv("NNR_CACHE_BUDGET");
   ::unsetenv("NNR_CACHE_DIR");
 }
 
-TEST_F(ReplicateCacheTest, FailedStoreCountsNothingAndLeavesNoTemp) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, FailedStoreCountsNothingAndLeavesNoTemp) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{3, 4};
   // Occupy the entry's final path with a directory: the serialize step
   // succeeds but the atomic rename cannot, so the store must fail cleanly.
@@ -179,16 +179,16 @@ TEST_F(ReplicateCacheTest, FailedStoreCountsNothingAndLeavesNoTemp) {
   }
 }
 
-TEST_F(ReplicateCacheTest, BytesWrittenIsTheExactFileSize) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, BytesWrittenIsTheExactFileSize) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{8, 8};
   ASSERT_TRUE(cache.store(key, sample_result()));
   EXPECT_EQ(static_cast<std::uintmax_t>(cache.stats().bytes_written),
             fs::file_size(cache.path_for(key)));
 }
 
-TEST_F(ReplicateCacheTest, PerRunStatsReceiveTheSameDeltas) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, PerRunStatsReceiveTheSameDeltas) {
+  FsCacheBackend cache(dir_.string());
   CacheStats run;
   const CellKey key{21, 22};
   EXPECT_FALSE(cache.load(key, &run).has_value());
@@ -206,14 +206,14 @@ TEST_F(ReplicateCacheTest, PerRunStatsReceiveTheSameDeltas) {
   EXPECT_EQ(total.stores, run.stores);
 }
 
-TEST_F(ReplicateCacheTest, ClaimIsExclusivePerKey) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, ClaimIsExclusivePerKey) {
+  FsCacheBackend cache(dir_.string());
   const CellKey key{31, 32};
   auto claim = cache.try_claim(key);
   ASSERT_TRUE(claim.has_value());
   // Second claimant (another worker or, via a second cache object, another
   // process) must be refused while the first holds the key.
-  ReplicateCache peer(dir_.string());
+  FsCacheBackend peer(dir_.string());
   EXPECT_FALSE(peer.try_claim(key).has_value());
   EXPECT_TRUE(peer.try_claim(CellKey{31, 33}).has_value())
       << "claims are per-key, not cache-wide";
@@ -221,19 +221,19 @@ TEST_F(ReplicateCacheTest, ClaimIsExclusivePerKey) {
   EXPECT_TRUE(peer.try_claim(key).has_value());
 }
 
-TEST_F(ReplicateCacheTest, DisabledCacheRefusesClaims) {
-  ReplicateCache cache("");
+TEST_F(FsCacheBackendTest, DisabledCacheRefusesClaims) {
+  FsCacheBackend cache("");
   EXPECT_FALSE(cache.try_claim({1, 1}).has_value());
   EXPECT_FALSE(cache.claim({1, 1}).has_value());
 }
 
-class ReplicateCacheEvictionTest : public ReplicateCacheTest {
+class FsCacheBackendEvictionTest : public FsCacheBackendTest {
  protected:
   /// Bytes of one serialized sample_result entry (measured, not assumed).
   std::int64_t entry_bytes() {
     const fs::path probe_dir = dir_.string() + "_probe";
     fs::remove_all(probe_dir);
-    ReplicateCache probe(probe_dir.string());
+    FsCacheBackend probe(probe_dir.string());
     const CellKey key{0xFF, 0xFF};
     EXPECT_TRUE(probe.store(key, sample_result()));
     const auto size = fs::file_size(probe.path_for(key));
@@ -242,10 +242,10 @@ class ReplicateCacheEvictionTest : public ReplicateCacheTest {
   }
 };
 
-TEST_F(ReplicateCacheEvictionTest, EvictsLeastRecentlyUsedDownToBudget) {
+TEST_F(FsCacheBackendEvictionTest, EvictsLeastRecentlyUsedDownToBudget) {
   const std::int64_t entry = entry_bytes();
   // Room for three entries, not four.
-  ReplicateCache cache(dir_.string(), 3 * entry + entry / 2);
+  FsCacheBackend cache(dir_.string(), 3 * entry + entry / 2);
   const CellKey a{1, 0}, b{2, 0}, c{3, 0}, d{4, 0};
   ASSERT_TRUE(cache.store(a, sample_result()));
   ASSERT_TRUE(cache.store(b, sample_result()));
@@ -265,10 +265,10 @@ TEST_F(ReplicateCacheEvictionTest, EvictsLeastRecentlyUsedDownToBudget) {
   EXPECT_EQ(run.corrupt, 0);
 }
 
-TEST_F(ReplicateCacheEvictionTest, NeverEvictsAnInFlightKey) {
+TEST_F(FsCacheBackendEvictionTest, NeverEvictsAnInFlightKey) {
   const std::int64_t entry = entry_bytes();
   // Room for two entries.
-  ReplicateCache cache(dir_.string(), 2 * entry + entry / 2);
+  FsCacheBackend cache(dir_.string(), 2 * entry + entry / 2);
   const CellKey a{1, 1}, b{2, 2}, c{3, 3};
   ASSERT_TRUE(cache.store(a, sample_result()));
   ASSERT_TRUE(cache.store(b, sample_result()));
@@ -284,8 +284,8 @@ TEST_F(ReplicateCacheEvictionTest, NeverEvictsAnInFlightKey) {
   EXPECT_TRUE(fs::exists(cache.path_for(c)));
 }
 
-TEST_F(ReplicateCacheEvictionTest, UnlimitedBudgetNeverEvicts) {
-  ReplicateCache cache(dir_.string());  // budget 0 = unlimited
+TEST_F(FsCacheBackendEvictionTest, UnlimitedBudgetNeverEvicts) {
+  FsCacheBackend cache(dir_.string());  // budget 0 = unlimited
   for (std::uint64_t i = 1; i <= 16; ++i) {
     ASSERT_TRUE(cache.store(CellKey{i, i}, sample_result()));
   }
@@ -294,8 +294,8 @@ TEST_F(ReplicateCacheEvictionTest, UnlimitedBudgetNeverEvicts) {
   }
 }
 
-TEST_F(ReplicateCacheTest, GcSweepsOrphanedTempAndStaleLockFiles) {
-  ReplicateCache cache(dir_.string());
+TEST_F(FsCacheBackendTest, GcSweepsOrphanedTempAndStaleLockFiles) {
+  FsCacheBackend cache(dir_.string());
   const CellKey keep{10, 20};
   ASSERT_TRUE(cache.store(keep, sample_result()));
   // Orphan: writer pid that cannot exist. Live: this process's own pid.
@@ -324,14 +324,14 @@ TEST_F(ReplicateCacheTest, GcSweepsOrphanedTempAndStaleLockFiles) {
   EXPECT_TRUE(cache.load(keep).has_value());
 }
 
-TEST_F(ReplicateCacheTest, GcEvictsToBudgetAndCompactsTheJournal) {
-  ReplicateCache fill(dir_.string());
+TEST_F(FsCacheBackendTest, GcEvictsToBudgetAndCompactsTheJournal) {
+  FsCacheBackend fill(dir_.string());
   for (std::uint64_t i = 1; i <= 6; ++i) {
     ASSERT_TRUE(fill.store(CellKey{i, 0}, sample_result()));
   }
   const auto entry =
       static_cast<std::int64_t>(fs::file_size(fill.path_for(CellKey{1, 0})));
-  ReplicateCache bounded(dir_.string(), 2 * entry + entry / 2);
+  FsCacheBackend bounded(dir_.string(), 2 * entry + entry / 2);
   const GcStats gc = bounded.gc();
   EXPECT_EQ(gc.evicted, 4);
   EXPECT_EQ(gc.entries, 2);
@@ -347,11 +347,11 @@ TEST_F(ReplicateCacheTest, GcEvictsToBudgetAndCompactsTheJournal) {
   EXPECT_EQ(lines, 2);
 }
 
-TEST_F(ReplicateCacheTest, GcOnDisabledOrMissingDirIsInert) {
-  ReplicateCache disabled("");
+TEST_F(FsCacheBackendTest, GcOnDisabledOrMissingDirIsInert) {
+  FsCacheBackend disabled("");
   const GcStats none = disabled.gc();
   EXPECT_EQ(none.entries, 0);
-  ReplicateCache missing((dir_ / "never_created").string());
+  FsCacheBackend missing((dir_ / "never_created").string());
   const GcStats empty = missing.gc();
   EXPECT_EQ(empty.entries, 0);
   EXPECT_FALSE(fs::exists(dir_ / "never_created"))

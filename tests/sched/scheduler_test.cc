@@ -20,6 +20,7 @@
 #include "data/synth_images.h"
 #include "nn/zoo.h"
 #include "sched/cell_key.h"
+#include "sched/fs_cache_backend.h"
 
 namespace nnr::sched {
 namespace {
@@ -116,7 +117,7 @@ TEST_P(SchedulerCacheContract, CachedReplicateIsBitwiseIdenticalToFresh) {
   const StudyPlan plan = tiny_plan(GetParam(), 2);
   const StudyResult fresh = run_plan(plan);
 
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   RunOptions opts;
   opts.cache = &cache;
   const StudyResult cold = run_plan(plan, opts);
@@ -146,7 +147,7 @@ INSTANTIATE_TEST_SUITE_P(Variants, SchedulerCacheContract,
 
 TEST_F(SchedulerTest, CorruptedCacheEntryRecomputesIdentically) {
   const StudyPlan plan = tiny_plan(core::NoiseVariant::kControl, 1);
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   RunOptions opts;
   opts.cache = &cache;
   const StudyResult cold = run_plan(plan, opts);
@@ -169,7 +170,7 @@ TEST_F(SchedulerTest, CorruptedCacheEntryRecomputesIdentically) {
 }
 
 TEST_F(SchedulerTest, ChangedEpochsMissTheCache) {
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   RunOptions opts;
   opts.cache = &cache;
   (void)run_plan(tiny_plan(core::NoiseVariant::kControl, 1), opts);
@@ -190,7 +191,7 @@ TEST_F(SchedulerTest, UncacheableCellAlwaysTrains) {
     counter.fetch_add(1);
     return core::train_replicate(job, ids);
   };  // no runner_id -> uncacheable
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   RunOptions opts;
   opts.cache = &cache;
   (void)run_plan(plan, opts);
@@ -209,7 +210,7 @@ TEST_F(SchedulerTest, NamedRunnerIsCachedAndReplayed) {
     counter.fetch_add(1);
     return core::train_replicate(job, ids);
   };
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   RunOptions opts;
   opts.cache = &cache;
   const StudyResult cold = run_plan(plan, opts);
@@ -247,8 +248,8 @@ TEST_F(SchedulerTest, ConcurrentRunsPartitionASharedCache) {
   constexpr std::int64_t kReplicates = 4;
   const StudyPlan plan_a = tiny_plan(core::NoiseVariant::kControl, kReplicates);
   const StudyPlan plan_b = tiny_plan(core::NoiseVariant::kControl, kReplicates);
-  ReplicateCache cache_a(cache_dir_.string());
-  ReplicateCache cache_b(cache_dir_.string());
+  FsCacheBackend cache_a(cache_dir_.string());
+  FsCacheBackend cache_b(cache_dir_.string());
   StudyResult result_a;
   StudyResult result_b;
   std::thread runner_a([&] {
@@ -287,7 +288,7 @@ TEST_F(SchedulerTest, ResumedStudyTrainsExactlyTheRemainingReplicates) {
   const StudyPlan uninterrupted = tiny_plan(core::NoiseVariant::kControl, 4);
   const StudyResult fresh = run_plan(uninterrupted);
 
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   RunOptions opts;
   opts.cache = &cache;
   // "Interrupted" run: only the first 2 replicates completed before the
@@ -306,7 +307,7 @@ TEST_F(SchedulerTest, ResumedStudyTrainsExactlyTheRemainingReplicates) {
 
 TEST_F(SchedulerTest, CompletionCallbackSeesEveryReplicate) {
   const StudyPlan plan = tiny_plan(core::NoiseVariant::kControl, 3);
-  ReplicateCache cache(cache_dir_.string());
+  FsCacheBackend cache(cache_dir_.string());
   std::vector<ReplicateEvent> events;
   RunOptions opts;
   opts.cache = &cache;
@@ -327,6 +328,80 @@ TEST_F(SchedulerTest, CompletionCallbackSeesEveryReplicate) {
   for (const ReplicateEvent& event : events) {
     EXPECT_TRUE(event.from_cache);
   }
+}
+
+// Batched submission: duplicate cacheable keys across queued plans are
+// coalesced — trained once, shared in-memory, bit-identical everywhere.
+TEST_F(SchedulerTest, BatchCoalescesDuplicateKeysAcrossPlans) {
+  const StudyPlan plan_a = tiny_plan(core::NoiseVariant::kControl, 2);
+  const StudyPlan plan_b = tiny_plan(core::NoiseVariant::kControl, 2);
+  const BatchResult batch = run_batch({&plan_a, &plan_b});
+  EXPECT_EQ(batch.trained, 2) << "each unique key must train exactly once";
+  EXPECT_EQ(batch.coalesced, 2);
+  ASSERT_EQ(batch.studies.size(), 2u);
+  const StudyResult fresh = run_plan(tiny_plan(core::NoiseVariant::kControl,
+                                               2));
+  for (std::size_t r = 0; r < 2; ++r) {
+    expect_bitwise_equal(batch.studies[0].cells[0][r], fresh.cells[0][r]);
+    expect_bitwise_equal(batch.studies[1].cells[0][r], fresh.cells[0][r]);
+  }
+}
+
+TEST_F(SchedulerTest, BatchWithCacheSharesOneClaimPass) {
+  const StudyPlan plan_a = tiny_plan(core::NoiseVariant::kControl, 2);
+  const StudyPlan plan_b = tiny_plan(core::NoiseVariant::kControl, 2);
+  FsCacheBackend cache(cache_dir_.string());
+  RunOptions opts;
+  opts.cache = &cache;
+  const BatchResult cold = run_batch({&plan_a, &plan_b}, opts);
+  EXPECT_EQ(cold.trained, 2);
+  EXPECT_EQ(cold.coalesced, 2);
+  EXPECT_EQ(cold.cache.stores, 2) << "only leaders touch the cache";
+  EXPECT_EQ(cold.cache.misses, 2);
+  const BatchResult warm = run_batch({&plan_a, &plan_b}, opts);
+  EXPECT_EQ(warm.trained, 0);
+  EXPECT_EQ(warm.cache.hits, 2);
+  EXPECT_EQ(warm.coalesced, 2);
+  for (std::size_t p = 0; p < 2; ++p) {
+    // Per-study invariant: hits + trained + coalesced == replicates.
+    const StudyResult& study = warm.studies[p];
+    EXPECT_EQ(study.cache.hits + study.trained + study.coalesced, 2);
+    for (std::size_t r = 0; r < 2; ++r) {
+      expect_bitwise_equal(warm.studies[p].cells[0][r],
+                           cold.studies[p].cells[0][r]);
+    }
+  }
+}
+
+TEST_F(SchedulerTest, BatchEventsCarryTheStudyIndex) {
+  // Distinct variants -> distinct keys -> nothing coalesces; every
+  // replicate fires one event tagged with its plan's index.
+  const StudyPlan plan_a = tiny_plan(core::NoiseVariant::kControl, 2);
+  const StudyPlan plan_b = tiny_plan(core::NoiseVariant::kAlgoPlusImpl, 1);
+  std::vector<ReplicateEvent> events;
+  RunOptions opts;
+  opts.on_replicate = [&events](const ReplicateEvent& event) {
+    events.push_back(event);
+  };
+  const BatchResult batch = run_batch({&plan_a, &plan_b}, opts);
+  EXPECT_EQ(batch.coalesced, 0);
+  ASSERT_EQ(events.size(), 3u);
+  int seen_a = 0;
+  int seen_b = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].done, static_cast<std::int64_t>(i) + 1);
+    EXPECT_EQ(events[i].total, 3);
+    if (events[i].study == 0) ++seen_a;
+    if (events[i].study == 1) ++seen_b;
+  }
+  EXPECT_EQ(seen_a, 2);
+  EXPECT_EQ(seen_b, 1);
+}
+
+TEST_F(SchedulerTest, EmptyBatchIsANoOp) {
+  const BatchResult batch = run_batch({});
+  EXPECT_TRUE(batch.studies.empty());
+  EXPECT_EQ(batch.trained, 0);
 }
 
 TEST_F(SchedulerTest, CacheStatsTableListsAllCounters) {

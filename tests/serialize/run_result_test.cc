@@ -109,5 +109,42 @@ TEST_F(RunResultTest, WrongMagicThrows) {
   EXPECT_THROW(load_run_result(path_, 1, 2), CheckpointError);
 }
 
+// The wire/file duality the remote cache relies on: encode_run_result's
+// bytes ARE the file format, byte for byte, and decode accepts either.
+TEST_F(RunResultTest, EncodedBytesMatchTheFileExactly) {
+  const core::RunResult original = sample_result();
+  save_run_result(path_, original, 0x1234, 0x5678);
+  std::ifstream in(path_, std::ios::binary);
+  const std::string file_bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+  const std::string encoded = encode_run_result(original, 0x1234, 0x5678);
+  EXPECT_EQ(encoded, file_bytes)
+      << "a PUT body must be storable verbatim as a cache file";
+}
+
+TEST_F(RunResultTest, DecodeRoundTripsInMemory) {
+  const core::RunResult original = sample_result();
+  const std::string bytes = encode_run_result(original, 7, 8);
+  const core::RunResult decoded = decode_run_result(bytes, 7, 8, "<test>");
+  EXPECT_EQ(decoded.test_predictions, original.test_predictions);
+  EXPECT_EQ(decoded.final_weights, original.final_weights);
+  EXPECT_EQ(decoded.test_accuracy, original.test_accuracy);
+  EXPECT_THROW((void)decode_run_result(bytes, 7, 9, "<test>"),
+               CheckpointError);
+}
+
+TEST_F(RunResultTest, ValidateRunResultBytesChecksEverything) {
+  const std::string bytes = encode_run_result(sample_result(), 7, 8);
+  EXPECT_TRUE(validate_run_result_bytes(bytes, 7, 8));
+  EXPECT_FALSE(validate_run_result_bytes(bytes, 7, 9)) << "wrong key";
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  EXPECT_FALSE(validate_run_result_bytes(corrupt, 7, 8)) << "bit flip";
+  EXPECT_FALSE(validate_run_result_bytes(bytes.substr(0, bytes.size() - 4),
+                                         7, 8))
+      << "truncation";
+  EXPECT_FALSE(validate_run_result_bytes("junk", 7, 8));
+}
+
 }  // namespace
 }  // namespace nnr::serialize

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Docs link check: every relative markdown link target in the repo's *.md
+# files must exist. External links (http/https/mailto) and pure anchors
+# are skipped; anchors on relative links are stripped before the check.
+#
+# Usage: check_docs_links.sh [repo-root]    (default: the script's repo)
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT"
+
+fail=0
+checked=0
+# Repo-tracked markdown only (never build trees or vendored files).
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  # Extract ](target) link targets, tolerating multiple links per line.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|*@*) continue ;;
+    esac
+    path="${target%%#*}"          # strip anchors
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK ($checked relative links)"

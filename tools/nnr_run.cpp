@@ -2,23 +2,33 @@
 //
 // The figure/table benches reproduce the paper's exact cells; this tool lets
 // a downstream user compose their own cell — task x device x noise variant x
-// replicate count — or run any named study from the registry, and get the
-// paper's stability measures (accuracy mean/stddev, predictive churn,
-// normalized L2 weight distance) as an aligned table or CSV. Every run goes
-// through the study scheduler, so a cache directory (--cache-dir or
-// NNR_CACHE_DIR) makes repeated runs near-free: replicates are served from
-// disk bit-for-bit identical to a fresh training.
+// replicate count — or run any named study from the registry (batched:
+// `--study fig1,table2` schedules every queued grid as ONE claim pass with
+// duplicate cells coalesced), and get the paper's stability measures
+// (accuracy mean/stddev, predictive churn, normalized L2 weight distance)
+// as an aligned table or CSV. Every run goes through the study scheduler,
+// so a cache — a directory (--cache-dir / NNR_CACHE_DIR) or a remote
+// nnr_cached daemon (--cache-url / NNR_CACHE_URL) — makes repeated runs
+// near-free: replicates are served bit-for-bit identical to fresh training.
+//
+// Flags are declared once in kFlags below; the parser dispatches from that
+// table and --help is generated from it, so usage text and accepted flags
+// cannot drift apart. The full reference lives in docs/nnr_run.md.
 //
 // Usage:
 //   nnr_run --task smallcnn_bn --device V100 --variant impl --replicates 10
 //   nnr_run --study table2 --cache-dir /tmp/nnr-cache
+//   nnr_run --study fig1,fig2,table2 --cache-url tcp://cachehost:9776
 //   nnr_run --list
 //   nnr_run --task resnet18_c100 --all-variants --csv
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,61 +43,14 @@
 #include "report/exporter.h"
 #include "runtime/parse_int.h"
 #include "runtime/thread_pool.h"
+#include "sched/cache_backend.h"
 #include "sched/registry.h"
-#include "sched/replicate_cache.h"
 #include "sched/scheduler.h"
 #include "sched/study_plan.h"
 
 namespace {
 
 using namespace nnr;
-
-constexpr const char* kUsage = R"(nnr_run: stability-study runner
-
-Single-cell mode (default):
-  --task NAME        a named task; see --list (default: smallcnn_bn)
-  --device NAME      P100 | V100 | RTX5000 | "RTX5000 TC" | T4 | TPUv2
-  --variant NAME     algo+impl | algo | impl | control
-  --all-variants     run algo+impl, algo, and impl (overrides --variant)
-  --optimizer NAME   sgd | sgd_momentum | adam | rmsprop
-                     (default: the recipe's SGD setting)
-  --replicates N     independent trainings per cell (default: task preset)
-  --epochs N         override the task recipe's epoch count
-
-Study mode:
-  --study NAME       run a named study (a full figure/table grid); see --list
-
-Cache maintenance mode:
-  --cache-gc         garbage-collect the cache dir and exit: sweep orphaned
-                     .tmp files (dead writers) and unheld lockfiles, evict
-                     to the byte budget (LRU), compact the access journal
-
-Shared:
-  --cache-dir DIR    persistent replicate cache; replicates already on disk
-                     are loaded (bitwise identical to retraining) instead of
-                     trained. Defaults to NNR_CACHE_DIR when set. Concurrent
-                     runs sharing one cache dir partition the grid via
-                     per-key advisory locks (each cell trains exactly once).
-  --cache-budget N   cache byte budget; a store that pushes the cache over N
-                     bytes evicts least-recently-used entries (never one
-                     that is mid-training). Defaults to NNR_CACHE_BUDGET;
-                     0 = unlimited.
-  --threads N        cap host-thread fan-out for this run. Precedence:
-                     this flag > NNR_THREADS > hardware concurrency.
-                     0 (default) = full shared-pool width; negative = serial.
-  --csv              emit CSV instead of the aligned table
-  --json             emit JSON instead of the aligned table
-  --out DIR          also write the table as .txt/.csv/.json under DIR
-  --list             print available tasks/devices/variants/studies and exit
-  --help             this text
-
-Integer flags are parsed strictly: trailing junk ("--threads 4x") is an
-error, never a silent zero. Cache stats and progress go to stderr
-([cache] hits=... / [study] 5/36 cells, ...), never into tables, so
-warm-cache reruns emit byte-identical artifacts. A run killed mid-study is
-resumable: rerun with the same cache dir and only the missing replicates
-train, with bitwise-identical final tables.
-)";
 
 std::optional<core::NoiseVariant> parse_variant(const std::string& name) {
   if (name == "algo+impl") return core::NoiseVariant::kAlgoPlusImpl;
@@ -167,7 +130,9 @@ constexpr std::int64_t kMaxThreadsFlag = 1 << 20;
 struct Options {
   std::string task = "smallcnn_bn";
   std::string device = "V100";
-  std::string study;  // non-empty selects study mode
+  std::vector<std::string> studies;     // non-empty selects study mode
+  std::string study_file;               // --study-file; appended to studies
+  bool study_mode_requested = false;    // --study/--study-file seen at all
   bool single_cell_flags_used = false;  // --study rejects these
   std::vector<core::NoiseVariant> variants = {
       core::NoiseVariant::kAlgoPlusImpl};
@@ -181,106 +146,306 @@ struct Options {
   bool cache_gc = false;         // --cache-gc maintenance mode
   std::string out_dir;           // empty = no file export
   std::string cache_dir;         // empty = NNR_CACHE_DIR, else that value
+  std::string cache_url;         // empty = NNR_CACHE_URL, else that value
   std::int64_t cache_budget = 0; // bytes; 0 = NNR_CACHE_BUDGET / unlimited
 };
 
-Options parse_args(int argc, char** argv) {
-  Options opts;
-  opts.cache_dir = [] {
-    const char* dir = std::getenv("NNR_CACHE_DIR");
-    return std::string(dir != nullptr ? dir : "");
-  }();
-  opts.cache_budget = core::env_int("NNR_CACHE_BUDGET", 0);
-  auto next_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage_error("flag needs a value");
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list") {
-      print_catalog();
-      std::exit(0);
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("%s", kUsage);
-      std::exit(0);
-    } else if (arg == "--task") {
-      opts.single_cell_flags_used = true;
-      opts.task = next_value(i);
-    } else if (arg == "--study") {
-      opts.study = next_value(i);
-    } else if (arg == "--device") {
-      opts.single_cell_flags_used = true;
-      opts.device = next_value(i);
-    } else if (arg == "--variant") {
-      opts.single_cell_flags_used = true;
-      const auto v = parse_variant(next_value(i));
-      if (!v) usage_error("unknown --variant");
-      opts.variants = {*v};
-    } else if (arg == "--optimizer") {
-      opts.single_cell_flags_used = true;
-      const std::string name = next_value(i);
-      const auto factory = parse_optimizer(name);
-      if (!factory) usage_error("unknown --optimizer");
-      opts.optimizer = *factory;
-      opts.optimizer_name = name;
-    } else if (arg == "--all-variants") {
-      opts.single_cell_flags_used = true;
-      opts.variants = {core::NoiseVariant::kAlgoPlusImpl,
-                       core::NoiseVariant::kAlgo, core::NoiseVariant::kImpl};
-    } else if (arg == "--replicates") {
-      opts.single_cell_flags_used = true;
-      opts.replicates = parse_int_flag("--replicates", next_value(i));
-    } else if (arg == "--epochs") {
-      opts.single_cell_flags_used = true;
-      opts.epochs = parse_int_flag("--epochs", next_value(i));
-    } else if (arg == "--threads") {
-      const std::int64_t threads = parse_int_flag("--threads", next_value(i));
-      // Strict parsing must not be undone by a silent int64 -> int
-      // truncation (2^32 would become 0 = "full pool").
-      if (threads > kMaxThreadsFlag || threads < -kMaxThreadsFlag) {
-        usage_error("--threads is out of range");
+// ---------------------------------------------------------------------------
+// The flag table: one entry per flag, driving BOTH the parser and --help.
+// ---------------------------------------------------------------------------
+
+void print_usage();
+
+void append_studies(Options& opts, const std::string& list) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string name =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!name.empty()) opts.studies.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+enum class Section { kSingle, kStudy, kMaint, kShared };
+
+struct FlagSpec {
+  const char* name;
+  const char* value;  // value placeholder, nullptr for boolean flags
+  Section section;
+  const char* help;   // '\n' starts an aligned continuation line
+  void (*apply)(Options&, const char* value);
+};
+
+const FlagSpec kFlags[] = {
+    {"--task", "NAME", Section::kSingle,
+     "a named task; see --list (default: smallcnn_bn)",
+     [](Options& o, const char* v) { o.task = v; }},
+    {"--device", "NAME", Section::kSingle,
+     "P100 | V100 | RTX5000 | \"RTX5000 TC\" | T4 | TPUv2",
+     [](Options& o, const char* v) { o.device = v; }},
+    {"--variant", "NAME", Section::kSingle,
+     "algo+impl | algo | impl | control",
+     [](Options& o, const char* v) {
+       const auto variant = parse_variant(v);
+       if (!variant) usage_error("unknown --variant");
+       o.variants = {*variant};
+     }},
+    {"--all-variants", nullptr, Section::kSingle,
+     "run algo+impl, algo, and impl (overrides --variant)",
+     [](Options& o, const char*) {
+       o.variants = {core::NoiseVariant::kAlgoPlusImpl,
+                     core::NoiseVariant::kAlgo, core::NoiseVariant::kImpl};
+     }},
+    {"--optimizer", "NAME", Section::kSingle,
+     "sgd | sgd_momentum | adam | rmsprop\n"
+     "(default: the recipe's SGD setting)",
+     [](Options& o, const char* v) {
+       const auto factory = parse_optimizer(v);
+       if (!factory) usage_error("unknown --optimizer");
+       o.optimizer = *factory;
+       o.optimizer_name = v;
+     }},
+    {"--replicates", "N", Section::kSingle,
+     "independent trainings per cell (default: task preset)",
+     [](Options& o, const char* v) {
+       o.replicates = parse_int_flag("--replicates", v);
+     }},
+    {"--epochs", "N", Section::kSingle,
+     "override the task recipe's epoch count",
+     [](Options& o, const char* v) {
+       o.epochs = parse_int_flag("--epochs", v);
+     }},
+    {"--study", "LIST", Section::kStudy,
+     "run named studies (a full figure/table grid each); see\n"
+     "--list. Comma-separate to batch: the queued grids are\n"
+     "scheduled as ONE pass and cells shared between studies\n"
+     "train once (coalesced), not once per study",
+     [](Options& o, const char* v) {
+       o.study_mode_requested = true;
+       append_studies(o, v);
+     }},
+    {"--study-file", "FILE", Section::kStudy,
+     "read study names from FILE (one per line or comma-\n"
+     "separated; '#' comments), appended to --study's list",
+     [](Options& o, const char* v) {
+       o.study_mode_requested = true;
+       o.study_file = v;
+     }},
+    {"--cache-gc", nullptr, Section::kMaint,
+     "garbage-collect the cache and exit: sweep orphaned .tmp\n"
+     "files (dead writers) and unheld lockfiles, evict to the\n"
+     "byte budget (LRU), compact the access journal. Works on\n"
+     "a directory (--cache-dir) or a daemon (--cache-url)",
+     [](Options& o, const char*) { o.cache_gc = true; }},
+    {"--cache-dir", "DIR", Section::kShared,
+     "persistent replicate cache; replicates already on disk\n"
+     "are loaded (bitwise identical to retraining) instead of\n"
+     "trained. Defaults to NNR_CACHE_DIR when set. Concurrent\n"
+     "runs sharing one cache dir partition the grid via\n"
+     "per-key advisory locks (each cell trains exactly once)",
+     [](Options& o, const char* v) { o.cache_dir = v; }},
+    {"--cache-url", "URL", Section::kShared,
+     "remote replicate cache: tcp://host:port of an nnr_cached\n"
+     "daemon. Defaults to NNR_CACHE_URL when set; overrides\n"
+     "--cache-dir. Claims become TTL leases (heartbeat-renewed,\n"
+     "released on death); an unreachable daemon degrades to\n"
+     "local recompute, never an error",
+     [](Options& o, const char* v) { o.cache_url = v; }},
+    {"--cache-budget", "N", Section::kShared,
+     "cache byte budget; a store that pushes the cache over N\n"
+     "bytes evicts least-recently-used entries (never one\n"
+     "that is mid-training). Defaults to NNR_CACHE_BUDGET;\n"
+     "0 = unlimited. Filesystem caches only: with --cache-url\n"
+     "the budget belongs to the daemon (nnr_cached --budget)",
+     [](Options& o, const char* v) {
+       o.cache_budget = parse_int_flag("--cache-budget", v);
+       if (o.cache_budget < 0) {
+         usage_error("--cache-budget must be >= 0 (bytes; 0 = unlimited)");
+       }
+     }},
+    {"--threads", "N", Section::kShared,
+     "cap host-thread fan-out for this run. Precedence:\n"
+     "this flag > NNR_THREADS > hardware concurrency.\n"
+     "0 (default) = full shared-pool width; negative = serial",
+     [](Options& o, const char* v) {
+       const std::int64_t threads = parse_int_flag("--threads", v);
+       // Strict parsing must not be undone by a silent int64 -> int
+       // truncation (2^32 would become 0 = "full pool").
+       if (threads > kMaxThreadsFlag || threads < -kMaxThreadsFlag) {
+         usage_error("--threads is out of range");
+       }
+       o.threads = static_cast<int>(threads);
+     }},
+    {"--csv", nullptr, Section::kShared,
+     "emit CSV instead of the aligned table",
+     [](Options& o, const char*) { o.csv = true; }},
+    {"--json", nullptr, Section::kShared,
+     "emit JSON instead of the aligned table",
+     [](Options& o, const char*) { o.json = true; }},
+    {"--out", "DIR", Section::kShared,
+     "also write the table as .txt/.csv/.json under DIR",
+     [](Options& o, const char* v) { o.out_dir = v; }},
+    {"--list", nullptr, Section::kShared,
+     "print available tasks/devices/variants/studies and exit",
+     [](Options&, const char*) {
+       print_catalog();
+       std::exit(0);
+     }},
+    {"--help", nullptr, Section::kShared, "this text",
+     [](Options&, const char*) {
+       print_usage();
+       std::exit(0);
+     }},
+};
+
+constexpr const char* kUsageFooter = R"(
+Environment: NNR_CACHE_DIR / NNR_CACHE_URL / NNR_CACHE_BUDGET /
+NNR_CACHE_LEASE_MS seed the cache flags above; NNR_THREADS sizes the shared
+pool; NNR_REPLICATES / NNR_EPOCHS / NNR_TRAIN_N / NNR_QUICK scale studies.
+Full reference: docs/nnr_run.md.
+
+Integer flags are parsed strictly: trailing junk ("--threads 4x") is an
+error, never a silent zero. Cache stats and progress go to stderr
+([cache] hits=... / [study] 5/36 cells, ...), never into tables, so
+warm-cache reruns emit byte-identical artifacts. A run killed mid-study is
+resumable: rerun with the same cache and only the missing replicates
+train, with bitwise-identical final tables.
+)";
+
+const char* section_title(Section section) {
+  switch (section) {
+    case Section::kSingle: return "Single-cell mode (default):";
+    case Section::kStudy: return "Study mode:";
+    case Section::kMaint: return "Cache maintenance mode:";
+    case Section::kShared: return "Shared:";
+  }
+  return "";
+}
+
+/// --help text, generated from kFlags so it cannot drift from the parser.
+void print_usage() {
+  std::printf("nnr_run: stability-study runner\n");
+  for (const Section section : {Section::kSingle, Section::kStudy,
+                                Section::kMaint, Section::kShared}) {
+    std::printf("\n%s\n", section_title(section));
+    for (const FlagSpec& spec : kFlags) {
+      if (spec.section != section) continue;
+      std::string label = spec.name;
+      if (spec.value != nullptr) {
+        label += ' ';
+        label += spec.value;
       }
-      opts.threads = static_cast<int>(threads);
-    } else if (arg == "--cache-budget") {
-      opts.cache_budget = parse_int_flag("--cache-budget", next_value(i));
-      if (opts.cache_budget < 0) {
-        usage_error("--cache-budget must be >= 0 (bytes; 0 = unlimited)");
+      const char* help = spec.help;
+      bool first = true;
+      while (help != nullptr) {
+        const char* newline = std::strchr(help, '\n');
+        const std::string line =
+            newline != nullptr ? std::string(help, newline) : std::string(help);
+        if (first) {
+          std::printf("  %-17s %s\n", label.c_str(), line.c_str());
+          first = false;
+        } else {
+          std::printf("  %-17s %s\n", "", line.c_str());
+        }
+        help = newline != nullptr ? newline + 1 : nullptr;
       }
-    } else if (arg == "--cache-gc") {
-      opts.cache_gc = true;
-    } else if (arg == "--csv") {
-      opts.csv = true;
-    } else if (arg == "--json") {
-      opts.json = true;
-    } else if (arg == "--out") {
-      opts.out_dir = next_value(i);
-    } else if (arg == "--cache-dir") {
-      opts.cache_dir = next_value(i);
-    } else {
-      usage_error("unknown flag");
     }
   }
-  if (!opts.study.empty() && opts.single_cell_flags_used) {
-    usage_error("--study runs a fixed registry grid; it cannot be combined "
+  std::printf("%s", kUsageFooter);
+}
+
+const FlagSpec* find_flag(const char* arg) {
+  for (const FlagSpec& spec : kFlags) {
+    if (std::strcmp(spec.name, arg) == 0) return &spec;
+  }
+  return nullptr;
+}
+
+/// Appends the study names listed in `path` (one per line or comma-
+/// separated; blank lines and '#' comments skipped).
+void load_study_file(Options& opts, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage_error("--study-file: cannot open the file");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim whitespace around the whole line; names themselves have none.
+    std::string trimmed;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') trimmed += c;
+    }
+    if (!trimmed.empty()) append_studies(opts, trimmed);
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  {
+    const sched::CacheConfig env = sched::cache_config_from_env();
+    opts.cache_dir = env.dir;
+    opts.cache_url = env.url;
+    opts.cache_budget = env.budget;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-h") == 0) arg = "--help";
+    const FlagSpec* spec = find_flag(arg);
+    if (spec == nullptr) usage_error("unknown flag");
+    const char* value = nullptr;
+    if (spec->value != nullptr) {
+      if (i + 1 >= argc) usage_error("flag needs a value");
+      value = argv[++i];
+    }
+    if (spec->section == Section::kSingle) opts.single_cell_flags_used = true;
+    spec->apply(opts, value);
+  }
+  if (!opts.study_file.empty()) load_study_file(opts, opts.study_file);
+  if (opts.study_mode_requested && opts.studies.empty()) {
+    usage_error("--study/--study-file named no studies (empty list or a "
+                "file of only comments) — refusing to fall back to "
+                "single-cell mode");
+  }
+  if (!opts.studies.empty() && opts.single_cell_flags_used) {
+    usage_error("--study runs fixed registry grids; it cannot be combined "
                 "with --task/--device/--variant/--all-variants/--optimizer/"
                 "--replicates/--epochs (scale studies via NNR_* env knobs)");
   }
-  if (opts.cache_gc && (!opts.study.empty() || opts.single_cell_flags_used)) {
+  if (opts.cache_gc && (!opts.studies.empty() || opts.single_cell_flags_used)) {
     usage_error("--cache-gc is a standalone maintenance mode; combine it "
-                "only with --cache-dir/--cache-budget");
+                "only with --cache-dir/--cache-url/--cache-budget");
   }
   return opts;
 }
 
-int run_cache_gc(const Options& opts) {
-  if (opts.cache_dir.empty()) {
-    usage_error("--cache-gc needs a cache dir (--cache-dir or NNR_CACHE_DIR)");
+/// The backend the options select (nullptr = no cache). --cache-url wins
+/// over --cache-dir, mirroring make_cache_backend's env precedence.
+std::unique_ptr<sched::CacheBackend> make_backend(const Options& opts) {
+  sched::CacheConfig config;
+  config.dir = opts.cache_dir;
+  config.url = opts.cache_url;
+  config.budget = opts.cache_budget;
+  try {
+    return sched::make_cache_backend(config);
+  } catch (const std::invalid_argument& error) {
+    usage_error(error.what());
   }
-  sched::ReplicateCache cache(opts.cache_dir, opts.cache_budget);
-  const sched::GcStats gc = cache.gc();
-  std::printf("[cache-gc] dir=%s removed_tmp=%lld removed_locks=%lld "
+}
+
+int run_cache_gc(const Options& opts) {
+  auto backend = make_backend(opts);
+  if (backend == nullptr) {
+    usage_error("--cache-gc needs a cache (--cache-dir/NNR_CACHE_DIR or "
+                "--cache-url/NNR_CACHE_URL)");
+  }
+  const sched::GcStats gc = backend->gc();
+  std::printf("[cache-gc] target=%s removed_tmp=%lld removed_locks=%lld "
               "evicted=%lld evicted_bytes=%lld entries=%lld bytes=%lld\n",
-              opts.cache_dir.c_str(), static_cast<long long>(gc.removed_tmp),
+              backend->describe().c_str(),
+              static_cast<long long>(gc.removed_tmp),
               static_cast<long long>(gc.removed_locks),
               static_cast<long long>(gc.evicted),
               static_cast<long long>(gc.evicted_bytes),
@@ -321,19 +486,8 @@ void apply_thread_flag(int threads) {
   if (threads > 0) runtime::ThreadPool::set_global_threads(threads);
 }
 
-int run_study_mode(const Options& opts) {
-  const sched::StudyDef* def = sched::find_study(opts.study);
-  if (def == nullptr) usage_error("unknown --study");
-  const sched::StudyPlan plan = def->make_plan();
-
-  apply_thread_flag(opts.threads);
-  sched::ReplicateCache cache(opts.cache_dir, opts.cache_budget);
-  sched::RunOptions run_opts;
-  run_opts.threads = opts.threads;
-  run_opts.progress = true;
-  if (cache.enabled()) run_opts.cache = &cache;
-  const sched::StudyResult result = sched::run_plan(plan, run_opts);
-
+core::TextTable study_table(const sched::StudyPlan& plan,
+                            const sched::StudyResult& result) {
   core::TextTable table({"Task", "Device", "Variant", "Mean acc %",
                          "STDDEV(Acc) %", "Churn %", "L2 Norm"});
   for (std::size_t c = 0; c < plan.cells().size(); ++c) {
@@ -346,16 +500,62 @@ int run_study_mode(const Options& opts) {
                    core::fmt_float(summary.churn_pct(), 2),
                    core::fmt_float(summary.mean_l2, 4)});
   }
-  emit_table(opts, table, "study", plan.name(),
-             "study " + plan.name() + " (" + def->description + ")");
-  if (!opts.out_dir.empty() && cache.enabled()) {
-    // Cache activity as its own artifact — kept out of the study table so
-    // cold- and warm-cache runs emit byte-identical study files.
-    report::Exporter exporter(opts.out_dir);
-    exporter.write(sched::cache_stats_table(result), "cache_stats",
-                   plan.name(), "replicate cache activity: " + plan.name());
+  return table;
+}
+
+int run_study_mode(const Options& opts) {
+  std::vector<const sched::StudyDef*> defs;
+  defs.reserve(opts.studies.size());
+  for (const std::string& name : opts.studies) {
+    const sched::StudyDef* def = sched::find_study(name);
+    if (def == nullptr) {
+      std::fprintf(stderr, "nnr_run: unknown study '%s'\n", name.c_str());
+      usage_error("unknown --study");
+    }
+    defs.push_back(def);
   }
-  report_cache(result, cache.enabled());
+
+  std::vector<sched::StudyPlan> plans;
+  plans.reserve(defs.size());
+  std::vector<const sched::StudyPlan*> plan_ptrs;
+  for (const sched::StudyDef* def : defs) {
+    plans.push_back(def->make_plan());
+    plan_ptrs.push_back(&plans.back());
+  }
+
+  apply_thread_flag(opts.threads);
+  auto backend = make_backend(opts);
+  sched::RunOptions run_opts;
+  run_opts.threads = opts.threads;
+  run_opts.progress = true;
+  run_opts.cache = backend.get();
+  const sched::BatchResult batch = sched::run_batch(plan_ptrs, run_opts);
+
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const sched::StudyPlan& plan = plans[p];
+    emit_table(opts, study_table(plan, batch.studies[p]), "study",
+               plan.name(),
+               "study " + plan.name() + " (" + defs[p]->description + ")");
+    if (!opts.out_dir.empty() && backend != nullptr) {
+      // Cache activity as its own artifact — kept out of the study table so
+      // cold- and warm-cache runs emit byte-identical study files.
+      report::Exporter exporter(opts.out_dir);
+      exporter.write(sched::cache_stats_table(batch.studies[p]),
+                     "cache_stats", plan.name(),
+                     "replicate cache activity: " + plan.name());
+    }
+  }
+
+  if (plans.size() > 1) {
+    std::fprintf(stderr, "[batch] studies=%zu coalesced=%lld deferred=%lld\n",
+                 plans.size(), static_cast<long long>(batch.coalesced),
+                 static_cast<long long>(batch.deferred));
+  }
+  // Batch-wide totals in the one grep-able shape scripts rely on.
+  sched::StudyResult totals;
+  totals.cache = batch.cache;
+  totals.trained = batch.trained;
+  report_cache(totals, backend != nullptr);
   return 0;
 }
 
@@ -364,7 +564,7 @@ int run_study_mode(const Options& opts) {
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
   if (opts.cache_gc) return run_cache_gc(opts);
-  if (!opts.study.empty()) return run_study_mode(opts);
+  if (!opts.studies.empty()) return run_study_mode(opts);
 
   const core::TaskInfo* info = core::find_task(opts.task);
   if (info == nullptr) usage_error("unknown --task");
@@ -388,11 +588,11 @@ int main(int argc, char** argv) {
   }
 
   apply_thread_flag(opts.threads);
-  sched::ReplicateCache cache(opts.cache_dir, opts.cache_budget);
+  auto backend = make_backend(opts);
   sched::RunOptions run_opts;
   run_opts.threads = opts.threads;
   run_opts.progress = true;
-  if (cache.enabled()) run_opts.cache = &cache;
+  run_opts.cache = backend.get();
   const sched::StudyResult result = sched::run_plan(plan, run_opts);
 
   core::TextTable table({"Task", "Device", "Variant", "Mean acc %",
@@ -410,6 +610,6 @@ int main(int argc, char** argv) {
   const std::string title = "nnr_run stability summary (" +
                             std::to_string(replicates) + " replicates)";
   emit_table(opts, table, "nnr_run", opts.task, title);
-  report_cache(result, cache.enabled());
+  report_cache(result, backend != nullptr);
   return 0;
 }
