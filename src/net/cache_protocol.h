@@ -26,6 +26,36 @@
 //                                             | i64 removed_locks | i64 evicted
 //                                             | i64 evicted_bytes | i64 entries
 //                                             | i64 bytes
+//   kSubmit     u32 count, then count x:      kOk: u64 enqueued | u64 dups
+//               u64 hi | u64 lo                    | u64 already_done
+//               | u32 study_len
+//               | study bytes[study_len]
+//               | u32 cell | u32 replicate
+//   kFetch      u32 ttl_ms                    kGranted: u64 lease_id
+//                                               | u32 granted_ttl_ms
+//                                               | u64 hi | u64 lo
+//                                               | u32 study_len
+//                                               | study bytes[study_len]
+//                                               | u32 cell | u32 replicate
+//                                             kMiss: u64 outstanding
+//                                               | u64 total
+//               (outstanding = pending + leased; 0 with total > 0 means
+//               the queue has drained — a worker may exit. A kMiss with
+//               outstanding > 0 means every pending key is momentarily
+//               unavailable: sleep and re-FETCH)
+//   kReport     u64 hi | u64 lo | u64 lease   kOk: u64 done | u64 total
+//               | u8 outcome                  kGone: (empty)
+//               (outcome: 0 = trained, 1 = served from cache, 2 = failed.
+//               kGone = lease unknown/expired; nothing changed)
+//   kQueueStat  (empty)                       kOk: u64 total | u64 pending
+//                                             | u64 leased | u64 done
+//                                             | u64 trained | u64 served
+//                                             | u64 failed
+//
+// kSubmit/kFetch/kReport/kQueueStat are the fleet work queue (the daemon-
+// side cell queue; lifecycle diagram in ARCHITECTURE.md). They were added
+// within wire version 1 under the new-opcode rule: an older server answers
+// them with kError and a client treats that as "feature absent".
 //
 // "entry bytes" are exactly the on-disk RunResult file format
 // (serialize/run_result.h) — magic, body, checksum trailer — so the daemon
@@ -53,6 +83,18 @@ enum class Op : std::uint8_t {
   kHeartbeat = 6,
   kStat = 7,
   kGc = 8,
+  // Fleet work queue (added within version 1; old servers answer kError).
+  kSubmit = 9,
+  kFetch = 10,
+  kReport = 11,
+  kQueueStat = 12,
+};
+
+/// REPORT's one-byte outcome field.
+enum class ReportOutcome : std::uint8_t {
+  kTrained = 0,  // worker trained the cell and stored the entry
+  kServed = 1,   // the entry was already in the cache (served, not trained)
+  kFailed = 2,   // training failed; the daemon requeues (bounded attempts)
 };
 
 /// First byte of every response body.

@@ -37,20 +37,50 @@ Frame decode_frame(std::string_view payload) {
 
 bool send_frame(Socket& sock, std::uint8_t opcode, std::string_view body) {
   const std::string frame = encode_frame(opcode, body);
-  return sock.send_all(frame.data(), frame.size());
+  return sock.send_all(frame.data(), frame.size()) == IoStatus::kOk;
 }
 
-std::optional<Frame> recv_frame(Socket& sock) {
+RecvFrameResult recv_frame_ex(Socket& sock) {
+  RecvFrameResult result;
   std::uint32_t len = 0;
-  if (!sock.recv_exact(&len, sizeof(len))) return std::nullopt;
+  std::size_t got = 0;
+  switch (sock.recv_exact(&len, sizeof(len), &got)) {
+    case IoStatus::kOk:
+      break;
+    case IoStatus::kTimeout:
+      // Only a timeout that consumed nothing is on a frame boundary; one
+      // that split the length prefix leaves the stream unreadable.
+      result.status = got == 0 ? RecvStatus::kTimeout : RecvStatus::kError;
+      return result;
+    case IoStatus::kClosed:
+      result.status = got == 0 ? RecvStatus::kClosed : RecvStatus::kError;
+      return result;
+    case IoStatus::kError:
+      result.status = RecvStatus::kError;
+      return result;
+  }
   // Minimum payload: magic + version + opcode + trailer.
   if (len < kFrameMagic.size() + 2 + sizeof(std::uint64_t) ||
       len > kMaxFrameBytes) {
-    return std::nullopt;
+    result.status = RecvStatus::kError;
+    return result;
   }
   std::string payload(len, '\0');
-  if (!sock.recv_exact(payload.data(), payload.size())) return std::nullopt;
-  return decode_frame(payload);
+  if (sock.recv_exact(payload.data(), payload.size()) != IoStatus::kOk) {
+    // Mid-frame timeout, EOF, or error: the length prefix was consumed, so
+    // no retry can realign the stream.
+    result.status = RecvStatus::kError;
+    return result;
+  }
+  result.frame = decode_frame(payload);
+  result.status = RecvStatus::kFrame;
+  return result;
+}
+
+std::optional<Frame> recv_frame(Socket& sock) {
+  RecvFrameResult result = recv_frame_ex(sock);
+  if (result.status != RecvStatus::kFrame) return std::nullopt;
+  return std::move(result.frame);
 }
 
 }  // namespace nnr::net

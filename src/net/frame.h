@@ -56,12 +56,37 @@ struct Frame {
 /// mismatch, or truncation.
 [[nodiscard]] Frame decode_frame(std::string_view payload);
 
-/// Sends one frame over a blocking socket. False on any socket error.
+/// Sends one frame over a blocking socket. False on any socket error —
+/// including a send timeout, because a partially written frame has already
+/// desynchronized the stream.
 bool send_frame(Socket& sock, std::uint8_t opcode, std::string_view body);
 
-/// Receives one frame from a blocking socket. nullopt on socket error,
-/// EOF, or an oversized length prefix; throws serialize::CheckpointError
-/// on a malformed payload (the caller should drop the connection).
+/// How a frame receive ended. kTimeout is the one retryable outcome: the
+/// receive window expired before the FIRST byte of a frame arrived, so the
+/// stream is still aligned and the same receive can simply be reissued (a
+/// slow daemon mid-training-store looks exactly like this). A timeout that
+/// strikes after bytes were consumed is a desync and reports kError.
+enum class RecvStatus : std::uint8_t {
+  kFrame = 0,    // a complete, well-formed frame was received
+  kTimeout = 1,  // clean timeout on a frame boundary — retry is safe
+  kClosed = 2,   // peer closed the connection (orderly EOF)
+  kError = 3,    // socket error, oversized/garbage length, or mid-frame
+                 // timeout — the connection is unusable
+};
+
+struct RecvFrameResult {
+  RecvStatus status = RecvStatus::kError;
+  Frame frame;  // meaningful only when status == kFrame
+};
+
+/// Receives one frame, distinguishing a clean timeout from a dead or
+/// desynchronized connection. Throws serialize::CheckpointError on a
+/// malformed payload (the caller should drop the connection).
+[[nodiscard]] RecvFrameResult recv_frame_ex(Socket& sock);
+
+/// Compatibility wrapper over recv_frame_ex: nullopt on anything but a
+/// complete frame (timeout, EOF, error, oversized length all collapse).
+/// Prefer recv_frame_ex where retry-after-timeout matters.
 [[nodiscard]] std::optional<Frame> recv_frame(Socket& sock);
 
 }  // namespace nnr::net

@@ -35,35 +35,42 @@ void Socket::close() noexcept {
   }
 }
 
-bool Socket::send_all(const void* data, std::size_t bytes) noexcept {
-  if (fd_ < 0) return false;
+IoStatus Socket::send_all(const void* data, std::size_t bytes) noexcept {
+  if (fd_ < 0) return IoStatus::kError;
   const char* p = static_cast<const char*>(data);
   while (bytes > 0) {
     const ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;  // includes EAGAIN from a send timeout
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+      if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kClosed;
+      return IoStatus::kError;
     }
     p += n;
     bytes -= static_cast<std::size_t>(n);
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-bool Socket::recv_exact(void* data, std::size_t bytes) noexcept {
-  if (fd_ < 0) return false;
+IoStatus Socket::recv_exact(void* data, std::size_t bytes,
+                            std::size_t* received) noexcept {
+  if (received != nullptr) *received = 0;
+  if (fd_ < 0) return IoStatus::kError;
   char* p = static_cast<char*>(data);
   while (bytes > 0) {
     const ssize_t n = ::recv(fd_, p, bytes, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;  // includes EAGAIN from a receive timeout
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+      if (errno == ECONNRESET) return IoStatus::kClosed;
+      return IoStatus::kError;
     }
-    if (n == 0) return false;  // peer closed mid-message
+    if (n == 0) return IoStatus::kClosed;  // peer's orderly EOF
     p += n;
     bytes -= static_cast<std::size_t>(n);
+    if (received != nullptr) *received += static_cast<std::size_t>(n);
   }
-  return true;
+  return IoStatus::kOk;
 }
 
 void Socket::set_io_timeout_ms(int timeout_ms) noexcept {

@@ -16,6 +16,19 @@
 
 namespace nnr::net {
 
+/// Outcome of an exact-count I/O call. kTimeout (SO_RCVTIMEO/SO_SNDTIMEO
+/// expired — EAGAIN on a blocking socket) is the one retryable case: the
+/// peer may just be slow. kClosed (orderly FIN) and kError (everything
+/// else) mean the connection is done. Callers that need to know whether a
+/// timeout struck a byte boundary (retryable) or mid-message (stream
+/// desynchronized) pass a `received` out-param.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,
+  kClosed = 2,
+  kError = 3,
+};
+
 /// Owning fd wrapper. Default-constructed (or failed) sockets are invalid;
 /// all I/O on an invalid socket fails cleanly.
 class Socket {
@@ -33,11 +46,18 @@ class Socket {
   void close() noexcept;
 
   /// Writes exactly `bytes` bytes (retrying partial writes / EINTR).
-  /// False on any error or send timeout — the connection is then unusable.
-  bool send_all(const void* data, std::size_t bytes) noexcept;
+  /// Anything but kOk leaves the connection unusable — a partial send has
+  /// already desynchronized the stream, so even kTimeout is terminal here;
+  /// the distinct status exists for diagnostics and symmetry.
+  IoStatus send_all(const void* data, std::size_t bytes) noexcept;
 
-  /// Reads exactly `bytes` bytes. False on EOF, error, or receive timeout.
-  bool recv_exact(void* data, std::size_t bytes) noexcept;
+  /// Reads exactly `bytes` bytes. kTimeout with *received == 0 means the
+  /// wait expired on a message boundary — nothing consumed, safe to retry
+  /// the same read; kTimeout with *received > 0 struck mid-message (the
+  /// stream is desynchronized — treat as fatal). kClosed is the peer's
+  /// orderly EOF.
+  IoStatus recv_exact(void* data, std::size_t bytes,
+                      std::size_t* received = nullptr) noexcept;
 
   /// Applies SO_RCVTIMEO / SO_SNDTIMEO so a hung peer cannot wedge a
   /// blocking call forever. <= 0 leaves the socket fully blocking.

@@ -26,12 +26,17 @@ CacheConfig cache_config_from_env() {
   return config;
 }
 
+std::unique_ptr<RemoteCacheBackend> make_remote_cache_backend(
+    const std::string& url) {
+  RemoteCacheOptions options;
+  const std::int64_t ttl = core::env_int("NNR_CACHE_LEASE_MS", 0);
+  if (ttl > 0) options.lease_ttl_ms = static_cast<std::uint32_t>(ttl);
+  return std::make_unique<RemoteCacheBackend>(url, options);
+}
+
 std::unique_ptr<CacheBackend> make_cache_backend(const CacheConfig& config) {
   if (!config.url.empty()) {
-    RemoteCacheOptions options;
-    const std::int64_t ttl = core::env_int("NNR_CACHE_LEASE_MS", 0);
-    if (ttl > 0) options.lease_ttl_ms = static_cast<std::uint32_t>(ttl);
-    return std::make_unique<RemoteCacheBackend>(config.url, options);
+    return make_remote_cache_backend(config.url);
   }
   if (!config.dir.empty()) {
     return std::make_unique<FsCacheBackend>(config.dir, config.budget);

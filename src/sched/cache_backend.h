@@ -151,4 +151,14 @@ struct CacheConfig {
 [[nodiscard]] std::unique_ptr<CacheBackend> make_cache_backend(
     const CacheConfig& config);
 
+class RemoteCacheBackend;
+
+/// Remote backend with the same environment-derived options
+/// (NNR_CACHE_LEASE_MS) make_cache_backend applies — for callers that need
+/// the concrete type's fleet-queue RPCs (nnr_run --submit/--worker), not
+/// just the CacheBackend interface. Throws std::invalid_argument on a
+/// malformed url.
+[[nodiscard]] std::unique_ptr<RemoteCacheBackend> make_remote_cache_backend(
+    const std::string& url);
+
 }  // namespace nnr::sched

@@ -44,7 +44,11 @@ CellKey read_key(BodyReader& r) {
 
 CacheServer::CacheServer(CacheServerConfig config)
     : config_(std::move(config)),
-      backend_(config_.dir, config_.budget) {}
+      backend_(config_.dir, config_.budget),
+      queue_(config_.dir.empty()
+                 ? std::string()
+                 : (std::filesystem::path(config_.dir) / "fleet_queue.nnrq")
+                       .string()) {}
 
 CacheServer::~CacheServer() {
   conns_.clear();   // Socket destructors close the fds
@@ -62,6 +66,9 @@ bool CacheServer::start() {
   std::error_code ec;
   std::filesystem::create_directories(config_.dir, ec);
   if (ec) return false;
+  // Restore the fleet queue a previous daemon left behind: pending cells
+  // survive a restart, in-flight leases revert to pending.
+  queue_.load();
   if (!listener_.listen_on(config_.bind_addr, config_.port)) return false;
   port_ = listener_.port();
   int pipe_fds[2];
@@ -230,10 +237,19 @@ void CacheServer::close_conn(int fd) {
   release_conn_leases(conn_id);
 }
 
+std::unordered_map<std::string, CacheServer::Lease>::iterator
+CacheServer::drop_lease(
+    std::unordered_map<std::string, Lease>::iterator it) {
+  // A queue lease dying unreported sends its item back to pending (a
+  // no-op when a PUT or REPORT already marked the item done).
+  if (it->second.from_queue) queue_.release_to_pending(it->second.key);
+  return leases_.erase(it);  // FileLock destructor drops the flock
+}
+
 void CacheServer::release_conn_leases(std::uint64_t conn_id) {
   for (auto it = leases_.begin(); it != leases_.end();) {
     if (it->second.conn_id == conn_id) {
-      it = leases_.erase(it);  // FileLock destructor drops the flock
+      it = drop_lease(it);
     } else {
       ++it;
     }
@@ -245,7 +261,7 @@ void CacheServer::expire_leases() {
   for (auto it = leases_.begin(); it != leases_.end();) {
     if (it->second.expiry <= now) {
       ++expired_leases_;
-      it = leases_.erase(it);
+      it = drop_lease(it);
     } else {
       ++it;
     }
@@ -296,6 +312,10 @@ void CacheServer::handle_frame(Conn& conn, std::uint8_t opcode,
           !backend_.store_bytes(key, bytes)) {
         resp = status_only(Status::kError);
       } else {
+        // The store IS the proof of work: if the fleet queue tracks this
+        // key, its item is done(trained) here and now — a worker killed
+        // between PUT and REPORT still counts exactly once.
+        queue_.on_stored(key);
         resp = status_only(Status::kOk);
       }
       break;
@@ -340,7 +360,7 @@ void CacheServer::handle_frame(Conn& conn, std::uint8_t opcode,
       const auto lease_id = r.get<std::uint64_t>();
       const auto it = leases_.find(key.hex());
       if (it != leases_.end() && it->second.lease_id == lease_id) {
-        leases_.erase(it);
+        drop_lease(it);
         resp = status_only(Status::kOk);
       } else {
         resp = status_only(Status::kGone);  // expired or never ours
@@ -387,6 +407,122 @@ void CacheServer::handle_frame(Conn& conn, std::uint8_t opcode,
       w.put(gc.evicted_bytes);
       w.put(gc.entries);
       w.put(gc.bytes);
+      resp = w.take();
+      break;
+    }
+    case Op::kSubmit: {
+      const auto count = r.get<std::uint32_t>();
+      std::vector<FleetWorkItem> items;
+      // No blind reserve(count): the count is client-supplied; truncated
+      // bodies throw ProtocolError mid-loop and cost the connection.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        FleetWorkItem item;
+        item.key = read_key(r);
+        const auto study_len = r.get<std::uint32_t>();
+        item.study = std::string(r.get_bytes(study_len));
+        item.cell = r.get<std::uint32_t>();
+        item.replicate = r.get<std::uint32_t>();
+        items.push_back(std::move(item));
+      }
+      const FleetQueue::SubmitStats stats = queue_.submit(
+          items, [this](const CellKey& key) { return backend_.has_entry(key); });
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(stats.enqueued);
+      w.put(stats.duplicates);
+      w.put(stats.already_done);
+      resp = w.take();
+      break;
+    }
+    case Op::kFetch: {
+      std::uint32_t ttl_ms = r.get<std::uint32_t>();
+      if (ttl_ms == 0) ttl_ms = config_.default_ttl_ms;
+      ttl_ms = std::clamp(ttl_ms, config_.min_ttl_ms, config_.max_ttl_ms);
+      expire_leases();
+      // A pending key is available when nothing holds it: no lease in the
+      // table and the flock is free (a local fs client could be training
+      // it directly against the shared directory).
+      std::optional<FileLock> lock;
+      const auto item = queue_.fetch_next([&](const CellKey& key) {
+        if (leases_.count(key.hex()) != 0) return false;
+        lock = FileLock::try_acquire(backend_.lock_path_for(key));
+        return lock.has_value();
+      });
+      if (!item.has_value()) {
+        const FleetQueue::Stats qs = queue_.stats();
+        BodyWriter w;
+        w.put(static_cast<std::uint8_t>(Status::kMiss));
+        w.put(static_cast<std::uint64_t>(qs.pending + qs.leased));
+        w.put(qs.total);
+        resp = w.take();
+        break;
+      }
+      Lease lease;
+      lease.lease_id = next_lease_id_++;
+      lease.conn_id = conn.id;
+      lease.ttl_ms = ttl_ms;
+      lease.expiry = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(ttl_ms);
+      lease.lock.emplace(std::move(*lock));
+      lease.from_queue = true;
+      lease.key = item->key;
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kGranted));
+      w.put(lease.lease_id);
+      w.put(ttl_ms);
+      w.put(item->key.hi);
+      w.put(item->key.lo);
+      w.put(static_cast<std::uint32_t>(item->study.size()));
+      w.put_bytes(item->study);
+      w.put(item->cell);
+      w.put(item->replicate);
+      resp = w.take();
+      leases_.emplace(item->key.hex(), std::move(lease));
+      break;
+    }
+    case Op::kReport: {
+      const CellKey key = read_key(r);
+      const auto lease_id = r.get<std::uint64_t>();
+      const auto outcome_raw = r.get<std::uint8_t>();
+      if (outcome_raw >
+          static_cast<std::uint8_t>(net::ReportOutcome::kFailed)) {
+        resp = status_only(Status::kError);
+        break;
+      }
+      const auto it = leases_.find(key.hex());
+      if (it == leases_.end() || it->second.lease_id != lease_id ||
+          !it->second.from_queue) {
+        // Unknown lease (expired, requeued, or never granted): nothing
+        // changes — the queue's own state is the truth.
+        resp = status_only(Status::kGone);
+        break;
+      }
+      (void)queue_.report(key,
+                          static_cast<FleetQueue::Outcome>(outcome_raw));
+      // The item is settled (done or requeued-by-failure): the lease has
+      // served its purpose. Erase directly — drop_lease would requeue,
+      // but report() already decided the item's fate.
+      leases_.erase(it);
+      const FleetQueue::Stats qs = queue_.stats();
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(qs.done);
+      w.put(qs.total);
+      resp = w.take();
+      break;
+    }
+    case Op::kQueueStat: {
+      expire_leases();
+      const FleetQueue::Stats qs = queue_.stats();
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(qs.total);
+      w.put(qs.pending);
+      w.put(qs.leased);
+      w.put(qs.done);
+      w.put(qs.trained);
+      w.put(qs.served);
+      w.put(qs.failed);
       resp = w.take();
       break;
     }

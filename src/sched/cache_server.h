@@ -27,6 +27,14 @@
 // stored under (serialize/run_result.h), so no client can poison an entry
 // a peer would later trust. GETs serve raw file bytes; the receiving
 // client re-validates.
+//
+// Fleet work queue (SUBMIT/FETCH/REPORT/QUEUE_STAT): the daemon also owns
+// a durable cell queue (sched/fleet_queue.h) that coordinators fill and
+// stateless workers drain. A FETCH grants a lease exactly like TRY_CLAIM —
+// same table, same TTL, same flock — flagged as a queue lease so that when
+// it dies unreported (expiry, disconnect, release) the daemon requeues the
+// item. The queue persists itself inside the cache directory, so a daemon
+// restart preserves the pending set (in-flight leases revert to pending).
 #pragma once
 
 #include <chrono>
@@ -37,6 +45,7 @@
 #include <unordered_map>
 
 #include "net/socket.h"
+#include "sched/fleet_queue.h"
 #include "sched/fs_cache_backend.h"
 
 namespace nnr::sched {
@@ -90,6 +99,10 @@ class CacheServer {
     /// The key's flock, held for the lease's lifetime (engaged once
     /// granted; optional only because FileLock has no empty state).
     std::optional<FileLock> lock;
+    /// Granted by FETCH (vs TRY_CLAIM): if this lease dies before its
+    /// item is done, the item returns to the queue.
+    bool from_queue = false;
+    CellKey key{};
   };
 
   void accept_new_conns();
@@ -104,8 +117,14 @@ class CacheServer {
   void expire_leases();
   void release_conn_leases(std::uint64_t conn_id);
 
+  /// Erases the lease (returning the next iterator); a queue lease whose
+  /// item is not yet done sends the item back to pending first.
+  std::unordered_map<std::string, Lease>::iterator drop_lease(
+      std::unordered_map<std::string, Lease>::iterator it);
+
   CacheServerConfig config_;
   FsCacheBackend backend_;
+  FleetQueue queue_;
   net::Listener listener_;
   std::uint16_t port_ = 0;
   int epoll_fd_ = -1;

@@ -1,0 +1,86 @@
+// Client-side loops of the fleet work queue (the daemon side lives in
+// sched/cache_server.h + sched/fleet_queue.h):
+//
+//   coordinator   `nnr_run --submit fig2,table2 --cache-url ...`
+//                 enumerates the cacheable cells of the named studies,
+//                 SUBMITs them once, then polls QUEUE_STAT printing a
+//                 fleet-wide "[fleet] 412/960 cells" line until the queue
+//                 drains. It never trains — workers do; afterwards the
+//                 caller replays the studies locally (now warm) to produce
+//                 byte-identical tables.
+//
+//   worker        `nnr_run --worker --cache-url ...`
+//                 a stateless FETCH -> train -> PUT -> REPORT loop. Workers
+//                 can join or leave mid-study: a fetched lease that dies
+//                 with its worker returns the cell to the queue (TTL expiry
+//                 or TCP disconnect), and the daemon marks a cell trained
+//                 at PUT time, so a worker killed between PUT and REPORT
+//                 still counts exactly once.
+//
+// Both loops degrade like the rest of the remote backend: an unreachable
+// or restarted daemon costs retries (the daemon's queue snapshot survives a
+// restart), never wrong results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nnr::sched {
+
+class RemoteCacheBackend;
+
+struct FleetSubmitOptions {
+  /// QUEUE_STAT poll interval while waiting for the fleet to drain.
+  std::int64_t poll_ms = 500;
+};
+
+struct FleetSubmitSummary {
+  std::uint64_t submitted = 0;     // newly enqueued by this submit
+  std::uint64_t duplicates = 0;    // already tracked by the queue
+  std::uint64_t already_done = 0;  // already in the cache at submit time
+  std::int64_t uncacheable = 0;    // replicates skipped (train locally)
+  // Fleet-wide queue state once drained.
+  std::uint64_t total = 0;
+  std::uint64_t trained = 0;
+  std::uint64_t served = 0;
+  std::uint64_t failed = 0;  // gave up after FleetQueue::kMaxAttempts
+};
+
+/// Submits every cacheable (cell, replicate) of the named studies (ids per
+/// sched/registry.h; the caller validates names first) and blocks until the
+/// fleet drains the queue, printing the [fleet] progress line to stderr.
+/// nullopt when the submit RPC fails (daemon unreachable, or a pre-queue
+/// daemon answering kError). Daemon restarts during the wait are tolerated:
+/// failed polls just retry after poll_ms.
+[[nodiscard]] std::optional<FleetSubmitSummary> fleet_submit_and_wait(
+    RemoteCacheBackend& backend, const std::vector<std::string>& studies,
+    const FleetSubmitOptions& options = {});
+
+struct FleetWorkerOptions {
+  /// Sleep between FETCH attempts while the queue has outstanding work
+  /// held by other workers (nothing fetchable right now).
+  std::int64_t poll_ms = 500;
+  /// Sleep while the daemon is unreachable before retrying.
+  std::int64_t degraded_poll_ms = 1000;
+  /// Exit once the queue reports no outstanding work (outstanding == 0,
+  /// total > 0). False keeps the worker alive for the next submit wave.
+  bool exit_when_drained = true;
+  /// Test hook: stop after this many granted cells (0 = unlimited).
+  std::int64_t max_cells = 0;
+};
+
+struct FleetWorkerSummary {
+  std::int64_t fetched = 0;
+  std::int64_t trained = 0;
+  std::int64_t served = 0;  // cache hit under the lease — no training
+  std::int64_t failed = 0;  // reported kFailed (daemon may retry the cell)
+};
+
+/// The worker loop. Returns when the queue drains (see
+/// FleetWorkerOptions::exit_when_drained) or max_cells is reached.
+FleetWorkerSummary fleet_run_worker(RemoteCacheBackend& backend,
+                                    const FleetWorkerOptions& options = {});
+
+}  // namespace nnr::sched

@@ -236,6 +236,12 @@ std::optional<core::RunResult> FsCacheBackend::load(const CellKey& key,
   }
 }
 
+bool FsCacheBackend::has_entry(const CellKey& key) const {
+  if (!enabled()) return false;
+  std::error_code ec;
+  return fs::exists(path_for(key), ec) && !ec;
+}
+
 std::optional<std::string> FsCacheBackend::load_bytes(const CellKey& key) {
   if (!enabled()) return std::nullopt;
   std::ifstream in(path_for(key), std::ios::binary);

@@ -96,6 +96,12 @@ class FsCacheBackend final : public CacheBackend {
   /// hook as store().
   bool store_bytes(const CellKey& key, std::string_view bytes);
 
+  /// True when an entry file for `key` exists right now — a pure existence
+  /// probe (the daemon's SUBMIT dedupe path). Unlike load/load_bytes it
+  /// counts no hit/miss and touches no journal: a queue submission must not
+  /// perturb the cache's stats or LRU recency.
+  [[nodiscard]] bool has_entry(const CellKey& key) const;
+
   /// Entry count and total entry bytes by directory scan (the daemon's
   /// STAT path; excludes locks, journal, manifest, temp files).
   struct Usage {

@@ -1,0 +1,36 @@
+#include "sched/progress.h"
+
+#include <cstdio>
+
+namespace nnr::sched {
+
+std::string format_eta(std::int64_t elapsed_ms, std::int64_t done,
+                       std::int64_t total, std::int64_t trained) {
+  if (done >= total) return "0s";
+  if (done <= 0) return "?";
+  const auto remaining = static_cast<double>(total - done);
+  // Trained-cell throughput when available: hits complete in microseconds,
+  // so elapsed wall time is, to first order, all training time — dividing
+  // it by hit-dominated `done` would forecast a near-zero ETA for a
+  // remainder that still has to train.
+  const double basis = trained > 0 ? static_cast<double>(trained)
+                                   : static_cast<double>(done);
+  const double eta_s =
+      static_cast<double>(elapsed_ms) / 1000.0 / basis * remaining;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fs", eta_s);
+  return buf;
+}
+
+bool ProgressPrinter::emit(const std::string& line, std::int64_t elapsed_ms,
+                           bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!force && elapsed_ms - last_emit_ms_ < min_interval_ms_) return false;
+  if (line == last_line_) return false;  // no identical consecutive lines
+  last_emit_ms_ = elapsed_ms;
+  last_line_ = line;
+  std::fprintf(stderr, "%s\n", line.c_str());
+  return true;
+}
+
+}  // namespace nnr::sched

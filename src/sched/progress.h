@@ -1,0 +1,53 @@
+// Shared progress-line plumbing for the scheduler's [study] reporter and
+// the fleet coordinator's [fleet] line: a throughput-honest ETA and a
+// printer that rate-limits and never emits the same line twice in a row.
+//
+// The ETA policy exists because cache hits complete in microseconds while
+// trained cells take seconds to hours. Extrapolating from overall
+// completions (elapsed / done) looks clever until a warm-prefix study hits
+// 500 cached cells in two seconds and then forecasts "4s remaining" for
+// 500 cells of real training. Costing the remainder at the *trained*-cell
+// rate is the honest estimate whenever at least one cell has trained;
+// until then the overall rate (all hits so far) is the only signal there
+// is.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace nnr::sched {
+
+/// ETA string ("12.3s", "0s", or "?") for a progress line.
+///   done / total        all completed / all scheduled work units
+///   trained             completed units that were actually trained
+///   elapsed_ms          wall time since the run started
+/// Remaining work is costed at elapsed/trained per unit when trained > 0
+/// (hits are ~free, so elapsed is effectively training time); otherwise at
+/// the overall elapsed/done rate (everything hit so far — a warm rerun);
+/// "?" before anything completes; "0s" at completion.
+[[nodiscard]] std::string format_eta(std::int64_t elapsed_ms,
+                                     std::int64_t done, std::int64_t total,
+                                     std::int64_t trained);
+
+/// Stderr progress printer: at most one line per `min_interval_ms` (a
+/// `force`d line — typically the final one — bypasses the rate limit), and
+/// never two identical consecutive lines, forced or not. Thread-safe.
+class ProgressPrinter {
+ public:
+  explicit ProgressPrinter(std::int64_t min_interval_ms = 1000)
+      : min_interval_ms_(min_interval_ms) {}
+
+  /// Emits `line` (a newline is appended) unless rate-limited or identical
+  /// to the previously emitted line. Returns true when printed.
+  bool emit(const std::string& line, std::int64_t elapsed_ms,
+            bool force = false);
+
+ private:
+  const std::int64_t min_interval_ms_;
+  std::mutex mu_;
+  std::int64_t last_emit_ms_ = -(1LL << 40);
+  std::string last_line_;
+};
+
+}  // namespace nnr::sched

@@ -99,11 +99,22 @@ bool RemoteCacheBackend::ensure_connected_locked() {
       return false;
     }
   }
-  last_connect_attempt_ = now;
+  ++connect_attempts_;
   sock_ = net::connect_tcp(host_, port_, options_.connect_timeout_ms,
                            options_.io_timeout_ms);
+  // Stamp AFTER the attempt completes. A connect to a down daemon can
+  // itself take up to connect_timeout_ms; stamping before it would let the
+  // backoff window elapse DURING the attempt whenever connect_timeout_ms >
+  // reconnect_backoff_ms — every subsequent operation would then pay a full
+  // connect attempt, exactly what the backoff exists to prevent.
+  last_connect_attempt_ = std::chrono::steady_clock::now();
   if (sock_.valid()) ever_connected_ = true;
   return sock_.valid();
+}
+
+std::int64_t RemoteCacheBackend::connect_attempts_for_test() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return connect_attempts_;
 }
 
 void RemoteCacheBackend::drop_connection_locked() { sock_.close(); }
@@ -124,16 +135,26 @@ std::optional<RemoteCacheBackend::Rpc> RemoteCacheBackend::rpc(
       drop_connection_locked();
       return std::nullopt;
     }
-    auto frame = net::recv_frame(sock_);
-    if (!frame.has_value() ||
-        frame->opcode != static_cast<std::uint8_t>(op) ||
-        frame->body.empty()) {
+    // A clean boundary timeout (nothing consumed) means the daemon is slow,
+    // not gone — re-await the response instead of tearing the connection
+    // down and re-entering the reconnect backoff with every lease lost.
+    net::RecvFrameResult received;
+    for (int attempt = 0;; ++attempt) {
+      received = net::recv_frame_ex(sock_);
+      if (received.status != net::RecvStatus::kTimeout ||
+          attempt >= options_.io_timeout_retries) {
+        break;
+      }
+    }
+    if (received.status != net::RecvStatus::kFrame ||
+        received.frame.opcode != static_cast<std::uint8_t>(op) ||
+        received.frame.body.empty()) {
       drop_connection_locked();
       return std::nullopt;
     }
     Rpc result;
-    result.status = static_cast<Status>(frame->body[0]);
-    result.body = frame->body.substr(1);
+    result.status = static_cast<Status>(received.frame.body[0]);
+    result.body = received.frame.body.substr(1);
     return result;
   } catch (const serialize::CheckpointError&) {
     // Malformed frame: protocol violation, not data — drop the connection.
@@ -331,6 +352,115 @@ CacheStats RemoteCacheBackend::stats() const {
 bool RemoteCacheBackend::ping() {
   auto reply = rpc(Op::kPing, {});
   return reply.has_value() && reply->status == Status::kOk;
+}
+
+std::optional<RemoteCacheBackend::FleetSubmitAck>
+RemoteCacheBackend::fleet_submit(const std::vector<FleetWorkItem>& items) {
+  BodyWriter w;
+  w.put(static_cast<std::uint32_t>(items.size()));
+  for (const FleetWorkItem& item : items) {
+    w.put(item.key.hi);
+    w.put(item.key.lo);
+    w.put(static_cast<std::uint32_t>(item.study.size()));
+    w.put_bytes(item.study);
+    w.put(item.cell);
+    w.put(item.replicate);
+  }
+  auto reply = rpc(Op::kSubmit, w.take());
+  if (!reply.has_value() || reply->status != Status::kOk) return std::nullopt;
+  try {
+    BodyReader r(reply->body);
+    FleetSubmitAck ack;
+    ack.enqueued = r.get<std::uint64_t>();
+    ack.duplicates = r.get<std::uint64_t>();
+    ack.already_done = r.get<std::uint64_t>();
+    return ack;
+  } catch (const net::ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<RemoteCacheBackend::FleetFetchResult>
+RemoteCacheBackend::fleet_fetch() {
+  BodyWriter w;
+  w.put(options_.lease_ttl_ms);
+  auto reply = rpc(Op::kFetch, w.take());
+  if (!reply.has_value()) return std::nullopt;
+  try {
+    if (reply->status == Status::kGranted) {
+      BodyReader r(reply->body);
+      FleetFetchResult result;
+      result.granted = true;
+      result.lease_id = r.get<std::uint64_t>();
+      const auto granted_ttl_ms = r.get<std::uint32_t>();
+      result.item.key.hi = r.get<std::uint64_t>();
+      result.item.key.lo = r.get<std::uint64_t>();
+      const auto study_len = r.get<std::uint32_t>();
+      result.item.study = std::string(r.get_bytes(study_len));
+      result.item.cell = r.get<std::uint32_t>();
+      result.item.replicate = r.get<std::uint32_t>();
+      {
+        // Register the lease for heartbeat renewal, exactly like a claim:
+        // a fetched cell can train for hours.
+        std::lock_guard<std::mutex> lock(lease_mu_);
+        leases_.emplace(result.lease_id,
+                        HeldLease{result.item.key, granted_ttl_ms});
+      }
+      hb_cv_.notify_all();
+      result.claim = CacheClaim(std::make_unique<RemoteClaimImpl>(
+          this, result.item.key, result.lease_id));
+      return result;
+    }
+    if (reply->status == Status::kMiss) {
+      BodyReader r(reply->body);
+      FleetFetchResult result;
+      result.outstanding = r.get<std::uint64_t>();
+      result.total = r.get<std::uint64_t>();
+      return result;
+    }
+  } catch (const net::ProtocolError&) {
+  }
+  return std::nullopt;  // kError: old daemon without queue support
+}
+
+std::optional<RemoteCacheBackend::FleetReportAck>
+RemoteCacheBackend::fleet_report(const CellKey& key, std::uint64_t lease_id,
+                                 net::ReportOutcome outcome) {
+  BodyWriter w;
+  w.put(key.hi);
+  w.put(key.lo);
+  w.put(lease_id);
+  w.put(static_cast<std::uint8_t>(outcome));
+  auto reply = rpc(Op::kReport, w.take());
+  if (!reply.has_value() || reply->status != Status::kOk) return std::nullopt;
+  try {
+    BodyReader r(reply->body);
+    FleetReportAck ack;
+    ack.done = r.get<std::uint64_t>();
+    ack.total = r.get<std::uint64_t>();
+    return ack;
+  } catch (const net::ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FleetQueue::Stats> RemoteCacheBackend::fleet_queue_stat() {
+  auto reply = rpc(Op::kQueueStat, {});
+  if (!reply.has_value() || reply->status != Status::kOk) return std::nullopt;
+  try {
+    BodyReader r(reply->body);
+    FleetQueue::Stats stats;
+    stats.total = r.get<std::uint64_t>();
+    stats.pending = r.get<std::uint64_t>();
+    stats.leased = r.get<std::uint64_t>();
+    stats.done = r.get<std::uint64_t>();
+    stats.trained = r.get<std::uint64_t>();
+    stats.served = r.get<std::uint64_t>();
+    stats.failed = r.get<std::uint64_t>();
+    return stats;
+  } catch (const net::ProtocolError&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace nnr::sched

@@ -38,10 +38,12 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "net/cache_protocol.h"
 #include "net/socket.h"
 #include "sched/cache_backend.h"
+#include "sched/fleet_queue.h"
 
 namespace nnr::sched {
 
@@ -53,6 +55,13 @@ struct RemoteCacheOptions {
   bool heartbeat = true;
   /// Per-operation socket timeout.
   int io_timeout_ms = 5'000;
+  /// A response that is merely late — the receive timed out on a frame
+  /// boundary with nothing consumed — is re-awaited up to this many extra
+  /// windows before the connection is declared dead. Distinct from a close
+  /// or mid-frame timeout, which drop the connection immediately: a clean
+  /// boundary timeout usually means the single-threaded daemon is busy
+  /// (e.g. storing a large entry), not gone.
+  int io_timeout_retries = 2;
   int connect_timeout_ms = 2'000;
   /// While degraded, at most one reconnect attempt per this interval (the
   /// rest of the window every call fails fast and the study trains on).
@@ -92,10 +101,57 @@ class RemoteCacheBackend final : public CacheBackend {
   /// (re)connect. Used by tools for a startup health check.
   [[nodiscard]] bool ping();
 
+  // ---- Fleet work queue (SUBMIT/FETCH/REPORT/QUEUE_STAT) ----
+  // Thin RPC wrappers over the queue opcodes; the coordinator/worker loops
+  // that drive them live in sched/fleet_client.h. All return nullopt when
+  // the daemon is unreachable OR answers kError (an older daemon without
+  // the queue opcodes — "feature absent", per the versioning rules).
+
+  struct FleetSubmitAck {
+    std::uint64_t enqueued = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t already_done = 0;
+  };
+  [[nodiscard]] std::optional<FleetSubmitAck> fleet_submit(
+      const std::vector<FleetWorkItem>& items);
+
+  /// One FETCH. granted: `item` plus a heartbeat-renewed CacheClaim (the
+  /// lease) and the raw lease_id for the later REPORT. Not granted: the
+  /// queue-drain signal (outstanding == 0 with total > 0 means the wave is
+  /// complete; outstanding > 0 means every pending key is momentarily
+  /// held — sleep and re-fetch).
+  struct FleetFetchResult {
+    bool granted = false;
+    FleetWorkItem item;                // when granted
+    std::uint64_t lease_id = 0;        // when granted
+    std::optional<CacheClaim> claim;   // when granted; releases on drop
+    std::uint64_t outstanding = 0;     // when not granted
+    std::uint64_t total = 0;           // when not granted
+  };
+  [[nodiscard]] std::optional<FleetFetchResult> fleet_fetch();
+
+  struct FleetReportAck {
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+  };
+  /// REPORT for a fetched item. nullopt also covers kGone (the lease
+  /// expired or a PUT already settled the item) — benign either way, the
+  /// daemon's queue state is the truth.
+  std::optional<FleetReportAck> fleet_report(const CellKey& key,
+                                             std::uint64_t lease_id,
+                                             net::ReportOutcome outcome);
+
+  [[nodiscard]] std::optional<FleetQueue::Stats> fleet_queue_stat();
+
   /// Test hook: drops the TCP connection without releasing anything —
   /// simulates a client that vanished (the daemon must release its leases
   /// on the disconnect). The next operation reconnects.
   void drop_connection_for_test();
+
+  /// Test hook: how many TCP connect attempts this backend has made. The
+  /// reconnect-backoff regression test asserts a down daemon costs one
+  /// attempt per backoff window, not one per operation.
+  [[nodiscard]] std::int64_t connect_attempts_for_test() const;
 
  private:
   friend struct RemoteClaimImpl;
@@ -125,6 +181,7 @@ class RemoteCacheBackend final : public CacheBackend {
   net::Socket sock_;
   std::chrono::steady_clock::time_point last_connect_attempt_{};
   bool ever_connected_ = false;
+  std::int64_t connect_attempts_ = 0;
 
   /// One held lease: its key plus the TTL the server actually granted
   /// (post-clamp) — heartbeats pace against the granted TTL, never the

@@ -10,6 +10,7 @@
 
 #include "runtime/thread_pool.h"
 #include "sched/cell_key.h"
+#include "sched/progress.h"
 
 namespace nnr::sched {
 namespace {
@@ -59,28 +60,23 @@ class ProgressReporter {
     const auto elapsed_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
             .count();
-    {
-      std::lock_guard<std::mutex> lock(emit_mu_);
-      // Periodic, not per-replicate: one line a second plus the final one.
-      if (done != total_ && elapsed_ms - last_emit_ms_ < 1000) return;
-      last_emit_ms_ = elapsed_ms;
-    }
-    char eta[32];
-    if (done > 0 && done < total_) {
-      const double eta_s = static_cast<double>(elapsed_ms) / 1000.0 /
-                           static_cast<double>(done) *
-                           static_cast<double>(total_ - done);
-      std::snprintf(eta, sizeof(eta), "%.1fs", eta_s);
-    } else {
-      std::snprintf(eta, sizeof(eta), "%s", done == total_ ? "0s" : "?");
-    }
-    std::fprintf(stderr,
-                 "[study] %lld/%lld cells, trained=%lld, hits=%lld, eta=%s\n",
-                 static_cast<long long>(done),
-                 static_cast<long long>(total_),
-                 static_cast<long long>(trained_.load(std::memory_order_relaxed)),
-                 static_cast<long long>(hits_.load(std::memory_order_relaxed)),
-                 eta);
+    const std::int64_t trained = trained_.load(std::memory_order_relaxed);
+    const std::int64_t hits = hits_.load(std::memory_order_relaxed);
+    // ETA from trained-cell throughput (see sched/progress.h): a warm
+    // prefix of instant cache hits must not forecast a near-zero ETA for
+    // a remainder that still has to train.
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "[study] %lld/%lld cells, trained=%lld, hits=%lld, eta=%s",
+                  static_cast<long long>(done),
+                  static_cast<long long>(total_),
+                  static_cast<long long>(trained),
+                  static_cast<long long>(hits),
+                  format_eta(elapsed_ms, done, total_, trained).c_str());
+    // Periodic, not per-replicate: one line a second plus the final one
+    // (forced past the rate limit; the printer still suppresses an exact
+    // duplicate of the previous line).
+    printer_.emit(line, elapsed_ms, /*force=*/done == total_);
   }
 
   const RunOptions& opts_;
@@ -90,8 +86,7 @@ class ProgressReporter {
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> trained_{0};
   std::mutex callback_mu_;
-  std::mutex emit_mu_;
-  std::int64_t last_emit_ms_ = -1000000;
+  ProgressPrinter printer_;
 };
 
 }  // namespace

@@ -1,8 +1,12 @@
 // Socket + Listener + frame transport over a real loopback connection:
-// ephemeral ports, exact-count I/O, send_frame/recv_frame round trips, and
-// clean failure on EOF and on unreachable peers.
+// ephemeral ports, exact-count I/O, send_frame/recv_frame round trips,
+// clean failure on EOF and on unreachable peers, and the IoStatus /
+// RecvStatus taxonomy: a timeout (slow peer, retryable at a boundary) must
+// never be conflated with a close or a desynchronized stream.
 #include "net/socket.h"
 
+#include <chrono>
+#include <cstring>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -11,6 +15,28 @@
 
 namespace nnr::net {
 namespace {
+
+/// A connected loopback (client, server_side) pair.
+struct SocketPair {
+  Socket client;
+  Socket server;
+};
+
+SocketPair make_pair_on_loopback(int io_timeout_ms) {
+  Listener listener;
+  EXPECT_TRUE(listener.listen_on("127.0.0.1", 0));
+  SocketPair pair;
+  pair.client = connect_tcp("127.0.0.1", listener.port(), 1000, io_timeout_ms);
+  EXPECT_TRUE(pair.client.valid());
+  for (int i = 0; i < 100 && !pair.server.valid(); ++i) {
+    pair.server = listener.accept_conn();
+    if (!pair.server.valid()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(pair.server.valid());
+  return pair;
+}
 
 TEST(SocketTest, EphemeralListenerReportsItsPort) {
   Listener listener;
@@ -82,6 +108,80 @@ TEST(SocketTest, RecvFrameReturnsNulloptOnEof) {
   ASSERT_TRUE(server_side.valid());
   client.close();
   EXPECT_FALSE(recv_frame(server_side).has_value());
+}
+
+TEST(SocketTest, RecvExactTimeoutOnSilentPeerIsCleanBoundary) {
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/100);
+  char buf[8];
+  std::size_t got = 99;
+  EXPECT_EQ(pair.client.recv_exact(buf, sizeof(buf), &got),
+            IoStatus::kTimeout)
+      << "a silent-but-open peer is a timeout, not a close";
+  EXPECT_EQ(got, 0u) << "boundary timeout: nothing consumed, safe to retry";
+}
+
+TEST(SocketTest, RecvExactPeerCloseIsClosedNotTimeout) {
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/1000);
+  pair.server.close();
+  char buf[8];
+  std::size_t got = 99;
+  EXPECT_EQ(pair.client.recv_exact(buf, sizeof(buf), &got), IoStatus::kClosed);
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(SocketTest, RecvExactMidMessageTimeoutReportsPartialBytes) {
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/200);
+  ASSERT_EQ(pair.server.send_all("abc", 3), IoStatus::kOk);
+  char buf[8];
+  std::size_t got = 0;
+  EXPECT_EQ(pair.client.recv_exact(buf, sizeof(buf), &got),
+            IoStatus::kTimeout);
+  EXPECT_EQ(got, 3u) << "a mid-message timeout must expose the partial read "
+                        "so the caller can treat the stream as desynced";
+  EXPECT_EQ(std::memcmp(buf, "abc", 3), 0);
+}
+
+TEST(SocketTest, RecvExactEofMidMessageIsClosed) {
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/1000);
+  ASSERT_EQ(pair.server.send_all("abc", 3), IoStatus::kOk);
+  pair.server.close();
+  char buf[8];
+  std::size_t got = 0;
+  EXPECT_EQ(pair.client.recv_exact(buf, sizeof(buf), &got), IoStatus::kClosed);
+  EXPECT_EQ(got, 3u);
+}
+
+TEST(SocketTest, SendAllToClosedPeerIsClosedNotGenericError) {
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/1000);
+  pair.server.close();
+  // The first send after the FIN may still land in the kernel buffer (and
+  // draws the peer's RST); keep sending until the failure surfaces.
+  std::string chunk(64 * 1024, 'x');
+  IoStatus status = IoStatus::kOk;
+  for (int i = 0; i < 100 && status == IoStatus::kOk; ++i) {
+    status = pair.client.send_all(chunk.data(), chunk.size());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(status, IoStatus::kClosed)
+      << "EPIPE/ECONNRESET must map to kClosed, not a generic failure";
+}
+
+TEST(SocketTest, RecvFrameExDistinguishesTimeoutFromCloseAndDesync) {
+  {  // Silent peer: clean boundary timeout — the caller may re-await.
+    SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/100);
+    EXPECT_EQ(recv_frame_ex(pair.client).status, RecvStatus::kTimeout);
+  }
+  {  // Orderly close at a boundary.
+    SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/1000);
+    pair.server.close();
+    EXPECT_EQ(recv_frame_ex(pair.client).status, RecvStatus::kClosed);
+  }
+  {  // A timeout striking mid-frame has desynchronized the stream: kError,
+     // never the retryable kTimeout.
+    SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/100);
+    ASSERT_EQ(pair.server.send_all("\x02", 1), IoStatus::kOk);
+    EXPECT_EQ(recv_frame_ex(pair.client).status, RecvStatus::kError);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,371 @@
+// Fleet work queue at the wire level: SUBMIT/FETCH/REPORT/QUEUE_STAT
+// against an in-process CacheServer — the drain signal on an empty queue,
+// kGone for reports nobody leased, the malformation matrix for the three
+// new opcodes (truncated bodies cost the connection, never the daemon;
+// out-of-range enum values answer kError), lease-death requeue paths, the
+// PUT-settles-the-item contract, and queue durability across a daemon
+// restart.
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/cache_protocol.h"
+#include "net/frame.h"
+#include "sched/cache_server.h"
+#include "sched/fleet_queue.h"
+#include "sched/remote_cache_backend.h"
+
+namespace nnr::sched {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+core::RunResult sample_result() {
+  core::RunResult r;
+  r.test_predictions = {1, 2, 3};
+  r.test_confidences = {0.5F, 0.25F, 1.0F};
+  r.final_weights = {0.5F, -1.0F};
+  r.test_accuracy = 0.5;
+  r.final_train_loss = 2.0;
+  return r;
+}
+
+RemoteCacheOptions fast_options() {
+  RemoteCacheOptions options;
+  options.lease_ttl_ms = 2000;
+  options.io_timeout_ms = 2000;
+  options.connect_timeout_ms = 500;
+  options.reconnect_backoff_ms = 50;
+  options.claim_poll_ms = 10;
+  return options;
+}
+
+/// An in-process daemon on an ephemeral loopback port.
+class ServerHandle {
+ public:
+  bool start(const std::string& dir, std::uint16_t port = 0) {
+    CacheServerConfig config;
+    config.dir = dir;
+    config.port = port;
+    server_ = std::make_unique<CacheServer>(std::move(config));
+    if (!server_->start()) return false;
+    thread_ = std::thread([this] { server_->run(); });
+    return true;
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+
+  void stop() {
+    if (server_ != nullptr) {
+      server_->stop();
+      thread_.join();
+      server_.reset();
+    }
+  }
+
+  ~ServerHandle() { stop(); }
+
+ private:
+  std::unique_ptr<CacheServer> server_;
+  std::thread thread_;
+};
+
+std::vector<FleetWorkItem> grid(std::uint64_t count) {
+  std::vector<FleetWorkItem> out;
+  for (std::uint64_t n = 1; n <= count; ++n) {
+    FleetWorkItem item;
+    item.key = CellKey{0xF00D + n, n};
+    item.study = "fig2";
+    item.cell = static_cast<std::uint32_t>(n);
+    item.replicate = 0;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+class FleetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nnr_fleet_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    fs::remove_all(dir_);
+    ASSERT_TRUE(server_.start(dir_.string()));
+  }
+  void TearDown() override {
+    server_.stop();
+    fs::remove_all(dir_);
+  }
+
+  std::unique_ptr<RemoteCacheBackend> client(
+      RemoteCacheOptions options = fast_options()) {
+    return std::make_unique<RemoteCacheBackend>(
+        "tcp://127.0.0.1:" + std::to_string(server_.port()), options);
+  }
+
+  net::Socket raw_conn() {
+    net::Socket sock = net::connect_tcp("127.0.0.1", server_.port(), 1000,
+                                        /*io_timeout_ms=*/2000);
+    EXPECT_TRUE(sock.valid());
+    return sock;
+  }
+
+  fs::path dir_;
+  ServerHandle server_;
+};
+
+TEST_F(FleetServerTest, FetchOnEmptyQueueReportsNothingOutstanding) {
+  auto backend = client();
+  const auto fetch = backend->fleet_fetch();
+  ASSERT_TRUE(fetch.has_value());
+  EXPECT_FALSE(fetch->granted);
+  EXPECT_EQ(fetch->outstanding, 0u);
+  EXPECT_EQ(fetch->total, 0u)
+      << "total == 0 tells a worker to wait for a submit, not exit";
+}
+
+TEST_F(FleetServerTest, SubmitFetchReportRoundTrip) {
+  auto backend = client();
+  const auto ack = backend->fleet_submit(grid(2));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->enqueued, 2u);
+
+  auto fetch = backend->fleet_fetch();
+  ASSERT_TRUE(fetch.has_value());
+  ASSERT_TRUE(fetch->granted);
+  EXPECT_EQ(fetch->item.study, "fig2");
+  EXPECT_EQ(fetch->item.key, grid(2)[0].key) << "FIFO: submit order";
+  ASSERT_TRUE(fetch->claim.has_value());
+  EXPECT_TRUE(fetch->claim->held());
+
+  auto stat = backend->fleet_queue_stat();
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->leased, 1u);
+  EXPECT_EQ(stat->pending, 1u);
+
+  const auto report = backend->fleet_report(fetch->item.key, fetch->lease_id,
+                                            net::ReportOutcome::kTrained);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->done, 1u);
+  EXPECT_EQ(report->total, 2u);
+
+  stat = backend->fleet_queue_stat();
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->trained, 1u);
+  EXPECT_EQ(stat->leased, 0u);
+}
+
+TEST_F(FleetServerTest, SubmitShortCircuitsKeysAlreadyInTheCache) {
+  auto backend = client();
+  auto items = grid(3);
+  ASSERT_TRUE(backend->store(items[1].key, sample_result()));
+  const auto ack = backend->fleet_submit(items);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->enqueued, 2u);
+  EXPECT_EQ(ack->already_done, 1u);
+  const auto stat = backend->fleet_queue_stat();
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->served, 1u);
+  EXPECT_EQ(stat->done, 1u);
+}
+
+TEST_F(FleetServerTest, ReportForUnclaimedCellAnswersGone) {
+  net::Socket sock = raw_conn();
+  net::BodyWriter w;
+  w.put(std::uint64_t{0xDEAD});  // key.hi — nothing ever leased this
+  w.put(std::uint64_t{0xBEEF});  // key.lo
+  w.put(std::uint64_t{42});      // lease_id
+  w.put(static_cast<std::uint8_t>(net::ReportOutcome::kTrained));
+  ASSERT_TRUE(net::send_frame(
+      sock, static_cast<std::uint8_t>(net::Op::kReport), w.take()));
+  const auto reply = net::recv_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_FALSE(reply->body.empty());
+  EXPECT_EQ(static_cast<net::Status>(reply->body[0]), net::Status::kGone);
+}
+
+TEST_F(FleetServerTest, ReportWithInvalidOutcomeByteAnswersError) {
+  net::Socket sock = raw_conn();
+  net::BodyWriter w;
+  w.put(std::uint64_t{1});
+  w.put(std::uint64_t{2});
+  w.put(std::uint64_t{3});
+  w.put(std::uint8_t{7});  // not a ReportOutcome
+  ASSERT_TRUE(net::send_frame(
+      sock, static_cast<std::uint8_t>(net::Op::kReport), w.take()));
+  const auto reply = net::recv_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_FALSE(reply->body.empty());
+  EXPECT_EQ(static_cast<net::Status>(reply->body[0]), net::Status::kError);
+}
+
+TEST_F(FleetServerTest, MalformedFleetBodiesCostTheConnectionNotTheDaemon) {
+  struct Case {
+    net::Op op;
+    std::string body;
+    const char* what;
+  };
+  net::BodyWriter lying_submit;
+  lying_submit.put(std::uint32_t{5});  // promises 5 items, carries none
+  net::BodyWriter truncated_report;
+  truncated_report.put(std::uint64_t{1});  // key.hi only
+  const Case cases[] = {
+      {net::Op::kSubmit, lying_submit.take(), "SUBMIT count > items"},
+      {net::Op::kSubmit, std::string("\x01", 1), "SUBMIT truncated count"},
+      {net::Op::kFetch, "", "FETCH missing ttl"},
+      {net::Op::kReport, truncated_report.take(), "REPORT truncated body"},
+  };
+  for (const Case& c : cases) {
+    net::Socket sock = raw_conn();
+    ASSERT_TRUE(
+        net::send_frame(sock, static_cast<std::uint8_t>(c.op), c.body))
+        << c.what;
+    EXPECT_FALSE(net::recv_frame(sock).has_value())
+        << c.what << ": a malformed body is a protocol violation — the "
+        << "daemon must drop the connection, not answer";
+    // The daemon itself must shrug it off: a fresh connection works.
+    auto probe = client();
+    EXPECT_TRUE(probe->ping()) << c.what << " must not kill the daemon";
+  }
+}
+
+TEST_F(FleetServerTest, DroppedWorkerConnectionRequeuesItsCell) {
+  auto backend = client();
+  ASSERT_TRUE(backend->fleet_submit(grid(1)).has_value());
+  auto fetch = backend->fleet_fetch();
+  ASSERT_TRUE(fetch.has_value());
+  ASSERT_TRUE(fetch->granted);
+  // Defuse the claim's destructor-release (the connection is about to die
+  // anyway, mirroring a SIGKILLed worker).
+  backend->drop_connection_for_test();
+
+  auto peer = client();
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  std::optional<FleetQueue::Stats> stat;
+  while (Clock::now() < deadline) {
+    stat = peer->fleet_queue_stat();
+    if (stat.has_value() && stat->pending == 1 && stat->leased == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->pending, 1u)
+      << "a dead worker's cell must return to the queue";
+  const auto refetch = peer->fleet_fetch();
+  ASSERT_TRUE(refetch.has_value());
+  EXPECT_TRUE(refetch->granted);
+  EXPECT_EQ(refetch->item.key, grid(1)[0].key);
+}
+
+TEST_F(FleetServerTest, LeaseExpiryWithoutHeartbeatRequeuesTheCell) {
+  RemoteCacheOptions no_heartbeat = fast_options();
+  no_heartbeat.heartbeat = false;
+  no_heartbeat.lease_ttl_ms = 300;
+  auto worker = client(no_heartbeat);
+  ASSERT_TRUE(worker->fleet_submit(grid(1)).has_value());
+  auto fetch = worker->fleet_fetch();
+  ASSERT_TRUE(fetch.has_value());
+  ASSERT_TRUE(fetch->granted);
+
+  auto peer = client();
+  const auto start = Clock::now();
+  std::optional<RemoteCacheBackend::FleetFetchResult> refetch;
+  while (Clock::now() - start < std::chrono::seconds(5)) {
+    refetch = peer->fleet_fetch();
+    if (refetch.has_value() && refetch->granted) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(refetch.has_value());
+  ASSERT_TRUE(refetch->granted)
+      << "an expired lease must hand the cell to the next worker";
+  EXPECT_EQ(refetch->item.key, grid(1)[0].key);
+}
+
+TEST_F(FleetServerTest, PutSettlesTheItemEvenWithoutAReport) {
+  auto backend = client();
+  ASSERT_TRUE(backend->fleet_submit(grid(1)).has_value());
+  auto fetch = backend->fleet_fetch();
+  ASSERT_TRUE(fetch.has_value());
+  ASSERT_TRUE(fetch->granted);
+  // The worker PUTs its result... and then (imagine) is SIGKILLed before
+  // REPORT. The store is the proof of work.
+  ASSERT_TRUE(backend->store(fetch->item.key, sample_result()));
+  auto stat = backend->fleet_queue_stat();
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->trained, 1u) << "PUT must settle the queued item";
+  EXPECT_EQ(stat->done, 1u);
+  // A late report is acknowledged without double counting.
+  (void)backend->fleet_report(fetch->item.key, fetch->lease_id,
+                              net::ReportOutcome::kTrained);
+  stat = backend->fleet_queue_stat();
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->trained, 1u);
+  // And the drain signal now fires for every worker.
+  const auto drained = backend->fleet_fetch();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_FALSE(drained->granted);
+  EXPECT_EQ(drained->outstanding, 0u);
+  EXPECT_EQ(drained->total, 1u);
+}
+
+TEST_F(FleetServerTest, DaemonRestartPreservesThePendingQueue) {
+  const std::uint16_t port = server_.port();
+  auto backend = client();
+  ASSERT_TRUE(backend->fleet_submit(grid(3)).has_value());
+  auto fetch = backend->fleet_fetch();  // one leased at crash time
+  ASSERT_TRUE(fetch.has_value());
+  ASSERT_TRUE(fetch->granted);
+
+  server_.stop();
+  ServerHandle restarted;
+  ASSERT_TRUE(restarted.start(dir_.string(), port));
+
+  auto peer = std::make_unique<RemoteCacheBackend>(
+      "tcp://127.0.0.1:" + std::to_string(port), fast_options());
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  std::optional<FleetQueue::Stats> stat;
+  while (Clock::now() < deadline) {
+    stat = peer->fleet_queue_stat();
+    if (stat.has_value()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(stat.has_value()) << "restarted daemon must serve the queue";
+  EXPECT_EQ(stat->total, 3u) << "the queue snapshot must survive a restart";
+  EXPECT_EQ(stat->pending, 3u)
+      << "the crashed daemon's lease reverts to pending";
+  EXPECT_EQ(stat->leased, 0u);
+  // And the work is actually fetchable again.
+  const auto refetch = peer->fleet_fetch();
+  ASSERT_TRUE(refetch.has_value());
+  EXPECT_TRUE(refetch->granted);
+}
+
+TEST_F(FleetServerTest, ReconnectBackoffCostsOneAttemptPerWindow) {
+  // Regression: a failed reconnect used to stamp the backoff clock BEFORE
+  // the connect attempt, so when the attempt itself outlasted the window
+  // (connect_timeout > backoff) every operation retried the connect. A
+  // down daemon must cost one attempt per window, not one per operation.
+  const std::uint16_t dead_port = server_.port();
+  server_.stop();
+  RemoteCacheOptions options = fast_options();
+  options.reconnect_backoff_ms = 60'000;  // one window spans the whole test
+  auto backend = std::make_unique<RemoteCacheBackend>(
+      "tcp://127.0.0.1:" + std::to_string(dead_port), options);
+  for (int i = 0; i < 5; ++i) {
+    (void)backend->fleet_queue_stat();
+    (void)backend->load(CellKey{1, 1});
+  }
+  EXPECT_EQ(backend->connect_attempts_for_test(), 1)
+      << "10 operations inside one backoff window must share one connect "
+         "attempt";
+}
+
+}  // namespace
+}  // namespace nnr::sched

@@ -1,0 +1,64 @@
+// ETA policy and progress-line dedupe. The regression behind format_eta:
+// a warm-prefix study completes hundreds of cache-hit cells in seconds,
+// and an ETA extrapolated from overall completions then forecasts near-
+// zero time for a remainder that still has to train — the estimate must
+// cost remaining work at the trained-cell rate whenever one exists.
+#include "sched/progress.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace nnr::sched {
+namespace {
+
+TEST(FormatEtaTest, UnknownBeforeAnythingCompletes) {
+  EXPECT_EQ(format_eta(5000, 0, 100, 0), "?");
+}
+
+TEST(FormatEtaTest, ZeroAtCompletion) {
+  EXPECT_EQ(format_eta(5000, 100, 100, 40), "0s");
+  EXPECT_EQ(format_eta(5000, 100, 100, 0), "0s") << "all-hit runs finish too";
+}
+
+TEST(FormatEtaTest, UsesTrainedThroughputWhenAnyCellTrained) {
+  // 10s elapsed, 500/1000 done but only 2 trained: the 498 hits were free.
+  // Overall rate would claim 10s for the rest; the trained rate knows each
+  // trained cell costs ~5s, so 500 remaining cells cost ~2500s.
+  EXPECT_EQ(format_eta(10'000, 500, 1000, 2), "2500.0s");
+  // Sanity at the other extreme: everything done so far trained.
+  EXPECT_EQ(format_eta(10'000, 500, 1000, 500), "10.0s");
+}
+
+TEST(FormatEtaTest, FallsBackToOverallRateWhenNothingTrainedYet) {
+  // A fully warm rerun: 10 hits in 1s, 10 to go — the overall rate is the
+  // only signal there is.
+  EXPECT_EQ(format_eta(1000, 10, 20, 0), "1.0s");
+}
+
+TEST(ProgressPrinterTest, RateLimitsWithinTheInterval) {
+  ProgressPrinter printer(1000);
+  EXPECT_TRUE(printer.emit("line a", 0));
+  EXPECT_FALSE(printer.emit("line b", 500)) << "inside the interval";
+  EXPECT_TRUE(printer.emit("line b", 1500));
+}
+
+TEST(ProgressPrinterTest, ForceBypassesTheRateLimitOnly) {
+  ProgressPrinter printer(1000);
+  EXPECT_TRUE(printer.emit("line a", 0));
+  EXPECT_TRUE(printer.emit("final line", 100, /*force=*/true));
+}
+
+TEST(ProgressPrinterTest, NeverEmitsIdenticalConsecutiveLines) {
+  ProgressPrinter printer(0);  // no rate limit: isolate the dedupe
+  EXPECT_TRUE(printer.emit("12/12 cells", 0));
+  EXPECT_FALSE(printer.emit("12/12 cells", 2000));
+  EXPECT_FALSE(printer.emit("12/12 cells", 4000, /*force=*/true))
+      << "force bypasses the rate limit, never the dedupe";
+  EXPECT_TRUE(printer.emit("13/13 cells", 4000));
+  EXPECT_TRUE(printer.emit("12/12 cells", 6000))
+      << "only *consecutive* duplicates are suppressed";
+}
+
+}  // namespace
+}  // namespace nnr::sched

@@ -19,6 +19,8 @@
 //   nnr_run --task smallcnn_bn --device V100 --variant impl --replicates 10
 //   nnr_run --study table2 --cache-dir /tmp/nnr-cache
 //   nnr_run --study fig1,fig2,table2 --cache-url tcp://cachehost:9776
+//   nnr_run --submit fig2,table2 --cache-url tcp://cachehost:9776
+//   nnr_run --worker --cache-url tcp://cachehost:9776
 //   nnr_run --list
 //   nnr_run --task resnet18_c100 --all-variants --csv
 #include <cstdio>
@@ -44,7 +46,9 @@
 #include "runtime/parse_int.h"
 #include "runtime/thread_pool.h"
 #include "sched/cache_backend.h"
+#include "sched/fleet_client.h"
 #include "sched/registry.h"
+#include "sched/remote_cache_backend.h"
 #include "sched/scheduler.h"
 #include "sched/study_plan.h"
 
@@ -144,6 +148,9 @@ struct Options {
   bool csv = false;
   bool json = false;
   bool cache_gc = false;         // --cache-gc maintenance mode
+  std::vector<std::string> submit_studies;  // --submit (fleet coordinator)
+  bool submit_mode = false;      // --submit seen at all
+  bool worker_mode = false;      // --worker (fleet worker loop)
   std::string out_dir;           // empty = no file export
   std::string cache_dir;         // empty = NNR_CACHE_DIR, else that value
   std::string cache_url;         // empty = NNR_CACHE_URL, else that value
@@ -156,20 +163,24 @@ struct Options {
 
 void print_usage();
 
-void append_studies(Options& opts, const std::string& list) {
+void append_names(std::vector<std::string>& out, const std::string& list) {
   std::size_t start = 0;
   while (start <= list.size()) {
     const std::size_t comma = list.find(',', start);
     const std::string name =
         list.substr(start, comma == std::string::npos ? std::string::npos
                                                       : comma - start);
-    if (!name.empty()) opts.studies.push_back(name);
+    if (!name.empty()) out.push_back(name);
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
 }
 
-enum class Section { kSingle, kStudy, kMaint, kShared };
+void append_studies(Options& opts, const std::string& list) {
+  append_names(opts.studies, list);
+}
+
+enum class Section { kSingle, kStudy, kFleet, kMaint, kShared };
 
 struct FlagSpec {
   const char* name;
@@ -234,6 +245,21 @@ const FlagSpec kFlags[] = {
        o.study_mode_requested = true;
        o.study_file = v;
      }},
+    {"--submit", "LIST", Section::kFleet,
+     "fleet coordinator: enqueue the named studies' cells on\n"
+     "the daemon's durable work queue (requires --cache-url),\n"
+     "print fleet-wide progress until workers drain it, then\n"
+     "replay the studies locally (warm) for the usual tables",
+     [](Options& o, const char* v) {
+       o.submit_mode = true;
+       append_names(o.submit_studies, v);
+     }},
+    {"--worker", nullptr, Section::kFleet,
+     "fleet worker: FETCH -> train -> store -> REPORT loop\n"
+     "against the daemon's queue (requires --cache-url).\n"
+     "Stateless; join or kill workers mid-study freely — a\n"
+     "dead worker's cell returns to the queue via its lease",
+     [](Options& o, const char*) { o.worker_mode = true; }},
     {"--cache-gc", nullptr, Section::kMaint,
      "garbage-collect the cache and exit: sweep orphaned .tmp\n"
      "files (dead writers) and unheld lockfiles, evict to the\n"
@@ -319,6 +345,7 @@ const char* section_title(Section section) {
   switch (section) {
     case Section::kSingle: return "Single-cell mode (default):";
     case Section::kStudy: return "Study mode:";
+    case Section::kFleet: return "Fleet mode (one coordinator, N workers):";
     case Section::kMaint: return "Cache maintenance mode:";
     case Section::kShared: return "Shared:";
   }
@@ -329,7 +356,8 @@ const char* section_title(Section section) {
 void print_usage() {
   std::printf("nnr_run: stability-study runner\n");
   for (const Section section : {Section::kSingle, Section::kStudy,
-                                Section::kMaint, Section::kShared}) {
+                                Section::kFleet, Section::kMaint,
+                                Section::kShared}) {
     std::printf("\n%s\n", section_title(section));
     for (const FlagSpec& spec : kFlags) {
       if (spec.section != section) continue;
@@ -417,6 +445,24 @@ Options parse_args(int argc, char** argv) {
   if (opts.cache_gc && (!opts.studies.empty() || opts.single_cell_flags_used)) {
     usage_error("--cache-gc is a standalone maintenance mode; combine it "
                 "only with --cache-dir/--cache-url/--cache-budget");
+  }
+  if (opts.submit_mode && opts.submit_studies.empty()) {
+    usage_error("--submit named no studies");
+  }
+  if (opts.submit_mode && opts.worker_mode) {
+    usage_error("--submit and --worker are different roles; run them as "
+                "separate processes");
+  }
+  if ((opts.submit_mode || opts.worker_mode) &&
+      (opts.study_mode_requested || opts.single_cell_flags_used ||
+       opts.cache_gc)) {
+    usage_error("--submit/--worker are standalone fleet modes; they cannot "
+                "be combined with --study/--study-file, single-cell flags, "
+                "or --cache-gc");
+  }
+  if ((opts.submit_mode || opts.worker_mode) && opts.cache_url.empty()) {
+    usage_error("--submit/--worker need the daemon's queue: pass "
+                "--cache-url/NNR_CACHE_URL (tcp://host:port of nnr_cached)");
   }
   return opts;
 }
@@ -559,11 +605,73 @@ int run_study_mode(const Options& opts) {
   return 0;
 }
 
+/// Fleet coordinator: submit the named studies to the daemon's work queue,
+/// wait for the fleet to drain it, then replay the studies locally against
+/// the (now warm) cache so the emitted tables are byte-identical to a
+/// plain `--study` run.
+int run_fleet_submit_mode(const Options& opts) {
+  for (const std::string& name : opts.submit_studies) {
+    if (sched::find_study(name) == nullptr) {
+      std::fprintf(stderr, "nnr_run: unknown study '%s'\n", name.c_str());
+      usage_error("unknown --submit study");
+    }
+  }
+  std::unique_ptr<sched::RemoteCacheBackend> backend;
+  try {
+    backend = sched::make_remote_cache_backend(opts.cache_url);
+  } catch (const std::invalid_argument& error) {
+    usage_error(error.what());
+  }
+  // Unlike caching (where an unreachable daemon degrades to local compute),
+  // the coordinator's entire job is the daemon — fail loudly up front.
+  if (!backend->ping()) {
+    std::fprintf(stderr, "nnr_run: --submit: no nnr_cached daemon at %s\n",
+                 opts.cache_url.c_str());
+    return 1;
+  }
+  sched::FleetSubmitOptions fleet_opts;
+  const auto summary = sched::fleet_submit_and_wait(
+      *backend, opts.submit_studies, fleet_opts);
+  if (!summary.has_value()) return 1;
+  if (summary->failed > 0) {
+    std::fprintf(stderr,
+                 "[fleet] %llu cells failed %u attempts and will train "
+                 "locally in the replay\n",
+                 static_cast<unsigned long long>(summary->failed),
+                 sched::FleetQueue::kMaxAttempts);
+  }
+  backend.reset();  // the replay opens its own connection
+
+  Options warm = opts;
+  warm.studies = opts.submit_studies;
+  return run_study_mode(warm);
+}
+
+int run_fleet_worker_mode(const Options& opts) {
+  std::unique_ptr<sched::RemoteCacheBackend> backend;
+  try {
+    backend = sched::make_remote_cache_backend(opts.cache_url);
+  } catch (const std::invalid_argument& error) {
+    usage_error(error.what());
+  }
+  apply_thread_flag(opts.threads);
+  const sched::FleetWorkerSummary summary = sched::fleet_run_worker(*backend);
+  std::fprintf(stderr, "[worker] fetched=%lld trained=%lld served=%lld "
+               "failed=%lld\n",
+               static_cast<long long>(summary.fetched),
+               static_cast<long long>(summary.trained),
+               static_cast<long long>(summary.served),
+               static_cast<long long>(summary.failed));
+  return summary.failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
   if (opts.cache_gc) return run_cache_gc(opts);
+  if (opts.submit_mode) return run_fleet_submit_mode(opts);
+  if (opts.worker_mode) return run_fleet_worker_mode(opts);
   if (!opts.studies.empty()) return run_study_mode(opts);
 
   const core::TaskInfo* info = core::find_task(opts.task);
