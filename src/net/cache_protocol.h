@@ -51,6 +51,18 @@
 //                                             | u64 leased | u64 done
 //                                             | u64 trained | u64 served
 //                                             | u64 failed
+//   kGoAway     (server -> client only)       u8 status (kBusy)
+//                                             | u32 retry_after_ms
+//               (unsolicited: sent once on an over-capacity accept, then
+//               the server closes the connection. A client that receives
+//               it anywhere treats the connection as gone and backs off
+//               at least retry_after_ms before reconnecting)
+//
+// Overload responses: a rate-limited request is answered with its own
+// opcode and a kThrottled status whose body is `u32 retry_after_ms` — the
+// connection stays healthy, the client sleeps the hint (jittered) and
+// resends. kThrottled never carries data, so honoring it late or not at
+// all costs throughput, never correctness.
 //
 // kSubmit/kFetch/kReport/kQueueStat are the fleet work queue (the daemon-
 // side cell queue; lifecycle diagram in ARCHITECTURE.md). They were added
@@ -88,6 +100,9 @@ enum class Op : std::uint8_t {
   kFetch = 10,
   kReport = 11,
   kQueueStat = 12,
+  /// Server -> client only: "I am over capacity, go away" (new-opcode
+  /// rule: an old client fails to match it to a request and degrades).
+  kGoAway = 13,
 };
 
 /// REPORT's one-byte outcome field.
@@ -103,9 +118,13 @@ enum class Status : std::uint8_t {
   kFound = 1,
   kMiss = 2,
   kGranted = 3,
-  kBusy = 4,    // claim held by another lease
+  kBusy = 4,    // claim held by another lease (or, in kGoAway, a server
+                // at its connection cap)
   kGone = 5,    // lease unknown or already expired
   kError = 6,   // request understood but refused (e.g. invalid PUT payload)
+  kThrottled = 7,  // rate-limited; body carries u32 retry_after_ms. Added
+                   // within version 1: old clients treat it like any other
+                   // unexpected status (miss/failure) and stay correct.
 };
 
 /// Thrown by BodyReader on a short or overlong body. Both endpoints treat

@@ -11,10 +11,44 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <string>
+#include <thread>
 #include <utility>
 
+#include "net/fault_injector.h"
+
 namespace nnr::net {
+
+namespace {
+
+/// Applies the delay/reset part of a fault decision (shared by every I/O
+/// entry point). Returns true when the connection was reset and the call
+/// must bail out.
+bool apply_delay(const FaultDecision& d) noexcept {
+  if (d.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+  }
+  return d.reset;
+}
+
+/// Flips decision-selected bit in a private copy of the outgoing bytes.
+/// Returns the copy's data, or `p` unchanged if the copy cannot be made
+/// (allocation failure under noexcept — skip the fault, not the send).
+const char* corrupt_copy(std::string& storage, const char* p,
+                         std::size_t bytes, std::uint64_t bit) noexcept {
+  try {
+    storage.assign(p, bytes);
+  } catch (...) {
+    return p;
+  }
+  const std::uint64_t index = bit % (static_cast<std::uint64_t>(bytes) * 8);
+  storage[index / 8] ^= static_cast<char>(1u << (index % 8));
+  return storage.data();
+}
+
+}  // namespace
 
 Socket::~Socket() { close(); }
 
@@ -35,9 +69,36 @@ void Socket::close() noexcept {
   }
 }
 
-IoStatus Socket::send_all(const void* data, std::size_t bytes) noexcept {
+void Socket::reset_hard() noexcept {
+  if (fd_ < 0) return;
+  struct linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  close();
+}
+
+IoStatus Socket::send_all(const void* data, std::size_t bytes,
+                          std::size_t* sent) noexcept {
+  if (sent != nullptr) *sent = 0;
   if (fd_ < 0) return IoStatus::kError;
   const char* p = static_cast<const char*>(data);
+  std::string mutated;
+  if (FaultInjector* inj = FaultInjector::active();
+      inj != nullptr && bytes > 0) {
+    const FaultDecision d = inj->next();
+    if (apply_delay(d)) {
+      reset_hard();
+      return IoStatus::kClosed;
+    }
+    if (d.drop) {
+      // The network "lost" these bytes after the kernel accepted them:
+      // locally indistinguishable from success, the peer just waits.
+      if (sent != nullptr) *sent = bytes;
+      return IoStatus::kOk;
+    }
+    if (d.corrupt) p = corrupt_copy(mutated, p, bytes, d.corrupt_bit);
+  }
   while (bytes > 0) {
     const ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
     if (n < 0) {
@@ -48,6 +109,7 @@ IoStatus Socket::send_all(const void* data, std::size_t bytes) noexcept {
     }
     p += n;
     bytes -= static_cast<std::size_t>(n);
+    if (sent != nullptr) *sent += static_cast<std::size_t>(n);
   }
   return IoStatus::kOk;
 }
@@ -56,6 +118,15 @@ IoStatus Socket::recv_exact(void* data, std::size_t bytes,
                             std::size_t* received) noexcept {
   if (received != nullptr) *received = 0;
   if (fd_ < 0) return IoStatus::kError;
+  // Receive-side faults are delay and reset only: loss and corruption are
+  // things the network does to the sender's bytes (see fault_injector.h).
+  if (FaultInjector* inj = FaultInjector::active();
+      inj != nullptr && bytes > 0) {
+    if (apply_delay(inj->next())) {
+      reset_hard();
+      return IoStatus::kClosed;
+    }
+  }
   char* p = static_cast<char*>(data);
   while (bytes > 0) {
     const ssize_t n = ::recv(fd_, p, bytes, 0);
@@ -71,6 +142,46 @@ IoStatus Socket::recv_exact(void* data, std::size_t bytes,
     if (received != nullptr) *received += static_cast<std::size_t>(n);
   }
   return IoStatus::kOk;
+}
+
+std::ptrdiff_t Socket::recv_avail(void* buf, std::size_t cap) noexcept {
+  if (fd_ < 0 || cap == 0) return -2;
+  if (FaultInjector* inj = FaultInjector::active()) {
+    if (apply_delay(inj->next())) {
+      reset_hard();
+      return -2;
+    }
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n >= 0) return n;  // > 0 data; 0 orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+std::ptrdiff_t Socket::send_avail(const void* data,
+                                  std::size_t bytes) noexcept {
+  if (fd_ < 0 || bytes == 0) return -2;
+  const char* p = static_cast<const char*>(data);
+  std::string mutated;
+  if (FaultInjector* inj = FaultInjector::active()) {
+    const FaultDecision d = inj->next();
+    if (apply_delay(d)) {
+      reset_hard();
+      return -2;
+    }
+    if (d.drop) return static_cast<std::ptrdiff_t>(bytes);  // vanished
+    if (d.corrupt) p = corrupt_copy(mutated, p, bytes, d.corrupt_bit);
+  }
+  for (;;) {
+    const ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
 }
 
 void Socket::set_io_timeout_ms(int timeout_ms) noexcept {

@@ -8,6 +8,12 @@
 // dependency" stance: no exceptions. Failed operations return false / an
 // invalid Socket, and the caller (RemoteCacheBackend) degrades to
 // recompute; the daemon closes the offending connection.
+//
+// Every I/O entry point consults net::FaultInjector::active() (one atomic
+// load when chaos is off): sends can be dropped, delayed, bit-flipped, or
+// met with a hard reset, receives delayed or reset. This is the one seam
+// through which the chaos suites disturb the wire — client and server
+// alike — with a replayable Philox-seeded schedule.
 #pragma once
 
 #include <cstddef>
@@ -47,9 +53,13 @@ class Socket {
 
   /// Writes exactly `bytes` bytes (retrying partial writes / EINTR).
   /// Anything but kOk leaves the connection unusable — a partial send has
-  /// already desynchronized the stream, so even kTimeout is terminal here;
-  /// the distinct status exists for diagnostics and symmetry.
-  IoStatus send_all(const void* data, std::size_t bytes) noexcept;
+  /// already desynchronized the stream, so even kTimeout is terminal here
+  /// and MUST NOT be retried on the same connection. `sent` (optional)
+  /// reports how many bytes were accepted before the failure: kTimeout
+  /// with 0 < *sent < bytes is the mid-frame short write the caller's
+  /// only correct response to is dropping the connection.
+  IoStatus send_all(const void* data, std::size_t bytes,
+                    std::size_t* sent = nullptr) noexcept;
 
   /// Reads exactly `bytes` bytes. kTimeout with *received == 0 means the
   /// wait expired on a message boundary — nothing consumed, safe to retry
@@ -59,6 +69,17 @@ class Socket {
   IoStatus recv_exact(void* data, std::size_t bytes,
                       std::size_t* received = nullptr) noexcept;
 
+  /// One recv(2) into `buf` for nonblocking sockets under an event loop.
+  /// Returns the byte count (> 0), 0 on the peer's orderly EOF, -1 when
+  /// the call would block (EAGAIN — not an error), or -2 on a socket
+  /// error / injected reset (the connection is done).
+  std::ptrdiff_t recv_avail(void* buf, std::size_t cap) noexcept;
+
+  /// One send(2) of up to `bytes` bytes for nonblocking sockets. Returns
+  /// the count accepted (> 0), -1 when the call would block, or -2 on a
+  /// socket error / injected reset.
+  std::ptrdiff_t send_avail(const void* data, std::size_t bytes) noexcept;
+
   /// Applies SO_RCVTIMEO / SO_SNDTIMEO so a hung peer cannot wedge a
   /// blocking call forever. <= 0 leaves the socket fully blocking.
   void set_io_timeout_ms(int timeout_ms) noexcept;
@@ -67,6 +88,10 @@ class Socket {
   bool set_nonblocking() noexcept;
 
  private:
+  /// SO_LINGER(0) + close: the peer sees RST, not FIN — the injected
+  /// "connection reset" fault.
+  void reset_hard() noexcept;
+
   int fd_ = -1;
 };
 

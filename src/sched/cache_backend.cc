@@ -31,6 +31,21 @@ std::unique_ptr<RemoteCacheBackend> make_remote_cache_backend(
   RemoteCacheOptions options;
   const std::int64_t ttl = core::env_int("NNR_CACHE_LEASE_MS", 0);
   if (ttl > 0) options.lease_ttl_ms = static_cast<std::uint32_t>(ttl);
+  // Timeout/backoff knobs, primarily for chaos and CI runs where the
+  // defaults (tuned for slow real daemons) would stretch every injected
+  // fault into a multi-second stall. Documented in docs/nnr_run.md.
+  const std::int64_t io_ms = core::env_int("NNR_CACHE_IO_TIMEOUT_MS", 0);
+  if (io_ms > 0) options.io_timeout_ms = static_cast<int>(io_ms);
+  const std::int64_t connect_ms =
+      core::env_int("NNR_CACHE_CONNECT_TIMEOUT_MS", 0);
+  if (connect_ms > 0) options.connect_timeout_ms = static_cast<int>(connect_ms);
+  const std::int64_t backoff_ms = core::env_int("NNR_CACHE_BACKOFF_MS", 0);
+  if (backoff_ms > 0) options.reconnect_backoff_ms = static_cast<int>(backoff_ms);
+  const std::int64_t backoff_max_ms =
+      core::env_int("NNR_CACHE_BACKOFF_MAX_MS", 0);
+  if (backoff_max_ms > 0) {
+    options.reconnect_backoff_max_ms = static_cast<int>(backoff_max_ms);
+  }
   return std::make_unique<RemoteCacheBackend>(url, options);
 }
 

@@ -7,12 +7,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "net/cache_protocol.h"
+#include "net/fault_injector.h"
 #include "net/frame.h"
 #include "serialize/run_result.h"
 
@@ -60,6 +64,11 @@ CacheServer::~CacheServer() {
 
 bool CacheServer::start() {
   if (config_.dir.empty()) return false;
+  // Resolve NNR_FAULT_SPEC now rather than lazily at the first I/O call:
+  // the "[fault] injector armed" line must precede "listening on" so chaos
+  // scripts can verify the daemon is actually under the storm they think
+  // it is.
+  (void)net::FaultInjector::active();
   // The daemon owns the directory: make sure it exists up front, because
   // lease grants take the key's flock directly (an unreachable lockfile
   // would read as "busy" and starve every claim).
@@ -115,6 +124,7 @@ void CacheServer::run() {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()), timeout_ms);
     expire_leases();
+    evict_idle_conns();
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -147,16 +157,35 @@ void CacheServer::run() {
       }
     }
   }
+  drain_and_shutdown();
 }
 
 void CacheServer::accept_new_conns() {
   for (;;) {
     net::Socket sock = listener_.accept_conn();
     if (!sock.valid()) return;
+    if (config_.max_conns > 0 && conns_.size() >= config_.max_conns) {
+      // Over capacity: one best-effort kGoAway (the socket is still
+      // blocking and the frame is ~20 bytes, so this cannot wedge the
+      // loop), then the Socket destructor closes the connection.
+      rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kBusy));
+      w.put(config_.busy_retry_ms);
+      const std::string frame =
+          net::encode_frame(static_cast<std::uint8_t>(Op::kGoAway), w.take());
+      (void)::send(sock.fd(), frame.data(), frame.size(), MSG_NOSIGNAL);
+      continue;
+    }
     (void)sock.set_nonblocking();
     auto conn = std::make_unique<Conn>();
     conn->id = next_conn_id_++;
     conn->sock = std::move(sock);
+    const auto now = std::chrono::steady_clock::now();
+    conn->last_activity = now;
+    conn->last_refill = now;
+    conn->tokens =
+        config_.burst > 0 ? config_.burst : std::max(8.0, 2 * config_.max_rps);
     const int fd = conn->sock.fd();
     struct epoll_event ev{};
     ev.events = EPOLLIN;
@@ -166,18 +195,53 @@ void CacheServer::accept_new_conns() {
   }
 }
 
+bool CacheServer::take_token(Conn& conn, std::uint32_t* retry_after_ms) {
+  if (config_.max_rps <= 0) return true;
+  const double cap =
+      config_.burst > 0 ? config_.burst : std::max(8.0, 2 * config_.max_rps);
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - conn.last_refill).count();
+  conn.last_refill = now;
+  conn.tokens = std::min(cap, conn.tokens + dt * config_.max_rps);
+  if (conn.tokens >= 1.0) {
+    conn.tokens -= 1.0;
+    return true;
+  }
+  const double wait_s = (1.0 - conn.tokens) / config_.max_rps;
+  *retry_after_ms = static_cast<std::uint32_t>(
+      std::clamp(std::ceil(wait_s * 1000.0), 1.0, 60'000.0));
+  return false;
+}
+
+void CacheServer::evict_idle_conns() {
+  if (config_.idle_timeout_ms <= 0 || conns_.empty()) return;
+  const auto deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->last_activity < deadline) idle.push_back(fd);
+  }
+  for (const int fd : idle) {
+    idle_evicted_.fetch_add(1, std::memory_order_relaxed);
+    close_conn(fd);
+  }
+}
+
 bool CacheServer::service_readable(Conn& conn) {
   char chunk[kReadChunk];
   for (;;) {
-    const ssize_t n = ::recv(conn.sock.fd(), chunk, sizeof(chunk), 0);
+    // recv_avail rather than raw recv(2): the fault-injection seam lives
+    // in Socket, and the chaos suites must be able to disturb the
+    // server's reads exactly like the client's.
+    const std::ptrdiff_t n = conn.sock.recv_avail(chunk, sizeof(chunk));
     if (n > 0) {
       conn.in.append(chunk, static_cast<std::size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
       continue;
     }
-    if (n == 0) return false;  // peer closed
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;
+    if (n == -1) break;    // would block: buffer drained
+    return false;          // peer closed (0) or error/reset (-2)
   }
   // Parse every complete frame in the buffer.
   std::size_t off = 0;
@@ -192,7 +256,18 @@ bool CacheServer::service_readable(Conn& conn) {
     try {
       const net::Frame frame = net::decode_frame(
           std::string_view(conn.in.data() + off + sizeof(len), len));
-      handle_frame(conn, frame.opcode, frame.body);
+      std::uint32_t retry_after_ms = 0;
+      if (take_token(conn, &retry_after_ms)) {
+        handle_frame(conn, frame.opcode, frame.body);
+      } else {
+        // Over rate: answer instead of serve. The request is well-formed,
+        // so the connection survives — only the work is refused.
+        throttled_.fetch_add(1, std::memory_order_relaxed);
+        BodyWriter w;
+        w.put(static_cast<std::uint8_t>(Status::kThrottled));
+        w.put(retry_after_ms);
+        conn.out += net::encode_frame(frame.opcode, w.take());
+      }
     } catch (const serialize::CheckpointError&) {
       return false;  // malformed payload: protocol violation
     } catch (const net::ProtocolError&) {
@@ -206,14 +281,13 @@ bool CacheServer::service_readable(Conn& conn) {
 
 bool CacheServer::flush_writable(Conn& conn) {
   while (!conn.out.empty()) {
-    const ssize_t n = ::send(conn.sock.fd(), conn.out.data(), conn.out.size(),
-                             MSG_NOSIGNAL);
+    const std::ptrdiff_t n =
+        conn.sock.send_avail(conn.out.data(), conn.out.size());
     if (n > 0) {
       conn.out.erase(0, static_cast<std::size_t>(n));
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
+    if (n == -1) break;  // would block: epoll re-arms EPOLLOUT
     return false;
   }
   return true;
@@ -254,6 +328,44 @@ void CacheServer::release_conn_leases(std::uint64_t conn_id) {
       ++it;
     }
   }
+}
+
+void CacheServer::drain_and_shutdown() {
+  // 1. Flush responses already queued (a worker mid-RPC should get its
+  //    answer, not a cut wire) — bounded, because a stalled peer must not
+  //    be able to hold SIGTERM hostage.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            std::max<std::int64_t>(config_.drain_timeout_ms, 0));
+  for (;;) {
+    bool pending = false;
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns_) {
+      if (conn->out.empty()) continue;
+      if (!flush_writable(*conn)) {
+        dead.push_back(fd);
+      } else if (!conn->out.empty()) {
+        pending = true;
+      }
+    }
+    for (const int fd : dead) close_conn(fd);
+    if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // 2. Release every lease. Queue leases requeue their items (already
+  //    recorded as pending on disk — leases are volatile by design), and
+  //    the flocks drop so local fs clients unblock immediately.
+  while (!leases_.empty()) drop_lease(leases_.begin());
+  // 3. Belt-and-braces snapshot: the queue persists on every durable
+  //    transition anyway, but shutting down is the one moment it is worth
+  //    an unconditional fsync-cheap rewrite.
+  queue_.save();
+  const std::size_t drained = conns_.size();
+  conns_.clear();
+  std::fprintf(stderr,
+               "[nnr_cached] graceful stop: flushed %zu connection(s), "
+               "leases released, queue persisted\n",
+               drained);
 }
 
 void CacheServer::expire_leases() {

@@ -35,9 +35,23 @@
 // it dies unreported (expiry, disconnect, release) the daemon requeues the
 // item. The queue persists itself inside the cache directory, so a daemon
 // restart preserves the pending set (in-flight leases revert to pending).
+//
+// Self-protection (all off by default in-library; nnr_cached arms sane
+// defaults): a max-connection cap (excess accepts are answered with one
+// kGoAway frame carrying kBusy + a retry hint, then closed), a
+// per-connection idle deadline (a slow-loris client that connects and
+// sends nothing is evicted instead of holding an fd forever), and a
+// per-connection token bucket (an over-rate client's requests are answered
+// kThrottled + retry_after_ms instead of being served — the connection
+// survives, the work doesn't). Shutdown via stop() is graceful: pending
+// response bytes are flushed (bounded by drain_timeout_ms), every lease is
+// released (queue leases requeue), and the fleet queue snapshot is
+// persisted so a restarted daemon resumes the wave.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -60,6 +74,23 @@ struct CacheServerConfig {
   std::uint32_t min_ttl_ms = 100;
   std::uint32_t max_ttl_ms = 60'000;
   std::uint32_t default_ttl_ms = 10'000;
+
+  // ---- Overload protection (0 disables each; nnr_cached arms defaults).
+  /// Registered connections beyond this are answered with one kGoAway
+  /// (kBusy + busy_retry_ms) and closed without ever reaching epoll.
+  std::size_t max_conns = 0;
+  /// A connection that delivers no bytes for this long is evicted —
+  /// the slow-loris defense. Healthy idle clients reconnect transparently.
+  std::int64_t idle_timeout_ms = 0;
+  /// Per-connection token bucket: sustained requests/second above this
+  /// are answered kThrottled + retry_after_ms instead of being served.
+  double max_rps = 0.0;
+  /// Bucket depth (burst tolerance); 0 derives max(8, 2 * max_rps).
+  double burst = 0.0;
+  /// Retry hint inside a kGoAway busy answer.
+  std::uint32_t busy_retry_ms = 1'000;
+  /// Graceful-stop bound on flushing already-queued response bytes.
+  std::int64_t drain_timeout_ms = 2'000;
 };
 
 class CacheServer {
@@ -80,8 +111,21 @@ class CacheServer {
   void run();
 
   /// Thread- and signal-safe shutdown request (writes one byte to the
-  /// wakeup pipe; async-signal-safe by construction).
+  /// wakeup pipe; async-signal-safe by construction). run() then drains
+  /// gracefully: see drain_and_shutdown().
   void stop() noexcept;
+
+  /// Overload-protection tallies (readable from any thread; tests).
+  struct OverloadCounters {
+    std::int64_t rejected_busy = 0;  // accepts refused at max_conns
+    std::int64_t throttled = 0;      // requests answered kThrottled
+    std::int64_t idle_evicted = 0;   // connections closed by idle deadline
+  };
+  [[nodiscard]] OverloadCounters overload_counters() const noexcept {
+    return {rejected_busy_.load(std::memory_order_relaxed),
+            throttled_.load(std::memory_order_relaxed),
+            idle_evicted_.load(std::memory_order_relaxed)};
+  }
 
  private:
   struct Conn {
@@ -89,6 +133,11 @@ class CacheServer {
     std::uint64_t id = 0;
     std::string in;   // unparsed request bytes
     std::string out;  // unsent response bytes
+    /// Last time bytes arrived (idle eviction clock).
+    std::chrono::steady_clock::time_point last_activity;
+    /// Token bucket (meaningful when config.max_rps > 0).
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
   };
 
   struct Lease {
@@ -116,6 +165,14 @@ class CacheServer {
   void handle_frame(Conn& conn, std::uint8_t opcode, const std::string& body);
   void expire_leases();
   void release_conn_leases(std::uint64_t conn_id);
+  /// True when the conn's bucket grants one request; otherwise fills
+  /// `retry_after_ms` with the earliest time a token will exist.
+  bool take_token(Conn& conn, std::uint32_t* retry_after_ms);
+  /// Closes connections whose idle deadline passed (run-loop tick).
+  void evict_idle_conns();
+  /// Graceful stop: bounded flush of queued responses, release every
+  /// lease (queue leases requeue), persist the fleet queue snapshot.
+  void drain_and_shutdown();
 
   /// Erases the lease (returning the next iterator); a queue lease whose
   /// item is not yet done sends the item back to pending first.
@@ -136,6 +193,9 @@ class CacheServer {
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;       // by fd
   std::unordered_map<std::string, Lease> leases_;              // by key hex
   std::int64_t expired_leases_ = 0;
+  std::atomic<std::int64_t> rejected_busy_{0};
+  std::atomic<std::int64_t> throttled_{0};
+  std::atomic<std::int64_t> idle_evicted_{0};
 };
 
 }  // namespace nnr::sched

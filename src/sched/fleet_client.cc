@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "core/trainer.h"
+#include "net/backoff.h"
 #include "sched/cell_key.h"
 #include "sched/fleet_queue.h"
 #include "sched/progress.h"
@@ -21,6 +22,10 @@ namespace {
 
 void sleep_ms(std::int64_t ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+net::Jitter make_jitter(std::uint64_t seed) {
+  return net::Jitter(seed != 0 ? seed : net::default_jitter_seed());
 }
 
 }  // namespace
@@ -58,7 +63,15 @@ std::optional<FleetSubmitSummary> fleet_submit_and_wait(
     }
   }
 
-  const auto ack = backend.fleet_submit(items);
+  net::Jitter jitter = make_jitter(options.jitter_seed);
+  auto ack = backend.fleet_submit(items);
+  for (std::int64_t attempt = 0; !ack.has_value() && attempt < options.submit_retries;
+       ++attempt) {
+    // SUBMIT is idempotent (the daemon dedupes), so a lost frame or a
+    // daemon mid-restart costs a retry, not the wave.
+    sleep_ms(jitter.around(options.poll_ms));
+    ack = backend.fleet_submit(items);
+  }
   if (!ack.has_value()) {
     std::fprintf(stderr,
                  "[fleet] submit failed: %s unreachable or predates the work "
@@ -111,8 +124,9 @@ std::optional<FleetSubmitSummary> fleet_submit_and_wait(
       }
     }
     // A failed poll is a daemon hiccup or restart — the queue snapshot
-    // survives restarts, so just keep polling.
-    sleep_ms(options.poll_ms);
+    // survives restarts, so just keep polling (jittered, so a herd of
+    // coordinators spreads its stat load).
+    sleep_ms(jitter.around(options.poll_ms));
   }
 }
 
@@ -135,11 +149,12 @@ FleetWorkerSummary fleet_run_worker(RemoteCacheBackend& backend,
     return it->second.has_value() ? &*it->second : nullptr;
   };
 
+  net::Jitter jitter = make_jitter(options.jitter_seed);
   for (;;) {
     if (options.max_cells > 0 && summary.fetched >= options.max_cells) break;
     auto fetch = backend.fleet_fetch();
     if (!fetch.has_value()) {  // degraded: daemon unreachable right now
-      sleep_ms(options.degraded_poll_ms);
+      sleep_ms(jitter.around(options.degraded_poll_ms));
       continue;
     }
     if (!fetch->granted) {
@@ -149,7 +164,7 @@ FleetWorkerSummary fleet_run_worker(RemoteCacheBackend& backend,
           options.exit_when_drained) {
         break;
       }
-      sleep_ms(options.poll_ms);
+      sleep_ms(jitter.around(options.poll_ms));
       continue;
     }
 
@@ -206,7 +221,16 @@ FleetWorkerSummary fleet_run_worker(RemoteCacheBackend& backend,
                    e.what());
       trained_ok = false;
     }
-    if (!trained_ok || !backend.store(work.key, result)) {
+    bool stored = trained_ok && backend.store(work.key, result);
+    for (std::int64_t attempt = 0;
+         trained_ok && !stored && attempt < options.store_retries; ++attempt) {
+      // The training is in hand; only the PUT failed (daemon hiccup,
+      // dropped frame). Re-sending is far cheaper than reporting kFailed
+      // and having another worker retrain the whole cell.
+      sleep_ms(jitter.around(std::max<std::int64_t>(options.store_retry_ms, 1)));
+      stored = backend.store(work.key, result);
+    }
+    if (!stored) {
       // A result we can't persist is indistinguishable from no result to
       // the rest of the fleet — let the queue retry it elsewhere.
       report(net::ReportOutcome::kFailed);

@@ -32,8 +32,17 @@ namespace nnr::sched {
 class RemoteCacheBackend;
 
 struct FleetSubmitOptions {
-  /// QUEUE_STAT poll interval while waiting for the fleet to drain.
+  /// QUEUE_STAT poll interval while waiting for the fleet to drain
+  /// (jittered +-50% per sleep; see jitter_seed).
   std::int64_t poll_ms = 500;
+  /// A failed SUBMIT RPC is retried this many times (jittered poll_ms
+  /// apart) before the coordinator gives up. SUBMIT is idempotent — the
+  /// daemon dedupes resubmitted keys — so a retry can only cost duplicate
+  /// counts, never duplicate work; without it one dropped frame at submit
+  /// time would abort a whole wave.
+  std::int64_t submit_retries = 10;
+  /// Seed of the poll-jitter stream; 0 = pid-derived (production default).
+  std::uint64_t jitter_seed = 0;
 };
 
 struct FleetSubmitSummary {
@@ -51,16 +60,18 @@ struct FleetSubmitSummary {
 /// Submits every cacheable (cell, replicate) of the named studies (ids per
 /// sched/registry.h; the caller validates names first) and blocks until the
 /// fleet drains the queue, printing the [fleet] progress line to stderr.
-/// nullopt when the submit RPC fails (daemon unreachable, or a pre-queue
-/// daemon answering kError). Daemon restarts during the wait are tolerated:
-/// failed polls just retry after poll_ms.
+/// nullopt when the submit RPC fails submit_retries + 1 times (daemon
+/// unreachable, or a pre-queue daemon answering kError). Daemon restarts
+/// during the wait are tolerated: failed polls just retry after poll_ms.
 [[nodiscard]] std::optional<FleetSubmitSummary> fleet_submit_and_wait(
     RemoteCacheBackend& backend, const std::vector<std::string>& studies,
     const FleetSubmitOptions& options = {});
 
 struct FleetWorkerOptions {
   /// Sleep between FETCH attempts while the queue has outstanding work
-  /// held by other workers (nothing fetchable right now).
+  /// held by other workers (nothing fetchable right now). Every sleep in
+  /// the worker is jittered +-50%, so N workers started together do not
+  /// hammer a recovering daemon in phase.
   std::int64_t poll_ms = 500;
   /// Sleep while the daemon is unreachable before retrying.
   std::int64_t degraded_poll_ms = 1000;
@@ -69,6 +80,15 @@ struct FleetWorkerOptions {
   bool exit_when_drained = true;
   /// Test hook: stop after this many granted cells (0 = unlimited).
   std::int64_t max_cells = 0;
+  /// A failed store of a finished training run is retried this many times
+  /// (jittered store_retry_ms apart) before the cell is reported kFailed.
+  /// Training is the expensive part: under a flaky network, re-sending a
+  /// PUT is vastly cheaper than burning one of the queue's bounded
+  /// attempts and retraining the cell elsewhere.
+  std::int64_t store_retries = 3;
+  std::int64_t store_retry_ms = 200;
+  /// Seed of the jitter stream; 0 = pid-derived (production default).
+  std::uint64_t jitter_seed = 0;
 };
 
 struct FleetWorkerSummary {

@@ -114,6 +114,11 @@ class FleetQueue {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Rewrites the snapshot unconditionally (graceful daemon shutdown).
+  /// Every durable transition already persists, so this is belt-and-braces
+  /// against a snapshot lost to a full disk earlier in the run.
+  void save() const { persist(); }
+
   /// pending + leased — the FETCH kMiss "outstanding" field.
   [[nodiscard]] std::uint64_t outstanding() const;
   [[nodiscard]] std::uint64_t total() const { return items_.size(); }

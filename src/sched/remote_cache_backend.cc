@@ -1,6 +1,7 @@
 #include "sched/remote_cache_backend.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -67,7 +68,16 @@ bool RemoteCacheBackend::parse_url(const std::string& url, std::string* host,
 
 RemoteCacheBackend::RemoteCacheBackend(const std::string& url,
                                        RemoteCacheOptions options)
-    : url_(url), options_(options) {
+    : url_(url),
+      options_(options),
+      reconnect_backoff_(options.reconnect_backoff_ms,
+                         options.reconnect_backoff_max_ms,
+                         options.jitter_seed != 0
+                             ? options.jitter_seed
+                             : net::default_jitter_seed()),
+      throttle_jitter_(options.jitter_seed != 0
+                           ? options.jitter_seed + 1
+                           : net::default_jitter_seed() ^ 0x5452ull) {
   if (!parse_url(url, &host_, &port_)) {
     throw std::invalid_argument(
         "cache url must be tcp://host:port, got '" + url + "'");
@@ -93,9 +103,11 @@ bool RemoteCacheBackend::ensure_connected_locked() {
   const auto now = std::chrono::steady_clock::now();
   if (ever_connected_ || last_connect_attempt_.time_since_epoch().count() != 0) {
     // Degraded: fail fast inside the backoff window so a down daemon costs
-    // a study one timeout, not one per replicate.
+    // a study one timeout, not one per replicate. The window doubles with
+    // every consecutive failure (jittered) so a long outage is probed ever
+    // more gently — and by every client at a different moment.
     if (now - last_connect_attempt_ <
-        std::chrono::milliseconds(options_.reconnect_backoff_ms)) {
+        std::chrono::milliseconds(current_window_ms_)) {
       return false;
     }
   }
@@ -108,7 +120,13 @@ bool RemoteCacheBackend::ensure_connected_locked() {
   // reconnect_backoff_ms — every subsequent operation would then pay a full
   // connect attempt, exactly what the backoff exists to prevent.
   last_connect_attempt_ = std::chrono::steady_clock::now();
-  if (sock_.valid()) ever_connected_ = true;
+  if (sock_.valid()) {
+    ever_connected_ = true;
+    reconnect_backoff_.reset();
+    current_window_ms_ = 0;
+  } else {
+    current_window_ms_ = reconnect_backoff_.next_ms();
+  }
   return sock_.valid();
 }
 
@@ -124,42 +142,89 @@ void RemoteCacheBackend::drop_connection_for_test() {
   drop_connection_locked();
   // Force the next operation to reconnect immediately, not after backoff.
   last_connect_attempt_ = {};
+  reconnect_backoff_.reset();
+  current_window_ms_ = 0;
+}
+
+void RemoteCacheBackend::note_go_away_locked(std::uint32_t retry_after_ms) {
+  drop_connection_locked();
+  // Arm at least the server's hint: reconnecting sooner would only be
+  // turned away again and burn one of the server's accept slots.
+  last_connect_attempt_ = std::chrono::steady_clock::now();
+  current_window_ms_ = std::max<std::int64_t>(reconnect_backoff_.next_ms(),
+                                              retry_after_ms);
 }
 
 std::optional<RemoteCacheBackend::Rpc> RemoteCacheBackend::rpc(
     Op op, std::string_view body) {
   std::lock_guard<std::mutex> lock(io_mu_);
-  if (!ensure_connected_locked()) return std::nullopt;
-  try {
-    if (!net::send_frame(sock_, static_cast<std::uint8_t>(op), body)) {
-      drop_connection_locked();
-      return std::nullopt;
-    }
-    // A clean boundary timeout (nothing consumed) means the daemon is slow,
-    // not gone — re-await the response instead of tearing the connection
-    // down and re-entering the reconnect backoff with every lease lost.
-    net::RecvFrameResult received;
-    for (int attempt = 0;; ++attempt) {
-      received = net::recv_frame_ex(sock_);
-      if (received.status != net::RecvStatus::kTimeout ||
-          attempt >= options_.io_timeout_retries) {
-        break;
+  for (int throttle_round = 0;; ++throttle_round) {
+    if (!ensure_connected_locked()) return std::nullopt;
+    try {
+      if (!net::send_frame(sock_, static_cast<std::uint8_t>(op), body)) {
+        drop_connection_locked();
+        return std::nullopt;
       }
-    }
-    if (received.status != net::RecvStatus::kFrame ||
-        received.frame.opcode != static_cast<std::uint8_t>(op) ||
-        received.frame.body.empty()) {
+      // A clean boundary timeout (nothing consumed) means the daemon is
+      // slow, not gone — re-await the response instead of tearing the
+      // connection down and re-entering the reconnect backoff with every
+      // lease lost.
+      net::RecvFrameResult received;
+      for (int attempt = 0;; ++attempt) {
+        received = net::recv_frame_ex(sock_);
+        if (received.status != net::RecvStatus::kTimeout ||
+            attempt >= options_.io_timeout_retries) {
+          break;
+        }
+      }
+      if (received.status != net::RecvStatus::kFrame) {
+        drop_connection_locked();
+        return std::nullopt;
+      }
+      if (received.frame.opcode == static_cast<std::uint8_t>(Op::kGoAway)) {
+        // Unsolicited "over capacity": honor the retry hint as a backoff
+        // floor and degrade this operation.
+        std::uint32_t retry_after_ms = options_.reconnect_backoff_ms > 0
+            ? static_cast<std::uint32_t>(options_.reconnect_backoff_ms)
+            : 500;
+        if (received.frame.body.size() >= 1 + sizeof(std::uint32_t)) {
+          std::memcpy(&retry_after_ms, received.frame.body.data() + 1,
+                      sizeof(retry_after_ms));
+        }
+        note_go_away_locked(retry_after_ms);
+        return std::nullopt;
+      }
+      if (received.frame.opcode != static_cast<std::uint8_t>(op) ||
+          received.frame.body.empty()) {
+        drop_connection_locked();
+        return std::nullopt;
+      }
+      Rpc result;
+      result.status = static_cast<Status>(received.frame.body[0]);
+      result.body = received.frame.body.substr(1);
+      if (result.status == Status::kThrottled &&
+          throttle_round < options_.throttle_retries) {
+        // Rate-limited: sleep the server's hint (jittered so N throttled
+        // clients don't resend in phase, clamped so a bogus hint cannot
+        // wedge us) and resend on the same healthy connection.
+        std::uint32_t hint_ms = static_cast<std::uint32_t>(
+            std::max(options_.claim_poll_ms, 1));
+        if (result.body.size() >= sizeof(std::uint32_t)) {
+          std::memcpy(&hint_ms, result.body.data(), sizeof(hint_ms));
+        }
+        const std::int64_t wait_ms = throttle_jitter_.around(
+            std::clamp<std::int64_t>(hint_ms, 1,
+                                     std::max(options_.max_retry_after_ms, 1)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+        continue;
+      }
+      return result;
+    } catch (const serialize::CheckpointError&) {
+      // Malformed frame: protocol violation, not data — drop the
+      // connection.
       drop_connection_locked();
       return std::nullopt;
     }
-    Rpc result;
-    result.status = static_cast<Status>(received.frame.body[0]);
-    result.body = received.frame.body.substr(1);
-    return result;
-  } catch (const serialize::CheckpointError&) {
-    // Malformed frame: protocol violation, not data — drop the connection.
-    drop_connection_locked();
-    return std::nullopt;
   }
 }
 

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/backoff.h"
 #include "net/cache_protocol.h"
 #include "net/socket.h"
 #include "sched/cache_backend.h"
@@ -63,9 +64,23 @@ struct RemoteCacheOptions {
   /// (e.g. storing a large entry), not gone.
   int io_timeout_retries = 2;
   int connect_timeout_ms = 2'000;
-  /// While degraded, at most one reconnect attempt per this interval (the
+  /// While degraded, at most one reconnect attempt per backoff window (the
   /// rest of the window every call fails fast and the study trains on).
+  /// This is the FIRST window; each consecutive failure doubles it up to
+  /// reconnect_backoff_max_ms, and every window is jittered +-50% so a
+  /// fleet that lost its daemon together does not reconnect in lockstep.
   int reconnect_backoff_ms = 500;
+  int reconnect_backoff_max_ms = 8'000;
+  /// Seed of the jitter stream; 0 derives a per-process seed from the pid
+  /// (the production default — it is what decorrelates a fleet). Tests pin
+  /// a nonzero seed for a reproducible schedule.
+  std::uint64_t jitter_seed = 0;
+  /// A kThrottled answer is honored by sleeping its retry_after_ms hint
+  /// (jittered, clamped to max_retry_after_ms) and resending, up to this
+  /// many times per operation; after that the throttled status surfaces to
+  /// the caller, which treats it like any other refusal (miss/failure).
+  int throttle_retries = 3;
+  int max_retry_after_ms = 1'000;
   /// Poll interval of the blocking claim() (the daemon has no server-side
   /// wait queue; polling keeps the one connection free for heartbeats).
   int claim_poll_ms = 50;
@@ -162,10 +177,15 @@ class RemoteCacheBackend final : public CacheBackend {
   };
 
   /// One request/response round-trip. nullopt = degraded (no connection,
-  /// send/recv failure, or protocol violation — connection dropped).
+  /// send/recv failure, kGoAway, or protocol violation — connection
+  /// dropped). A kThrottled answer is retried internally (see
+  /// RemoteCacheOptions::throttle_retries) before surfacing.
   std::optional<Rpc> rpc(net::Op op, std::string_view body);
   bool ensure_connected_locked();
   void drop_connection_locked();
+  /// Records a kGoAway: drop the connection and arm a backoff window of
+  /// at least the server's retry hint.
+  void note_go_away_locked(std::uint32_t retry_after_ms);
 
   /// Best-effort RELEASE; deregisters the lease from the heartbeat set.
   void release_lease(const CellKey& key, std::uint64_t lease_id);
@@ -182,6 +202,11 @@ class RemoteCacheBackend final : public CacheBackend {
   std::chrono::steady_clock::time_point last_connect_attempt_{};
   bool ever_connected_ = false;
   std::int64_t connect_attempts_ = 0;
+  /// Exponential reconnect schedule (guarded by io_mu_). current_window_ms_
+  /// is the jittered wait armed by the LAST failure; 0 = no wait pending.
+  net::Backoff reconnect_backoff_;
+  std::int64_t current_window_ms_ = 0;
+  net::Jitter throttle_jitter_;
 
   /// One held lease: its key plus the TTL the server actually granted
   /// (post-clamp) — heartbeats pace against the granted TTL, never the

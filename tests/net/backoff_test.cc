@@ -1,0 +1,112 @@
+// Backoff + Jitter: the deterministic schedule contract (pin a seed, get
+// the exact same waits), the [0.5, 1.5) jitter envelope, exponential
+// growth to the cap, and reset-on-success — the pieces that keep a fleet
+// of workers from stampeding a recovering daemon in phase.
+#include "net/backoff.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nnr::net {
+namespace {
+
+TEST(JitterTest, StaysInTheHalfToOneAndAHalfEnvelope) {
+  Jitter jitter(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t ms = jitter.around(1000);
+    EXPECT_GE(ms, 500);
+    EXPECT_LT(ms, 1500);
+  }
+}
+
+TEST(JitterTest, SameSeedSameStream) {
+  Jitter a(42);
+  Jitter b(42);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.around(1000), b.around(1000)) << "draw " << i;
+  }
+}
+
+TEST(JitterTest, DifferentSeedsDecorrelate) {
+  Jitter a(1);
+  Jitter b(2);
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.around(1'000'000) == b.around(1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 8) << "two seeds must not walk the same schedule";
+}
+
+TEST(JitterTest, PositiveInputsNeverJitterToZero) {
+  // A 1ms poll jittered to 0 would turn a sleep loop into a busy loop.
+  Jitter jitter(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(jitter.around(1), 1);
+}
+
+TEST(JitterTest, NonPositiveInputsPassThrough) {
+  Jitter jitter(3);
+  EXPECT_EQ(jitter.around(0), 0);
+  EXPECT_EQ(jitter.around(-5), -5);
+}
+
+TEST(JitterTest, DefaultSeedIsStableWithinAProcess) {
+  // Pid-derived, so all we can assert: nonzero and consistent.
+  EXPECT_NE(default_jitter_seed(), 0u);
+  EXPECT_EQ(default_jitter_seed(), default_jitter_seed());
+}
+
+TEST(BackoffTest, WindowsGrowExponentiallyToTheCap) {
+  Backoff backoff(/*base_ms=*/100, /*max_ms=*/800, /*seed=*/7);
+  // Strip the jitter by checking each wait against its window's envelope:
+  // window_i = min(100 << i, 800), wait in [window/2, window*1.5).
+  const std::int64_t windows[] = {100, 200, 400, 800, 800, 800};
+  for (std::size_t i = 0; i < std::size(windows); ++i) {
+    const std::int64_t ms = backoff.next_ms();
+    EXPECT_GE(ms, windows[i] / 2) << "attempt " << i;
+    EXPECT_LT(ms, windows[i] + windows[i] / 2) << "attempt " << i;
+  }
+  EXPECT_EQ(backoff.failures(), 6);
+}
+
+TEST(BackoffTest, ResetSnapsBackToTheBaseWindow) {
+  Backoff backoff(100, 8000, 7);
+  for (int i = 0; i < 5; ++i) (void)backoff.next_ms();
+  backoff.reset();
+  EXPECT_EQ(backoff.failures(), 0);
+  const std::int64_t ms = backoff.next_ms();
+  EXPECT_GE(ms, 50);
+  EXPECT_LT(ms, 150) << "post-reset wait must be a base window again";
+}
+
+TEST(BackoffTest, SameSeedReplaysTheExactSchedule) {
+  Backoff a(50, 8000, 123);
+  Backoff b(50, 8000, 123);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next_ms(), b.next_ms()) << "attempt " << i;
+  }
+}
+
+TEST(BackoffTest, DeepFailureCountsDoNotOverflowTheShift) {
+  Backoff backoff(100, 1000, 1);
+  // Walk past the growth phase (100, 200, 400, 800 windows), then a
+  // hundred more failures — deep counts must neither overflow the shift
+  // nor escape the cap's jitter envelope [cap/2, cap*1.5).
+  for (int i = 0; i < 4; ++i) (void)backoff.next_ms();
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t ms = backoff.next_ms();
+    EXPECT_GE(ms, 500);
+    EXPECT_LT(ms, 1500) << "attempt " << i << " must stay capped";
+  }
+}
+
+TEST(BackoffTest, BaseAboveMaxKeepsTheBaseWindow) {
+  // Callers that configure base > max (the 60s-window regression tests do)
+  // get the base, not a silently clamped-down window.
+  Backoff backoff(60'000, 8'000, 7);
+  const std::int64_t ms = backoff.next_ms();
+  EXPECT_GE(ms, 30'000);
+}
+
+}  // namespace
+}  // namespace nnr::net

@@ -5,6 +5,8 @@
 // never be conflated with a close or a desynchronized stream.
 #include "net/socket.h"
 
+#include <sys/socket.h>
+
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -164,6 +166,45 @@ TEST(SocketTest, SendAllToClosedPeerIsClosedNotGenericError) {
   }
   EXPECT_EQ(status, IoStatus::kClosed)
       << "EPIPE/ECONNRESET must map to kClosed, not a generic failure";
+}
+
+TEST(SocketTest, SendAllMidFrameShortWriteReportsPartialBytes) {
+  // Force the short write: shrink the client's send buffer, never read on
+  // the peer, and push far more than the kernel can queue. SO_SNDTIMEO
+  // then expires mid-send — the caller must learn exactly how many bytes
+  // the kernel accepted, because a partially written frame has
+  // desynchronized the stream and must NOT be retried on this connection.
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/200);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(pair.client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+  const std::string blob(8 * 1024 * 1024, '\x42');
+  std::size_t sent = 0;
+  const IoStatus status = pair.client.send_all(blob.data(), blob.size(), &sent);
+  EXPECT_EQ(status, IoStatus::kTimeout)
+      << "a full send buffer on a blocking socket is SO_SNDTIMEO -> kTimeout";
+  EXPECT_GT(sent, 0u) << "some bytes were accepted before the stall";
+  EXPECT_LT(sent, blob.size()) << "but not all — this is the desync case";
+}
+
+TEST(SocketTest, SendFrameFailsOnShortWriteAndDesyncsTheStream) {
+  // The frame layer's contract: any send_all failure (even kTimeout) is
+  // terminal for the connection. send_frame must report false, and the
+  // bytes already on the wire must not parse as a clean frame.
+  SocketPair pair = make_pair_on_loopback(/*io_timeout_ms=*/200);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(pair.client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+  const std::string body(8 * 1024 * 1024, '\x5A');
+  EXPECT_FALSE(send_frame(pair.client, /*opcode=*/7, body));
+  // The receiver sees a truncated frame: the length prefix arrived but the
+  // payload can never complete — kError (desync), never a clean frame and
+  // never the retryable boundary timeout. (accept_conn sockets have no
+  // timeout by default; bound the wait so the desync surfaces.)
+  pair.server.set_io_timeout_ms(300);
+  EXPECT_EQ(recv_frame_ex(pair.server).status, RecvStatus::kError);
 }
 
 TEST(SocketTest, RecvFrameExDistinguishesTimeoutFromCloseAndDesync) {

@@ -54,11 +54,18 @@ class ServerHandle {
     CacheServerConfig config;
     config.dir = dir;
     config.port = port;
+    return start(std::move(config));
+  }
+
+  /// Full-config start for the overload/chaos tests.
+  bool start(CacheServerConfig config) {
     server_ = std::make_unique<CacheServer>(std::move(config));
     if (!server_->start()) return false;
     thread_ = std::thread([this] { server_->run(); });
     return true;
   }
+
+  [[nodiscard]] CacheServer& server() { return *server_; }
 
   [[nodiscard]] std::uint16_t port() const { return server_->port(); }
 
@@ -237,6 +244,57 @@ TEST_F(FleetServerTest, MalformedFleetBodiesCostTheConnectionNotTheDaemon) {
   }
 }
 
+TEST_F(FleetServerTest, MalformedBodySweepDropsOffenderNotHealthyClients) {
+  // Every opcode that requires a body, fed a 1-byte body: the daemon must
+  // drop exactly the offending connection — and a healthy client working
+  // concurrently must never notice.
+  const net::Op body_ops[] = {
+      net::Op::kGet,     net::Op::kPut,    net::Op::kTryClaim,
+      net::Op::kRelease, net::Op::kHeartbeat, net::Op::kSubmit,
+      net::Op::kFetch,   net::Op::kReport,
+  };
+  auto healthy = client();
+  for (const net::Op op : body_ops) {
+    net::Socket sock = raw_conn();
+    ASSERT_TRUE(net::send_frame(sock, static_cast<std::uint8_t>(op),
+                                std::string("\x01", 1)))
+        << "op " << static_cast<int>(op);
+    EXPECT_FALSE(net::recv_frame(sock).has_value())
+        << "op " << static_cast<int>(op)
+        << ": a truncated body must cost the connection, never get an answer";
+    EXPECT_TRUE(healthy->ping())
+        << "op " << static_cast<int>(op)
+        << ": the healthy client must survive the offender";
+  }
+}
+
+TEST_F(FleetServerTest, GarbageLengthPrefixesDropTheConnection) {
+  // Below the frame layer: raw length prefixes the daemon must refuse to
+  // allocate for. Oversized says "I will send 64MB+1" (a memory bomb);
+  // tiny says "3 bytes" (can't even hold the magic). Either way: drop.
+  struct Case {
+    std::uint32_t len;
+    const char* what;
+  };
+  const Case cases[] = {
+      {net::kMaxFrameBytes + 1, "oversized length (allocation bomb)"},
+      {3, "length below the minimum payload"},
+      {0, "zero length"},
+      {0xFFFF'FFFFu, "UINT32_MAX length"},
+  };
+  auto healthy = client();
+  for (const Case& c : cases) {
+    net::Socket sock = raw_conn();
+    ASSERT_EQ(sock.send_all(&c.len, sizeof(c.len)), net::IoStatus::kOk)
+        << c.what;
+    // The daemon must close without ever answering…
+    char byte = 0;
+    EXPECT_EQ(sock.recv_exact(&byte, 1), net::IoStatus::kClosed) << c.what;
+    // …and without reserving 4GB or dying.
+    EXPECT_TRUE(healthy->ping()) << c.what << " must not kill the daemon";
+  }
+}
+
 TEST_F(FleetServerTest, DroppedWorkerConnectionRequeuesItsCell) {
   auto backend = client();
   ASSERT_TRUE(backend->fleet_submit(grid(1)).has_value());
@@ -365,6 +423,40 @@ TEST_F(FleetServerTest, ReconnectBackoffCostsOneAttemptPerWindow) {
   EXPECT_EQ(backend->connect_attempts_for_test(), 1)
       << "10 operations inside one backoff window must share one connect "
          "attempt";
+}
+
+TEST_F(FleetServerTest, ReconnectWindowsGrowExponentiallyWithBoundedAttempts) {
+  // The down-daemon probe schedule: windows double (base, 2x, 4x, capped)
+  // and each window costs exactly one attempt no matter how many
+  // operations land inside it. Over ~1.2s with base=100 cap=800 the
+  // attempt count is bounded by the schedule, not by the operation rate.
+  const std::uint16_t dead_port = server_.port();
+  server_.stop();
+  RemoteCacheOptions options = fast_options();
+  options.reconnect_backoff_ms = 100;
+  options.reconnect_backoff_max_ms = 800;
+  options.jitter_seed = 7;  // pinned: the schedule is reproducible
+  auto backend = std::make_unique<RemoteCacheBackend>(
+      "tcp://127.0.0.1:" + std::to_string(dead_port), options);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(1200);
+  int operations = 0;
+  while (Clock::now() < deadline) {
+    (void)backend->fleet_queue_stat();
+    ++operations;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Worst case with jitter 0.5x: windows 50, 100, 200, 400, 400... — at
+  // most ~7 attempts fit in 1.2s; far fewer than the ~100 operations.
+  EXPECT_GE(operations, 20);
+  EXPECT_GE(backend->connect_attempts_for_test(), 2)
+      << "growth must still probe more than once over 1.2s";
+  EXPECT_LE(backend->connect_attempts_for_test(), 8)
+      << "every operation must NOT retry the connect";
+  // A pinned seed replays the exact same schedule.
+  auto replay = std::make_unique<RemoteCacheBackend>(
+      "tcp://127.0.0.1:" + std::to_string(dead_port), options);
+  (void)replay->fleet_queue_stat();
+  EXPECT_EQ(replay->connect_attempts_for_test(), 1);
 }
 
 }  // namespace

@@ -41,6 +41,17 @@ constexpr const char* kUsage = R"(nnr_cached: remote replicate-cache daemon
                   0 = unlimited)
   --ttl-ms N      default/maximum-by-default claim lease TTL in ms; a dead
                   client's claim expires within this (default: 10000)
+  --max-conns N   connection cap; excess accepts are answered with one
+                  GO_AWAY(busy + retry hint) frame and closed (default:
+                  256; 0 = unlimited)
+  --idle-ms N     evict a connection that delivers no bytes for N ms — the
+                  slow-loris defense; healthy clients reconnect
+                  transparently (default: 60000; 0 = never)
+  --max-rps N     per-connection token-bucket limit: sustained requests/s
+                  above N are answered THROTTLED with a retry-after hint
+                  (default: 0 = unlimited)
+  --drain-ms N    graceful-shutdown bound on flushing queued responses at
+                  SIGTERM/SIGINT (default: 2000)
   --help          this text
 
 Protocol, claim-lease lifecycle, and deployment notes: ARCHITECTURE.md and
@@ -75,6 +86,11 @@ std::int64_t parse_int_flag(const char* flag, const char* text) {
 int main(int argc, char** argv) {
   nnr::sched::CacheServerConfig config;
   config.port = 9776;
+  // The deployed daemon defends itself by default; the library defaults
+  // stay off so in-process test servers are unconstrained unless a test
+  // opts in.
+  config.max_conns = 256;
+  config.idle_timeout_ms = 60'000;
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_error("flag needs a value");
     return argv[++i];
@@ -104,6 +120,22 @@ int main(int argc, char** argv) {
       config.default_ttl_ms = static_cast<std::uint32_t>(ttl);
       config.max_ttl_ms =
           std::max(config.max_ttl_ms, config.default_ttl_ms);
+    } else if (arg == "--max-conns") {
+      const std::int64_t cap = parse_int_flag("--max-conns", next_value(i));
+      if (cap < 0) usage_error("--max-conns must be >= 0");
+      config.max_conns = static_cast<std::size_t>(cap);
+    } else if (arg == "--idle-ms") {
+      const std::int64_t idle = parse_int_flag("--idle-ms", next_value(i));
+      if (idle < 0) usage_error("--idle-ms must be >= 0");
+      config.idle_timeout_ms = idle;
+    } else if (arg == "--max-rps") {
+      const std::int64_t rps = parse_int_flag("--max-rps", next_value(i));
+      if (rps < 0) usage_error("--max-rps must be >= 0");
+      config.max_rps = static_cast<double>(rps);
+    } else if (arg == "--drain-ms") {
+      const std::int64_t drain = parse_int_flag("--drain-ms", next_value(i));
+      if (drain < 0) usage_error("--drain-ms must be >= 0");
+      config.drain_timeout_ms = drain;
     } else {
       usage_error("unknown flag");
     }

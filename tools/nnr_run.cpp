@@ -23,6 +23,7 @@
 //   nnr_run --worker --cache-url tcp://cachehost:9776
 //   nnr_run --list
 //   nnr_run --task resnet18_c100 --all-variants --csv
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/env.h"
@@ -623,8 +625,17 @@ int run_fleet_submit_mode(const Options& opts) {
     usage_error(error.what());
   }
   // Unlike caching (where an unreachable daemon degrades to local compute),
-  // the coordinator's entire job is the daemon — fail loudly up front.
-  if (!backend->ping()) {
+  // the coordinator's entire job is the daemon — fail loudly up front. A
+  // few retries first, so one lost frame on a flaky link (or a daemon a
+  // beat behind its supervisor) doesn't abort the wave before it starts.
+  bool reachable = false;
+  for (int attempt = 0; attempt < 5 && !reachable; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    reachable = backend->ping();
+  }
+  if (!reachable) {
     std::fprintf(stderr, "nnr_run: --submit: no nnr_cached daemon at %s\n",
                  opts.cache_url.c_str());
     return 1;
