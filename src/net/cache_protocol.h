@@ -28,9 +28,11 @@
 //                                             | i64 bytes
 //   kSubmit     u32 count, then count x:      kOk: u64 enqueued | u64 dups
 //               u64 hi | u64 lo                    | u64 already_done
-//               | u32 study_len
-//               | study bytes[study_len]
-//               | u32 cell | u32 replicate
+//               | u32 study_len               kBusy: u32 retry_after_ms
+//               | study bytes[study_len]      (the daemon is draining for
+//               | u32 cell | u32 replicate    shutdown: nothing was
+//                                             enqueued — resubmit after the
+//                                             hint, to the restarted daemon)
 //   kFetch      u32 ttl_ms                    kGranted: u64 lease_id
 //                                               | u32 granted_ttl_ms
 //                                               | u64 hi | u64 lo
@@ -57,6 +59,15 @@
 //               the server closes the connection. A client that receives
 //               it anywhere treats the connection as gone and backs off
 //               at least retry_after_ms before reconnecting)
+//   kShardInfo  (empty)                       kOk: u64 instance_id
+//                                             | u64 dir_uid | u64 boot_epoch
+//               (shard identity, for the sharded client's dir-disjointness
+//               check: instance_id is random per daemon process, dir_uid is
+//               persisted inside the cache directory at first start and
+//               survives restarts, boot_epoch increments per daemon start
+//               on that directory. Two shard slots reporting one dir_uid
+//               means two daemons share a directory — a misconfigured shard
+//               map. Old daemons answer kError: feature absent)
 //
 // Overload responses: a rate-limited request is answered with its own
 // opcode and a kThrottled status whose body is `u32 retry_after_ms` — the
@@ -103,6 +114,9 @@ enum class Op : std::uint8_t {
   /// Server -> client only: "I am over capacity, go away" (new-opcode
   /// rule: an old client fails to match it to a request and degrades).
   kGoAway = 13,
+  /// Shard identity for the sharded cache tier's dir-disjointness check
+  /// (added within version 1; old servers answer kError).
+  kShardInfo = 14,
 };
 
 /// REPORT's one-byte outcome field.

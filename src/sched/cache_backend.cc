@@ -6,6 +6,7 @@
 #include "core/env.h"
 #include "sched/fs_cache_backend.h"
 #include "sched/remote_cache_backend.h"
+#include "sched/sharded_cache_backend.h"
 
 namespace nnr::sched {
 
@@ -16,18 +17,7 @@ std::string env_string(const char* name) {
   return value != nullptr ? value : "";
 }
 
-}  // namespace
-
-CacheConfig cache_config_from_env() {
-  CacheConfig config;
-  config.dir = env_string("NNR_CACHE_DIR");
-  config.url = env_string("NNR_CACHE_URL");
-  config.budget = core::env_int("NNR_CACHE_BUDGET", 0);
-  return config;
-}
-
-std::unique_ptr<RemoteCacheBackend> make_remote_cache_backend(
-    const std::string& url) {
+RemoteCacheOptions remote_cache_options_from_env() {
   RemoteCacheOptions options;
   const std::int64_t ttl = core::env_int("NNR_CACHE_LEASE_MS", 0);
   if (ttl > 0) options.lease_ttl_ms = static_cast<std::uint32_t>(ttl);
@@ -46,12 +36,45 @@ std::unique_ptr<RemoteCacheBackend> make_remote_cache_backend(
   if (backoff_max_ms > 0) {
     options.reconnect_backoff_max_ms = static_cast<int>(backoff_max_ms);
   }
-  return std::make_unique<RemoteCacheBackend>(url, options);
+  return options;
+}
+
+}  // namespace
+
+CacheConfig cache_config_from_env() {
+  CacheConfig config;
+  config.dir = env_string("NNR_CACHE_DIR");
+  config.url = env_string("NNR_CACHE_URL");
+  config.budget = core::env_int("NNR_CACHE_BUDGET", 0);
+  return config;
+}
+
+std::unique_ptr<RemoteCacheBackend> make_remote_cache_backend(
+    const std::string& url) {
+  return std::make_unique<RemoteCacheBackend>(url,
+                                              remote_cache_options_from_env());
+}
+
+std::unique_ptr<ShardedCacheBackend> make_sharded_cache_backend(
+    const std::vector<std::string>& urls) {
+  ShardedCacheOptions options;
+  options.remote = remote_cache_options_from_env();
+  // The probe schedule for a down shard reuses the reconnect knobs: both
+  // answer "how eagerly may a client pester a daemon that just vanished".
+  options.probe_backoff_ms = options.remote.reconnect_backoff_ms;
+  options.probe_backoff_max_ms = options.remote.reconnect_backoff_max_ms;
+  return std::make_unique<ShardedCacheBackend>(urls, options);
 }
 
 std::unique_ptr<CacheBackend> make_cache_backend(const CacheConfig& config) {
   if (!config.url.empty()) {
-    return make_remote_cache_backend(config.url);
+    const std::vector<std::string> urls = split_cache_urls(config.url);
+    if (urls.empty()) {
+      throw std::invalid_argument("cache url list '" + config.url +
+                                  "' contains no urls");
+    }
+    if (urls.size() > 1) return make_sharded_cache_backend(urls);
+    return make_remote_cache_backend(urls[0]);
   }
   if (!config.dir.empty()) {
     return std::make_unique<FsCacheBackend>(config.dir, config.budget);

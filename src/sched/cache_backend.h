@@ -135,10 +135,13 @@ class CacheBackend {
 
 /// Where a run's cache lives. `url` non-empty selects the remote backend
 /// (and `dir` is ignored); otherwise `dir` non-empty selects the
-/// filesystem backend; both empty means no cache.
+/// filesystem backend; both empty means no cache. A comma-separated `url`
+/// (tcp://h1:p1,tcp://h2:p2,...) selects the sharded tier
+/// (sched/sharded_cache_backend.h) routing keys across the listed daemons.
 struct CacheConfig {
   std::string dir;           // NNR_CACHE_DIR / --cache-dir
-  std::string url;           // NNR_CACHE_URL / --cache-url (tcp://host:port)
+  std::string url;           // NNR_CACHE_URL / --cache-url (tcp://host:port
+                             // or a comma-separated shard map)
   std::int64_t budget = 0;   // NNR_CACHE_BUDGET / --cache-budget; 0 = none
 };
 

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <random>
 #include <system_error>
 #include <thread>
 #include <vector>
@@ -42,6 +44,13 @@ CellKey read_key(BodyReader& r) {
   key.hi = r.get<std::uint64_t>();
   key.lo = r.get<std::uint64_t>();
   return key;
+}
+
+std::uint64_t random_identity() {
+  std::random_device rd;
+  std::uint64_t v = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  if (v == 0) v = 1;  // 0 is the "unset" sentinel
+  return v;
 }
 
 }  // namespace
@@ -78,6 +87,7 @@ bool CacheServer::start() {
   // Restore the fleet queue a previous daemon left behind: pending cells
   // survive a restart, in-flight leases revert to pending.
   queue_.load();
+  load_or_create_shard_identity();
   if (!listener_.listen_on(config_.bind_addr, config_.port)) return false;
   port_ = listener_.port();
   int pipe_fds[2];
@@ -94,6 +104,32 @@ bool CacheServer::start() {
   }
   ev.data.fd = wake_read_fd_;
   return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) == 0;
+}
+
+void CacheServer::load_or_create_shard_identity() {
+  instance_id_ = random_identity();
+  const std::filesystem::path path =
+      std::filesystem::path(config_.dir) / "shard_id.nnr";
+  std::uint64_t uid = 0;
+  std::uint64_t epoch = 0;
+  {
+    std::ifstream in(path);
+    std::string tag;
+    if (in >> tag >> uid && tag == "uid" && in >> tag >> epoch &&
+        tag == "epoch" && uid != 0) {
+      // parsed an existing identity
+    } else {
+      uid = 0;  // absent or unparseable: mint a fresh identity below
+    }
+  }
+  if (uid == 0) {
+    uid = random_identity();
+    epoch = 0;
+  }
+  dir_uid_ = uid;
+  boot_epoch_ = epoch + 1;
+  std::ofstream out(path, std::ios::trunc);
+  out << "uid " << dir_uid_ << "\nepoch " << boot_epoch_ << "\n";
 }
 
 void CacheServer::stop() noexcept {
@@ -331,6 +367,19 @@ void CacheServer::release_conn_leases(std::uint64_t conn_id) {
 }
 
 void CacheServer::drain_and_shutdown() {
+  draining_ = true;
+  // 0. One final read pass: a request that raced the shutdown (bytes
+  //    already in a kernel buffer, or a connection accepted in the same
+  //    epoll batch as the stop wakeup) is answered rather than silently
+  //    dropped. With draining_ set, a kSubmit read here gets kBusy + retry
+  //    hint instead of landing in the queue being closed.
+  {
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns_) {
+      if (!service_readable(*conn)) dead.push_back(fd);
+    }
+    for (const int fd : dead) close_conn(fd);
+  }
   // 1. Flush responses already queued (a worker mid-RPC should get its
   //    answer, not a cut wire) — bounded, because a stalled peer must not
   //    be able to hold SIGTERM hostage.
@@ -523,6 +572,18 @@ void CacheServer::handle_frame(Conn& conn, std::uint8_t opcode,
       break;
     }
     case Op::kSubmit: {
+      if (draining_) {
+        // The queue is about to be persisted-and-closed: accepting new
+        // items now would strand them in a snapshot nobody re-reads until
+        // restart, with the submitter believing they were accepted live.
+        // Refuse with a retry hint — the resubmit lands on the restarted
+        // daemon.
+        BodyWriter w;
+        w.put(static_cast<std::uint8_t>(Status::kBusy));
+        w.put(config_.busy_retry_ms);
+        resp = w.take();
+        break;
+      }
       const auto count = r.get<std::uint32_t>();
       std::vector<FleetWorkItem> items;
       // No blind reserve(count): the count is client-supplied; truncated
@@ -620,6 +681,15 @@ void CacheServer::handle_frame(Conn& conn, std::uint8_t opcode,
       w.put(static_cast<std::uint8_t>(Status::kOk));
       w.put(qs.done);
       w.put(qs.total);
+      resp = w.take();
+      break;
+    }
+    case Op::kShardInfo: {
+      BodyWriter w;
+      w.put(static_cast<std::uint8_t>(Status::kOk));
+      w.put(instance_id_);
+      w.put(dir_uid_);
+      w.put(boot_epoch_);
       resp = w.take();
       break;
     }

@@ -155,6 +155,11 @@ class CacheServer {
   };
 
   void accept_new_conns();
+  /// Reads (or creates) `<dir>/shard_id.nnr`: dir_uid_ persists across
+  /// restarts, boot_epoch_ increments per start, instance_id_ is random
+  /// per process. Together these answer kShardInfo so a sharded client can
+  /// prove its shard map is dir-disjoint.
+  void load_or_create_shard_identity();
   /// Reads what's available; parses and handles complete frames. False
   /// when the connection should be closed.
   bool service_readable(Conn& conn);
@@ -188,6 +193,14 @@ class CacheServer {
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   bool stop_requested_ = false;
+  /// True inside drain_and_shutdown(): a kSubmit read during the final
+  /// drain pass is answered kBusy + retry hint instead of enqueued into a
+  /// queue about to be persisted-and-closed.
+  bool draining_ = false;
+  // Shard identity (kShardInfo): see load_or_create_shard_identity().
+  std::uint64_t instance_id_ = 0;
+  std::uint64_t dir_uid_ = 0;
+  std::uint64_t boot_epoch_ = 0;
   std::uint64_t next_conn_id_ = 1;
   std::uint64_t next_lease_id_ = 1;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;       // by fd

@@ -29,6 +29,7 @@
 
 namespace nnr::sched {
 
+class CacheBackend;
 class RemoteCacheBackend;
 
 struct FleetSubmitOptions {
@@ -87,6 +88,14 @@ struct FleetWorkerOptions {
   /// attempts and retraining the cell elsewhere.
   std::int64_t store_retries = 3;
   std::int64_t store_retry_ms = 200;
+  /// A failed REPORT RPC is retried this many times (jittered
+  /// store_retry_ms apart). In a single-daemon deployment a lost REPORT is
+  /// benign — the PUT already settled the item on the same daemon — but
+  /// with a sharded cache tier the queue daemon never sees a PUT bound for
+  /// another shard, so REPORT is the only settlement path and a dropped
+  /// frame must cost a retry, not the cell's exactly-once tally (the
+  /// lease would expire and another worker would redo the cell as served).
+  std::int64_t report_retries = 3;
   /// Seed of the jitter stream; 0 = pid-derived (production default).
   std::uint64_t jitter_seed = 0;
 };
@@ -100,7 +109,15 @@ struct FleetWorkerSummary {
 
 /// The worker loop. Returns when the queue drains (see
 /// FleetWorkerOptions::exit_when_drained) or max_cells is reached.
+///
+/// `backend` carries the queue RPCs (FETCH/REPORT) — under a sharded cache
+/// tier the work queue lives on ONE daemon (the first shard in the map).
+/// `cache`, when non-null, carries the entry traffic (load before train,
+/// PUT after) so results land on each key's owner shard; null routes entry
+/// traffic through `backend` too (the single-daemon deployment, where the
+/// queue daemon IS the cache).
 FleetWorkerSummary fleet_run_worker(RemoteCacheBackend& backend,
-                                    const FleetWorkerOptions& options = {});
+                                    const FleetWorkerOptions& options = {},
+                                    CacheBackend* cache = nullptr);
 
 }  // namespace nnr::sched

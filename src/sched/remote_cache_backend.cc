@@ -146,6 +146,29 @@ void RemoteCacheBackend::drop_connection_for_test() {
   current_window_ms_ = 0;
 }
 
+bool RemoteCacheBackend::connected() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return sock_.valid();
+}
+
+void RemoteCacheBackend::disconnect() {
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    drop_connection_locked();
+    last_connect_attempt_ = {};
+    ever_connected_ = false;
+    reconnect_backoff_.reset();
+    current_window_ms_ = 0;
+  }
+  {
+    // The daemon releases our leases when it sees the FIN; heartbeating
+    // them over the next connection would only collect kGone answers.
+    std::lock_guard<std::mutex> lock(lease_mu_);
+    leases_.clear();
+  }
+  hb_cv_.notify_all();
+}
+
 void RemoteCacheBackend::note_go_away_locked(std::uint32_t retry_after_ms) {
   drop_connection_locked();
   // Arm at least the server's hint: reconnecting sooner would only be
@@ -417,6 +440,21 @@ CacheStats RemoteCacheBackend::stats() const {
 bool RemoteCacheBackend::ping() {
   auto reply = rpc(Op::kPing, {});
   return reply.has_value() && reply->status == Status::kOk;
+}
+
+std::optional<RemoteCacheBackend::ShardInfo> RemoteCacheBackend::shard_info() {
+  auto reply = rpc(Op::kShardInfo, {});
+  if (!reply.has_value() || reply->status != Status::kOk) return std::nullopt;
+  try {
+    BodyReader r(reply->body);
+    ShardInfo info;
+    info.instance_id = r.get<std::uint64_t>();
+    info.dir_uid = r.get<std::uint64_t>();
+    info.boot_epoch = r.get<std::uint64_t>();
+    return info;
+  } catch (const net::ProtocolError&) {
+    return std::nullopt;
+  }
 }
 
 std::optional<RemoteCacheBackend::FleetSubmitAck>

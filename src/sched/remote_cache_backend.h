@@ -116,6 +116,35 @@ class RemoteCacheBackend final : public CacheBackend {
   /// (re)connect. Used by tools for a startup health check.
   [[nodiscard]] bool ping();
 
+  /// True when a TCP connection is currently established (no I/O — just a
+  /// socket check). The sharded composite uses this after a delegated
+  /// operation to decide whether a miss was "daemon says miss" (connection
+  /// up) or "daemon unreachable" (mark the shard down).
+  [[nodiscard]] bool connected() const;
+
+  /// Explicit teardown with a FULL per-connection state reset: closes the
+  /// socket and clears the reconnect backoff, its armed window, the
+  /// last-attempt stamp, and the heartbeat set (held leases — the daemon
+  /// releases them on our FIN, so renewing them over a fresh connection
+  /// would only harvest kGone). The next operation connects immediately,
+  /// as if the backend were newly constructed. This is what shard-level
+  /// health cycling needs: a probe after an outage must actually attempt
+  /// the connect, not fail fast inside a stale backoff window. Contrast
+  /// drop_connection_for_test(), which simulates a vanished client and
+  /// deliberately leaves the lease set intact.
+  void disconnect();
+
+  /// Answer to kShardInfo (shard identity, for the sharded client's
+  /// dir-disjointness check). nullopt: daemon unreachable, or an older
+  /// daemon answering kError ("feature absent" — the caller skips the
+  /// check rather than failing the study).
+  struct ShardInfo {
+    std::uint64_t instance_id = 0;
+    std::uint64_t dir_uid = 0;
+    std::uint64_t boot_epoch = 0;
+  };
+  [[nodiscard]] std::optional<ShardInfo> shard_info();
+
   // ---- Fleet work queue (SUBMIT/FETCH/REPORT/QUEUE_STAT) ----
   // Thin RPC wrappers over the queue opcodes; the coordinator/worker loops
   // that drive them live in sched/fleet_client.h. All return nullopt when

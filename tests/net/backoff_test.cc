@@ -4,6 +4,7 @@
 // of workers from stampeding a recovering daemon in phase.
 #include "net/backoff.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +19,38 @@ TEST(JitterTest, StaysInTheHalfToOneAndAHalfEnvelope) {
     EXPECT_GE(ms, 500);
     EXPECT_LT(ms, 1500);
   }
+}
+
+TEST(JitterTest, EnvelopeHoldsAcrossBases) {
+  // The ±50% contract is not a property of one magic base: sweep from a
+  // 1ms poll to a day-long wait. No draw may escape [base/2, base*1.5)
+  // (with the never-zero floor at tiny bases).
+  Jitter jitter(11);
+  const std::int64_t bases[] = {1, 3, 10, 500, 1000, 60'000, 86'400'000};
+  for (const std::int64_t base : bases) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::int64_t ms = jitter.around(base);
+      EXPECT_GE(ms, std::max<std::int64_t>(base / 2, 1))
+          << "base " << base << " draw " << i;
+      EXPECT_LE(ms, base + base / 2) << "base " << base << " draw " << i;
+    }
+  }
+}
+
+TEST(JitterTest, DrawsCoverTheWholeEnvelopeNotJustItsCenter) {
+  // A jitter that clusters (say, ±5% implemented as ±50%) still passes the
+  // envelope test but fails to decorrelate a fleet. Over 10k draws the
+  // observed range must reach into both envelope tails.
+  Jitter jitter(13);
+  std::int64_t lo = 1'500;
+  std::int64_t hi = 500;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t ms = jitter.around(1000);
+    lo = std::min(lo, ms);
+    hi = std::max(hi, ms);
+  }
+  EXPECT_LT(lo, 600) << "no draw landed in the low tail";
+  EXPECT_GT(hi, 1400) << "no draw landed in the high tail";
 }
 
 TEST(JitterTest, SameSeedSameStream) {

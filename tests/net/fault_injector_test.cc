@@ -69,6 +69,83 @@ TEST(FaultSpecTest, MalformedSpecsAreRejectedNotGuessed) {
   }
 }
 
+// ------------------------------------------------------------ round-trip
+
+/// parse(to_string(spec)) must reproduce every effective field — the law
+/// that makes a logged spec replayable verbatim.
+void expect_round_trips(const FaultSpec& spec) {
+  const std::string text = spec.to_string();
+  const auto back = FaultSpec::parse(text);
+  ASSERT_TRUE(back.has_value()) << "to_string produced an unparseable spec: '"
+                                << text << "'";
+  EXPECT_DOUBLE_EQ(back->drop, spec.drop) << text;
+  EXPECT_DOUBLE_EQ(back->corrupt, spec.corrupt) << text;
+  EXPECT_DOUBLE_EQ(back->reset, spec.reset) << text;
+  EXPECT_EQ(back->seed, spec.seed) << text;
+  // Delay is effective only when it can fire; an ineffective delay may
+  // canonicalize away entirely.
+  if (spec.delay_prob > 0.0 && spec.delay_ms > 0) {
+    EXPECT_EQ(back->delay_ms, spec.delay_ms) << text;
+    EXPECT_DOUBLE_EQ(back->delay_prob, spec.delay_prob) << text;
+  } else {
+    EXPECT_FALSE(back->delay_prob > 0.0 && back->delay_ms > 0) << text;
+  }
+  // And the canonical form is a fixed point: one more trip is identity.
+  EXPECT_EQ(back->to_string(), text);
+}
+
+TEST(FaultSpecTest, ToStringRoundTripsParsedSpecs) {
+  const char* specs[] = {
+      "drop=0.05,delay_ms=20:0.10,corrupt=0.02,reset=0.02,seed=7",
+      "drop=0.1",
+      "delay_ms=5",           // bare delay: probability 1
+      "delay_ms=20:0.333333", // six decimals survive the trip
+      "reset=1",              // certain fault
+      "seed=18446744073709551615",  // max u64 seed
+      "",                     // no-fault spec
+  };
+  for (const char* text : specs) {
+    const auto spec = FaultSpec::parse(text);
+    ASSERT_TRUE(spec.has_value()) << text;
+    expect_round_trips(*spec);
+  }
+}
+
+TEST(FaultSpecTest, ToStringEmitsOnlyEffectiveFields) {
+  EXPECT_EQ(FaultSpec{}.to_string(), "") << "all-defaults prints empty";
+
+  FaultSpec ineffective;
+  ineffective.delay_ms = 50;  // delay_prob stays 0: can never fire
+  ineffective.seed = 0;       // the default seed disappears too
+  EXPECT_EQ(ineffective.to_string(), "");
+
+  FaultSpec certain_delay;
+  certain_delay.delay_prob = 1.0;
+  certain_delay.delay_ms = 20;
+  EXPECT_EQ(certain_delay.to_string(), "delay_ms=20")
+      << "probability 1 is the bare-delay form, not delay_ms=20:1";
+
+  FaultSpec mixed;
+  mixed.drop = 0.5;
+  mixed.reset = 0.0;  // zero-probability faults are omitted
+  mixed.seed = 9;
+  EXPECT_EQ(mixed.to_string(), "drop=0.5,seed=9");
+  expect_round_trips(mixed);
+}
+
+TEST(FaultSpecTest, ToStringOfHandBuiltSpecsRoundTrips) {
+  FaultSpec spec;
+  spec.drop = 0.125;
+  spec.corrupt = 0.0625;
+  spec.reset = 0.25;
+  spec.delay_prob = 0.5;
+  spec.delay_ms = 7;
+  spec.seed = 0xFEED;
+  expect_round_trips(spec);
+  EXPECT_EQ(spec.to_string(),
+            "drop=0.125,corrupt=0.0625,reset=0.25,delay_ms=7:0.5,seed=65261");
+}
+
 // ----------------------------------------------------------- determinism
 
 FaultSpec chaos_spec(std::uint64_t seed) {

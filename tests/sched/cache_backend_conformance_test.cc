@@ -1,9 +1,10 @@
 // Backend-conformance suite: the SAME fixture runs against FsCacheBackend
-// (a temp directory) and RemoteCacheBackend (an in-process CacheServer on
-// an ephemeral loopback port), so the CacheBackend contract —
-// load/store/claim semantics, per-run stats deltas, and the
+// (a temp directory), RemoteCacheBackend (an in-process CacheServer on an
+// ephemeral loopback port), and ShardedCacheBackend (two and three
+// in-process daemons, each with its own directory), so the CacheBackend
+// contract — load/store/claim semantics, per-run stats deltas, and the
 // corrupt-payload-degrades-to-recompute policy — cannot drift between the
-// local and the remote implementation.
+// local, the remote, and the sharded implementation.
 //
 // Remote-only behavior gets its own fixture below: lease TTL expiry
 // without heartbeats, heartbeat keepalive, release-on-disconnect (both the
@@ -33,6 +34,7 @@
 #include "sched/cache_server.h"
 #include "sched/fs_cache_backend.h"
 #include "sched/remote_cache_backend.h"
+#include "sched/sharded_cache_backend.h"
 
 namespace nnr::sched {
 namespace {
@@ -101,7 +103,16 @@ class ServerHandle {
   std::thread thread_;
 };
 
-enum class BackendKind { kFs, kRemote };
+enum class BackendKind { kFs, kRemote, kSharded2, kSharded3 };
+
+/// Number of shard daemons a parameter stands up (0 = not sharded).
+int shards_for(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSharded2: return 2;
+    case BackendKind::kSharded3: return 3;
+    default: return 0;
+  }
+}
 
 class CacheBackendConformance
     : public ::testing::TestWithParam<BackendKind> {
@@ -116,6 +127,11 @@ class CacheBackendConformance
     if (GetParam() == BackendKind::kRemote) {
       ASSERT_TRUE(server_.start(dir_.string()));
     }
+    for (int i = 0; i < shards_for(GetParam()); ++i) {
+      auto shard = std::make_unique<ServerHandle>();
+      ASSERT_TRUE(shard->start(shard_dir(i).string()));
+      shard_servers_.push_back(std::move(shard));
+    }
     backend_ = make_client();
     ASSERT_NE(backend_, nullptr);
   }
@@ -123,7 +139,21 @@ class CacheBackendConformance
   void TearDown() override {
     backend_.reset();
     server_.stop();
+    shard_servers_.clear();
     fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] fs::path shard_dir(int index) const {
+    return dir_ / ("shard" + std::to_string(index));
+  }
+
+  [[nodiscard]] std::vector<std::string> shard_urls() const {
+    std::vector<std::string> urls;
+    urls.reserve(shard_servers_.size());
+    for (const auto& shard : shard_servers_) {
+      urls.push_back("tcp://127.0.0.1:" + std::to_string(shard->port()));
+    }
+    return urls;
   }
 
   /// A backend instance, as one client/process would hold it. Call twice
@@ -132,19 +162,37 @@ class CacheBackendConformance
     if (GetParam() == BackendKind::kFs) {
       return std::make_unique<FsCacheBackend>(dir_.string());
     }
-    return std::make_unique<RemoteCacheBackend>(
-        "tcp://127.0.0.1:" + std::to_string(server_.port()),
-        fast_client_options());
+    if (GetParam() == BackendKind::kRemote) {
+      return std::make_unique<RemoteCacheBackend>(
+          "tcp://127.0.0.1:" + std::to_string(server_.port()),
+          fast_client_options());
+    }
+    ShardedCacheOptions options;
+    options.remote = fast_client_options();
+    options.jitter_seed = 0x5EED;  // pinned: reproducible probe schedule
+    return std::make_unique<ShardedCacheBackend>(shard_urls(), options);
   }
 
-  /// On-disk entry path (both backends ultimately share the directory
-  /// format; for remote, the daemon owns the directory).
+  /// On-disk entry path (all backends ultimately share the directory
+  /// format; for remote/sharded, the owning daemon holds the directory).
+  /// Sharded resolves the key's owner shard first — the same rendezvous
+  /// routing the backend uses — so byte-poking tests hit the right dir.
   std::string entry_path(const CellKey& key) {
-    return FsCacheBackend(dir_.string()).path_for(key);
+    if (shard_servers_.empty()) {
+      return FsCacheBackend(dir_.string()).path_for(key);
+    }
+    std::vector<std::uint64_t> tags;
+    for (const std::string& url : shard_urls()) {
+      tags.push_back(shard_tag(url));
+    }
+    const std::size_t owner = pick_shard(key, tags);
+    return FsCacheBackend(shard_dir(static_cast<int>(owner)).string())
+        .path_for(key);
   }
 
   fs::path dir_;
   ServerHandle server_;
+  std::vector<std::unique_ptr<ServerHandle>> shard_servers_;
   std::unique_ptr<CacheBackend> backend_;
 };
 
@@ -291,10 +339,17 @@ TEST_P(CacheBackendConformance, GcReportsRemainingEntries) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, CacheBackendConformance,
                          ::testing::Values(BackendKind::kFs,
-                                           BackendKind::kRemote),
+                                           BackendKind::kRemote,
+                                           BackendKind::kSharded2,
+                                           BackendKind::kSharded3),
                          [](const auto& info) {
-                           return info.param == BackendKind::kFs ? "Fs"
-                                                                 : "Remote";
+                           switch (info.param) {
+                             case BackendKind::kFs: return "Fs";
+                             case BackendKind::kRemote: return "Remote";
+                             case BackendKind::kSharded2: return "Sharded2";
+                             case BackendKind::kSharded3: return "Sharded3";
+                           }
+                           return "Unknown";
                          });
 
 // ---------------------------------------------------------------------------
@@ -565,6 +620,69 @@ TEST_F(RemoteCacheTest, ReconnectsAfterDaemonRestart) {
   ASSERT_TRUE(loaded.has_value()) << "client must reconnect to a restarted "
                                      "daemon";
   expect_bitwise_equal(*loaded, sample_result());
+}
+
+TEST_F(RemoteCacheTest, ReconnectAfterExplicitDisconnectIsImmediate) {
+  // The sharded tier's probe path relies on disconnect() being a FULL
+  // per-connection reset: after it, the next operation must attempt a
+  // real connect immediately, not fail fast inside a backoff window armed
+  // by earlier failures.
+  ASSERT_TRUE(server_.start(dir_.string()));
+  const std::uint16_t port = server_.port();
+  RemoteCacheOptions options = fast_client_options();
+  options.reconnect_backoff_ms = 60'000;  // any armed window outlives the test
+  options.reconnect_backoff_max_ms = 120'000;
+  auto backend = client(options);
+  const CellKey key{4, 4};
+  ASSERT_TRUE(backend->store(key, sample_result()));
+
+  server_.stop();
+  // First failure drops the connection; the second attempts a reconnect,
+  // fails, and arms the 60s fail-fast window.
+  EXPECT_FALSE(backend->load(key).has_value());
+  EXPECT_FALSE(backend->load(key).has_value());
+
+  ServerHandle restarted;
+  ASSERT_TRUE(restarted.start(dir_.string(), port));
+  EXPECT_FALSE(backend->load(key, nullptr, /*count_miss=*/false).has_value())
+      << "inside the armed backoff window the client must fail fast, "
+         "daemon or no daemon";
+
+  backend->disconnect();
+  const auto loaded = backend->load(key, nullptr, /*count_miss=*/false);
+  ASSERT_TRUE(loaded.has_value())
+      << "disconnect() must clear the backoff window so the very next "
+         "operation reconnects";
+  expect_bitwise_equal(*loaded, sample_result());
+  EXPECT_TRUE(backend->connected());
+}
+
+TEST_F(RemoteCacheTest, ExplicitDisconnectReleasesLeases) {
+  ASSERT_TRUE(server_.start(dir_.string()));
+  auto holder = client(fast_client_options());
+  auto peer = client(fast_client_options());
+
+  const CellKey key{14, 14};
+  auto claim = holder->try_claim(key);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_FALSE(peer->try_claim(key).has_value());
+
+  // Explicit disconnect forgets the lease client-side (so the heartbeat
+  // thread stops renewing it) and the daemon frees it on the TCP close.
+  holder->disconnect();
+  EXPECT_FALSE(holder->connected());
+  const auto start = Clock::now();
+  std::optional<CacheClaim> reclaimed;
+  while (!reclaimed.has_value() &&
+         Clock::now() - start < std::chrono::seconds(5)) {
+    reclaimed = peer->try_claim(key);
+    if (!reclaimed.has_value()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(reclaimed.has_value())
+      << "an explicitly disconnected client's leases must be released";
+  claim.reset();  // stale release after disconnect: harmless no-op
 }
 
 TEST_F(RemoteCacheTest, DaemonRejectsInvalidPutPayload) {

@@ -186,15 +186,23 @@ TEST_P(ChaosFleetTest, FleetDrainsExactlyOnceWithIdenticalBytes) {
         // Store until it sticks: the PUT is the proof of work (it settles
         // the queue item), so a worker never gives a cell up over a
         // transient fault. Mirrors fleet_run_worker's store-retry policy.
+        // Retry on the wave deadline, not an attempt count — fail-fast
+        // attempts inside a reconnect-backoff window burn no wire time,
+        // so a count-bounded loop can exhaust itself in a couple of
+        // seconds while the wave has half a minute left.
         bool stored = false;
-        for (int attempt = 0;
-             attempt < 400 && !stored &&
-             !stop.load(std::memory_order_relaxed);
-             ++attempt) {
+        while (!stored && !stop.load(std::memory_order_relaxed) &&
+               Clock::now() < deadline) {
           stored = backend->store(key, result);
           if (!stored) {
             std::this_thread::sleep_for(std::chrono::milliseconds(5));
           }
+        }
+        if (!stored && stop.load(std::memory_order_relaxed)) {
+          // The wave completed while we retried: a reset fault released
+          // our lease mid-retry and the peer redid the cell (to identical
+          // bytes, by determinism). Our copy is moot, not lost.
+          continue;
         }
         EXPECT_TRUE(stored) << "a PUT must eventually get through";
         // The report may be lost — PUT already settled the item, so a

@@ -405,6 +405,60 @@ TEST_F(FleetServerTest, DaemonRestartPreservesThePendingQueue) {
   EXPECT_TRUE(refetch->granted);
 }
 
+TEST_F(FleetServerTest, SubmitDuringDrainIsRefusedWithBusyNotEnqueued) {
+  // A SUBMIT that races the graceful shutdown must be REFUSED (kBusy +
+  // retry hint), never half-enqueued into the queue snapshot being saved:
+  // the coordinator retries against the restarted daemon, which then owns
+  // the items end to end. Drive a dedicated server's run loop on this
+  // thread so the submit bytes are already pending when the drain read
+  // pass runs.
+  server_.stop();  // the fixture's own daemon is not the one under test
+  CacheServerConfig config;
+  config.dir = dir_.string();
+  config.port = 0;
+  config.busy_retry_ms = 1234;
+  CacheServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+
+  net::Socket sock = net::connect_tcp("127.0.0.1", server.port(), 1000, 2000);
+  ASSERT_TRUE(sock.valid());
+  net::BodyWriter w;
+  w.put(std::uint32_t{1});
+  w.put(std::uint64_t{0xD1});  // key.hi
+  w.put(std::uint64_t{0xD2});  // key.lo
+  const std::string study = "fig2";
+  w.put(static_cast<std::uint32_t>(study.size()));
+  w.put_bytes(study);
+  w.put(std::uint32_t{0});  // cell
+  w.put(std::uint32_t{0});  // replicate
+  ASSERT_TRUE(net::send_frame(
+      sock, static_cast<std::uint8_t>(net::Op::kSubmit), w.take()));
+  // Let the bytes reach the daemon's kernel buffer, then request the stop
+  // BEFORE running the loop: run() meets the accept and the stop wakeup in
+  // its first epoll batch, exits, and finds the pending SUBMIT only in
+  // drain_and_shutdown's final read pass — with draining_ set.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  server.run();
+
+  auto reply = net::recv_frame(sock);
+  ASSERT_TRUE(reply.has_value()) << "the drain pass must answer, not drop";
+  EXPECT_EQ(static_cast<net::Op>(reply->opcode), net::Op::kSubmit);
+  net::BodyReader r(reply->body);
+  EXPECT_EQ(static_cast<net::Status>(r.get<std::uint8_t>()),
+            net::Status::kBusy);
+  EXPECT_EQ(r.get<std::uint32_t>(), 1234u) << "retry hint = busy_retry_ms";
+
+  // Nothing was enqueued: the queue snapshot a restarted daemon loads from
+  // the same directory is empty.
+  ASSERT_TRUE(server_.start(dir_.string()));
+  auto backend = client();
+  const auto stats = backend->fleet_queue_stat();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->total, 0u);
+  EXPECT_EQ(stats->pending, 0u);
+}
+
 TEST_F(FleetServerTest, ReconnectBackoffCostsOneAttemptPerWindow) {
   // Regression: a failed reconnect used to stamp the backoff clock BEFORE
   // the connect attempt, so when the attempt itself outlasted the window

@@ -7,6 +7,12 @@
 // front of one directory turns N machines' studies into one shared,
 // partitioned grid: every cell trains exactly once fleet-wide.
 //
+// Sharded deployments run several nnr_cached processes — each owning its
+// OWN directory — and hand clients the whole map at once
+// (--cache-url tcp://h1:p1,tcp://h2:p2,...): clients route each key to
+// one shard by rendezvous hashing, and SHARD_INFO lets them verify the
+// directories really are disjoint (sched/sharded_cache_backend.h).
+//
 // The printed "listening on HOST:PORT" line is the startup contract for
 // scripts (with --port 0 the kernel picks the port; parse it from there).
 // SIGINT/SIGTERM shut the daemon down cleanly; killing it hard only costs
@@ -53,6 +59,10 @@ constexpr const char* kUsage = R"(nnr_cached: remote replicate-cache daemon
   --drain-ms N    graceful-shutdown bound on flushing queued responses at
                   SIGTERM/SIGINT (default: 2000)
   --help          this text
+
+A sharded cache tier is N of these daemons, each with its own --dir (never
+shared — clients verify disjointness via SHARD_INFO), listed together in
+the clients' --cache-url as tcp://h1:p1,tcp://h2:p2,...
 
 Protocol, claim-lease lifecycle, and deployment notes: ARCHITECTURE.md and
 docs/nnr_run.md ("Remote cache").

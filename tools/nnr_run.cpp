@@ -19,6 +19,7 @@
 //   nnr_run --task smallcnn_bn --device V100 --variant impl --replicates 10
 //   nnr_run --study table2 --cache-dir /tmp/nnr-cache
 //   nnr_run --study fig1,fig2,table2 --cache-url tcp://cachehost:9776
+//   nnr_run --study fig2 --cache-url tcp://shard0:9776,tcp://shard1:9777
 //   nnr_run --submit fig2,table2 --cache-url tcp://cachehost:9776
 //   nnr_run --worker --cache-url tcp://cachehost:9776
 //   nnr_run --list
@@ -51,6 +52,7 @@
 #include "sched/fleet_client.h"
 #include "sched/registry.h"
 #include "sched/remote_cache_backend.h"
+#include "sched/sharded_cache_backend.h"
 #include "sched/scheduler.h"
 #include "sched/study_plan.h"
 
@@ -156,6 +158,9 @@ struct Options {
   std::string out_dir;           // empty = no file export
   std::string cache_dir;         // empty = NNR_CACHE_DIR, else that value
   std::string cache_url;         // empty = NNR_CACHE_URL, else that value
+                                 // (single url or comma-separated shard map)
+  bool cache_url_from_flag = false;  // first --cache-url replaces the env
+                                     // seed; later ones append shards
   std::int64_t cache_budget = 0; // bytes; 0 = NNR_CACHE_BUDGET / unlimited
 };
 
@@ -277,11 +282,21 @@ const FlagSpec kFlags[] = {
      [](Options& o, const char* v) { o.cache_dir = v; }},
     {"--cache-url", "URL", Section::kShared,
      "remote replicate cache: tcp://host:port of an nnr_cached\n"
-     "daemon. Defaults to NNR_CACHE_URL when set; overrides\n"
-     "--cache-dir. Claims become TTL leases (heartbeat-renewed,\n"
-     "released on death); an unreachable daemon degrades to\n"
-     "local recompute, never an error",
-     [](Options& o, const char* v) { o.cache_url = v; }},
+     "daemon, or a comma-separated shard map (tcp://a:1,tcp://b:2)\n"
+     "routing each key to one shard by rendezvous hashing. Repeat\n"
+     "the flag to append shards. Defaults to NNR_CACHE_URL when\n"
+     "set; overrides --cache-dir. Claims become TTL leases\n"
+     "(heartbeat-renewed, released on death); an unreachable\n"
+     "daemon or shard degrades to local recompute, never an error",
+     [](Options& o, const char* v) {
+       if (o.cache_url_from_flag && !o.cache_url.empty()) {
+         o.cache_url += ',';  // repeated flag = grow the shard map
+         o.cache_url += v;
+       } else {
+         o.cache_url = v;  // first flag occurrence beats the env seed
+         o.cache_url_from_flag = true;
+       }
+     }},
     {"--cache-budget", "N", Section::kShared,
      "cache byte budget; a store that pushes the cache over N\n"
      "bytes evicts least-recently-used entries (never one\n"
@@ -331,9 +346,11 @@ const FlagSpec kFlags[] = {
 
 constexpr const char* kUsageFooter = R"(
 Environment: NNR_CACHE_DIR / NNR_CACHE_URL / NNR_CACHE_BUDGET /
-NNR_CACHE_LEASE_MS seed the cache flags above; NNR_THREADS sizes the shared
-pool; NNR_REPLICATES / NNR_EPOCHS / NNR_TRAIN_N / NNR_QUICK scale studies.
-Full reference: docs/nnr_run.md.
+NNR_CACHE_LEASE_MS seed the cache flags above (NNR_CACHE_URL accepts the
+same comma-separated shard map as --cache-url); NNR_THREADS sizes the
+shared pool; NNR_REPLICATES / NNR_EPOCHS / NNR_TRAIN_N / NNR_QUICK scale
+studies; NNR_FLEET_STORE_RETRIES / NNR_FLEET_STORE_RETRY_MS tune worker
+PUT retries. Full reference: docs/nnr_run.md.
 
 Integer flags are parsed strictly: trailing junk ("--threads 4x") is an
 error, never a silent zero. Cache stats and progress go to stderr
@@ -618,9 +635,20 @@ int run_fleet_submit_mode(const Options& opts) {
       usage_error("unknown --submit study");
     }
   }
+  // The work queue lives on the FIRST shard of the map; a multi-shard
+  // --cache-url only changes where cache *entries* live (each worker
+  // routes its loads/stores by rendezvous hash). Caveat documented in
+  // docs/nnr_run.md: the submit-time "already cached" dedupe only sees the
+  // queue shard's directory, so keys owned by other shards enqueue and are
+  // then reported kServed by the first worker to fetch them.
+  const std::vector<std::string> urls =
+      sched::split_cache_urls(opts.cache_url);
   std::unique_ptr<sched::RemoteCacheBackend> backend;
   try {
-    backend = sched::make_remote_cache_backend(opts.cache_url);
+    if (urls.empty()) {
+      throw std::invalid_argument("--submit requires --cache-url");
+    }
+    backend = sched::make_remote_cache_backend(urls[0]);
   } catch (const std::invalid_argument& error) {
     usage_error(error.what());
   }
@@ -637,8 +665,23 @@ int run_fleet_submit_mode(const Options& opts) {
   }
   if (!reachable) {
     std::fprintf(stderr, "nnr_run: --submit: no nnr_cached daemon at %s\n",
-                 opts.cache_url.c_str());
+                 urls[0].c_str());
     return 1;
+  }
+  if (urls.size() > 1) {
+    // A shard map whose entries share a cache directory would let one
+    // daemon answer for another shard's keys — wave results would depend
+    // on which client connected first. Refuse to start the wave.
+    std::unique_ptr<sched::ShardedCacheBackend> sharded;
+    try {
+      sharded = sched::make_sharded_cache_backend(urls);
+    } catch (const std::invalid_argument& error) {
+      usage_error(error.what());
+    }
+    if (const auto violation = sharded->verify_disjoint()) {
+      std::fprintf(stderr, "nnr_run: --submit: %s\n", violation->c_str());
+      return 1;
+    }
   }
   sched::FleetSubmitOptions fleet_opts;
   const auto summary = sched::fleet_submit_and_wait(
@@ -659,14 +702,37 @@ int run_fleet_submit_mode(const Options& opts) {
 }
 
 int run_fleet_worker_mode(const Options& opts) {
+  // Queue RPCs (FETCH/REPORT) go to the first shard — the queue daemon.
+  // Entry traffic (the load-before-train and the PUT) goes through the
+  // sharded tier when the map has more than one shard, so every result
+  // lands on its key's owner daemon.
+  const std::vector<std::string> urls =
+      sched::split_cache_urls(opts.cache_url);
   std::unique_ptr<sched::RemoteCacheBackend> backend;
+  std::unique_ptr<sched::ShardedCacheBackend> cache;
   try {
-    backend = sched::make_remote_cache_backend(opts.cache_url);
+    if (urls.empty()) {
+      throw std::invalid_argument("--worker requires --cache-url");
+    }
+    backend = sched::make_remote_cache_backend(urls[0]);
+    if (urls.size() > 1) cache = sched::make_sharded_cache_backend(urls);
   } catch (const std::invalid_argument& error) {
     usage_error(error.what());
   }
   apply_thread_flag(opts.threads);
-  const sched::FleetWorkerSummary summary = sched::fleet_run_worker(*backend);
+  sched::FleetWorkerOptions worker_opts;
+  // Chaos scripts crank these up so a worker rides out a shard restart
+  // instead of burning one of the queue's bounded attempts per cell.
+  if (const std::int64_t n = core::env_int("NNR_FLEET_STORE_RETRIES", -1);
+      n >= 0) {
+    worker_opts.store_retries = n;
+  }
+  if (const std::int64_t ms = core::env_int("NNR_FLEET_STORE_RETRY_MS", -1);
+      ms >= 0) {
+    worker_opts.store_retry_ms = ms;
+  }
+  const sched::FleetWorkerSummary summary =
+      sched::fleet_run_worker(*backend, worker_opts, cache.get());
   std::fprintf(stderr, "[worker] fetched=%lld trained=%lld served=%lld "
                "failed=%lld\n",
                static_cast<long long>(summary.fetched),
